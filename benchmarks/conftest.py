@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at the full
+workload (ecutwfc 80 Ry, alat 20 Bohr, 128 bands, ntg 8) on the simulated
+KNL node, prints the measured rows next to the paper's published values,
+and asserts the paper's *qualitative* claims (who wins, by roughly what
+factor, where the crossover lies).  Absolute times are simulated-KNL
+milliseconds, not wall time; the pytest-benchmark timing wraps the whole
+experiment (simulation throughput), which is useful for tracking the
+harness itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,58 @@
+"""Microbenchmarks of the from-scratch FFT kernels (the compute substrate).
+
+Not a paper artifact — these measure the library's own ``cft_1z``/``cft_2xy``
+throughput on the paper workload's actual shapes (120-point dimensions,
+multi-hundred-stick batches) and check correctness against numpy inside the
+timed region's setup.  Useful for tracking the substrate's performance over
+time; the simulator's *cost model* is calibrated to KNL, not to this host.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft import cft_1z, cft_2xy, fft
+
+RNG = np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def stick_block():
+    # The 8x8 layout's group block: ~319 sticks x 120 z-points.
+    data = RNG.standard_normal((319, 120)) + 1j * RNG.standard_normal((319, 120))
+    return data
+
+
+@pytest.fixture(scope="module")
+def plane_block():
+    # One scatter rank's planes: 15 x 120 x 120.
+    data = RNG.standard_normal((15, 120, 120)) + 1j * RNG.standard_normal((15, 120, 120))
+    return data
+
+
+def test_bench_cft_1z(benchmark, stick_block):
+    result = benchmark(cft_1z, stick_block, +1)
+    np.testing.assert_allclose(
+        result, np.fft.ifft(stick_block, axis=-1) * 120, rtol=1e-9, atol=1e-9
+    )
+
+
+def test_bench_cft_2xy(benchmark, plane_block):
+    result = benchmark(cft_2xy, plane_block, +1)
+    np.testing.assert_allclose(
+        result,
+        np.fft.ifft2(plane_block, axes=(-2, -1)) * (120 * 120),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+
+
+def test_bench_fft_pow2_batch(benchmark):
+    x = RNG.standard_normal((256, 128)) + 1j * RNG.standard_normal((256, 128))
+    result = benchmark(fft, x)
+    np.testing.assert_allclose(result, np.fft.fft(x, axis=-1), rtol=1e-9, atol=1e-9)
+
+
+def test_bench_fft_bluestein_prime(benchmark):
+    x = RNG.standard_normal((64, 101)) + 1j * RNG.standard_normal((64, 101))
+    result = benchmark(fft, x)
+    np.testing.assert_allclose(result, np.fft.fft(x, axis=-1), rtol=1e-8, atol=1e-8)

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 2 — FFT-phase runtime vs. MPI ranks, original version."""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2(run_once):
+    report = run_once(run_fig2)
+    print("\n" + report.text)
+
+    runtimes = report.data["runtime_s"]
+    # Paper shape 1: the phase scales (poorly) up to the full node ...
+    assert runtimes["1x8"] > runtimes["2x8"] > runtimes["4x8"] > runtimes["8x8"]
+    # ... but far from linearly ("does not scale very well").
+    assert runtimes["1x8"] / runtimes["8x8"] < 8.0
+    # Paper shape 2: hyper-threading does not help — runtime increases again.
+    assert runtimes["16x8"] >= runtimes["8x8"]
+    assert runtimes["32x8"] > runtimes["8x8"]
+    assert report.data["best"] == "8x8"

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 3 — trace structure of the 8x8 original run."""
+
+import pytest
+
+from repro.experiments import PAPER, run_fig3
+
+
+def test_bench_fig3(run_once):
+    report = run_once(run_fig3)
+    print("\n" + report.text)
+
+    anchors = PAPER["fig3"]
+    summary = report.data["phase_summary"]
+
+    # Phase IPC anchors of the timeline (read off Fig. 3).
+    assert summary["prepare_psis"]["ipc"] == pytest.approx(anchors["prepare_psis_ipc"], abs=0.02)
+    assert summary["fft_z"]["ipc"] == pytest.approx(anchors["fft_z_ipc"], abs=0.08)
+    assert report.data["central_phase_ipc"] == pytest.approx(anchors["central_phase_ipc"], abs=0.08)
+
+    # "the 64 FFTs are executed with 8 FFTs at the same time, i.e. 8
+    # repeating phases can be seen".
+    assert report.data["repeating_phases"] == PAPER["workload"]["repeating_phases"]
+
+    # Two-layer communicator structure: R pack comms of T neighboring ranks,
+    # T scatter comms of R alternating ranks (1, 9, 17, ...).
+    pack = report.data["pack_comms"]
+    scatter = report.data["scatter_comms"]
+    assert len(pack) == anchors["pack_comms_of_8x8"]
+    assert len(scatter) == anchors["scatter_comms_of_8x8"]
+    assert pack["pack0"]["streams"] == list(range(8))
+    assert scatter["scatter1"]["streams"] == [1, 9, 17, 25, 33, 41, 49, 57]

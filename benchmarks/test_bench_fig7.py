@@ -1,0 +1,26 @@
+"""Benchmark: Figure 7 — de-synchronization of compute phases at 8x8."""
+
+import pytest
+
+from repro.experiments import PAPER, run_fig7
+
+
+def test_bench_fig7(run_once):
+    report = run_once(run_fig7)
+    print("\n" + report.text)
+
+    anchors = PAPER["fig7"]
+    orig = report.data["original"]
+    ompss = report.data["ompss_perfft"]
+
+    # The main-phase IPC shift: ~0.75 -> ~0.85.
+    assert orig["mean_ipc"] == pytest.approx(anchors["main_phase_ipc_original"], abs=0.06)
+    assert ompss["mean_ipc"] == pytest.approx(anchors["main_phase_ipc_ompss"], abs=0.06)
+    assert ompss["mean_ipc"] > orig["mean_ipc"]
+
+    # "In the OmpSs version the IPC of the phases is much more scattered."
+    assert ompss["ipc_std"] > 2.0 * orig["ipc_std"]
+
+    # Synchronized blocks -> asynchronous execution.
+    assert orig["synchrony"] > 0.8
+    assert ompss["synchrony"] < orig["synchrony"] - 0.15

@@ -1,0 +1,28 @@
+"""Harness-performance benchmarks: how fast the simulator itself runs.
+
+These time the *wall-clock* cost of simulating reference configurations —
+the number every other benchmark's duration is made of.  Useful for
+tracking regressions in the engine (fluid rebalancing, event dispatch,
+collective matching) as the library evolves.
+"""
+
+from repro.core import RunConfig, run_fft_phase
+from repro.experiments.common import paper_config
+
+
+def test_bench_sim_small_original(benchmark):
+    cfg = RunConfig(ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2)
+    result = benchmark(run_fft_phase, cfg)
+    assert result.phase_time > 0
+
+
+def test_bench_sim_paper_8x8_original(run_once):
+    result = run_once(run_fft_phase, paper_config(8, "original"))
+    assert result.phase_time > 0
+    # 64 synchronized streams, 8 iterations: the canonical workload.
+    assert len(result.cpu.counters.streams) == 64
+
+
+def test_bench_sim_paper_8x8_perfft(run_once):
+    result = run_once(run_fft_phase, paper_config(8, "ompss_perfft"))
+    assert result.phase_time > 0

@@ -1,0 +1,36 @@
+"""Benchmark: Table I — POP factors of the original version, 1x8..16x8."""
+
+import pytest
+
+from repro.experiments import PAPER, run_table1
+
+
+def test_bench_table1(run_once):
+    report = run_once(run_table1)
+    print("\n" + report.text)
+
+    cols = report.data["columns"]
+    paper = PAPER["table1"]
+    labels = PAPER["config_labels"]
+
+    # Cell-level agreement for the two load-bearing rows of the analysis:
+    # the IPC-scalability collapse and the communication-efficiency decline.
+    for i, label in enumerate(labels):
+        measured = cols[label]["-> IPC Scalability"] * 100
+        assert measured == pytest.approx(paper["-> IPC Scalability"][i], abs=6.0), label
+        measured = cols[label]["-> Communication Efficiency"] * 100
+        assert measured == pytest.approx(paper["-> Communication Efficiency"][i], abs=6.0), label
+
+    # Global efficiency within a few points everywhere.
+    for i, label in enumerate(labels):
+        measured = cols[label]["Global Efficiency"] * 100
+        assert measured == pytest.approx(paper["Global Efficiency"][i], abs=7.0), label
+
+    # Monotone declines, as in the paper.
+    ipc = [cols[l]["-> IPC Scalability"] for l in labels]
+    assert all(a >= b for a, b in zip(ipc, ipc[1:]))
+    # Load balance and instruction scalability stay high (the "already
+    # highly optimized" baseline).
+    for label in labels:
+        assert cols[label]["-> Load Balance"] > 0.95
+        assert cols[label]["-> Instructions Scalability"] > 0.97

@@ -1,0 +1,36 @@
+"""Benchmark: Table II — POP factors of the OmpSs per-FFT version."""
+
+import pytest
+
+from repro.experiments import PAPER, run_table2
+
+
+def test_bench_table2(run_once):
+    report = run_once(run_table2)
+    print("\n" + report.text)
+
+    cols = report.data["columns"]
+    paper = PAPER["table2"]
+    labels = PAPER["config_labels"]
+
+    # Through 4x8 the factor columns track the paper closely.
+    for i, label in enumerate(labels[:3]):
+        measured = cols[label]["Global Efficiency"] * 100
+        assert measured == pytest.approx(paper["Global Efficiency"][i], abs=6.0), label
+        measured = cols[label]["-> IPC Scalability"] * 100
+        assert measured == pytest.approx(paper["-> IPC Scalability"][i], abs=6.0), label
+
+    # Key qualitative improvements over Table I (same base: each table is
+    # normalized to its own 1x8): computation scalability holds up better
+    # in the OmpSs version at the full node.
+    from repro.experiments import run_table1  # noqa: PLC0415 - comparison only
+
+    # Use the paper's Table I values as the baseline for the comparison to
+    # avoid re-running the original sweep inside this benchmark.
+    t1_ipc_8x8 = PAPER["table1"]["-> IPC Scalability"][3] / 100
+    assert cols["8x8"]["-> IPC Scalability"] > t1_ipc_8x8
+
+    # Known divergence (documented in EXPERIMENTS.md): the simulated task
+    # version hides transfer almost completely at scale, unlike the real
+    # Nanos++/MPI stack — so parallel efficiency at 8x8/16x8 is optimistic.
+    assert cols["16x8"]["   -> Transfer"] > 0.9

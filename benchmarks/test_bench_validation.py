@@ -1,0 +1,13 @@
+"""Benchmark-suite gate: the numerical certification matrix must pass."""
+
+from repro.experiments import run_validation
+
+
+def test_bench_validation(run_once):
+    report = run_once(run_validation)
+    print("\n" + report.text)
+
+    assert report.data["passed"]
+    for label, entry in report.data["cases"].items():
+        assert entry["error"] < 1e-11, label
+        assert entry["observable"] < 1e-8, label

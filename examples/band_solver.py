@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Band structure on top of the FFT kernel — the Quantum ESPRESSO use case.
+
+The paper's closing argument is that "an increased performance in the
+FFTXlib will likewise increase the performance of the entire Quantum
+ESPRESSO code": the kernel it optimizes is the V(r)*psi application inside
+every H*psi of a plane-wave DFT run.  This example closes that loop with
+the library's miniature band solver:
+
+1. build a plane-wave Hamiltonian H = T + V(r) on the FFT descriptor;
+2. solve for the lowest bands with Davidson-style subspace iteration,
+   routing every H application through the *simulated distributed
+   pipeline* (any executor);
+3. compare the eigenvalues against exact dense diagonalisation, and report
+   how much simulated KNL time each executor's kernel spent — i.e. what
+   the paper's optimization would buy this (toy) QE workload.
+
+Run:  python examples/band_solver.py
+"""
+
+import numpy as np
+
+from repro.core import RunConfig
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe import Hamiltonian, dense_hamiltonian_matrix, solve_bands
+
+
+def main() -> None:
+    desc = FftDescriptor(Cell(alat=5.0), ecutwfc=12.0)
+    potential = make_potential(desc.grid_shape, seed=4)
+    print(f"basis: {desc.ngw} plane waves, grid {desc.grid_shape}")
+
+    exact = np.linalg.eigvalsh(dense_hamiltonian_matrix(desc, potential))[:4]
+    print(f"exact lowest eigenvalues (Ry): {np.round(exact, 6)}")
+
+    print("\nsolving with the dense engine:")
+    ham = Hamiltonian(desc, potential)
+    res = solve_bands(ham, 4, tol=1e-11)
+    print(f"  {res.n_iterations} iterations, converged={res.converged}")
+    print(f"  eigenvalues: {np.round(res.eigenvalues, 6)}")
+    print(f"  max |error|: {np.abs(res.eigenvalues - exact).max():.2e} Ry")
+
+    print("\nsolving through the simulated distributed pipeline:")
+    for version in ("original", "ompss_perfft"):
+        engine = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2,
+            version=version, data_mode=True,
+        )
+        ham = Hamiltonian(desc, potential)
+        res = solve_bands(ham, 4, engine=engine, tol=1e-9, max_iterations=40)
+        err = np.abs(res.eigenvalues - exact).max()
+        print(
+            f"  {version:<14} {res.n_iterations} iterations, "
+            f"max |error| {err:.2e} Ry, "
+            f"simulated kernel time {res.simulated_time * 1e3:.2f} ms"
+        )
+
+    print(
+        "\nIdentical eigenvalues from every executor — the schedules differ,"
+        "\nthe numerics do not; only the simulated kernel time changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

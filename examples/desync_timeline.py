@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""ASCII rendering of the Fig. 7 timelines: lock-step vs de-synchronized.
+
+Traces the original and the per-FFT OmpSs version on the same workload and
+draws each stream's compute phases over time as characters (one column per
+time bucket, one row per stream):
+
+    .  idle / in MPI          z  fft_z            X  fft_xy (main phase)
+    p  prepare/pack/unpack    s  scatter reorder  v  vofr
+
+In the original version the X blocks line up vertically across all rows
+(synchronized high-intensity phases -> bandwidth collisions); in the OmpSs
+version they scatter (de-synchronization -> higher IPC).
+
+Run:  python examples/desync_timeline.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.common import paper_config
+from repro.perf.tracer import trace_run
+
+from repro.perf.report import render_timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--quick", action="store_true", help="smaller workload")
+    args = parser.parse_args()
+
+    overrides = dict(ecutwfc=30.0, alat=10.0, nbnd=32) if args.quick else {}
+    for version in ("original", "ompss_perfft"):
+        cfg = paper_config(args.ranks, version, **overrides)
+        result, trace = trace_run(cfg)
+        print(f"\n=== {cfg.label()}  ({result.phase_time * 1e3:.2f} ms) ===")
+        print(render_timeline(trace, width=110, max_rows=16))
+    print(
+        "\nNote how the X (fft_xy) columns align across streams in the"
+        " original\nversion but stagger in the OmpSs version — the"
+        " de-synchronization that\nraises the main phase's IPC (paper"
+        " Fig. 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: run one simulated FFT phase and validate the numerics.
+
+This is the smallest end-to-end use of the library: configure a workload,
+execute the distributed forward-V(r)-backward kernel on the simulated KNL
+node with real data, check the result against the dense single-grid
+reference, and look at the basic performance outputs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RunConfig, run_fft_phase
+
+
+def main() -> None:
+    # A small workload (the paper's is ecutwfc=80, alat=20, nbnd=128): a
+    # 12 Ry cutoff in a 5 Bohr cell gives a 15^3-ish grid that validates in
+    # under a second.  Two first-layer ranks x two FFT task groups = 4
+    # simulated MPI processes.
+    config = RunConfig(
+        ecutwfc=12.0,
+        alat=5.0,
+        nbnd=8,
+        ranks=2,
+        taskgroups=2,
+        version="original",
+        data_mode=True,  # move real numpy payloads so we can validate
+    )
+    print(f"workload: {config.label()}, {config.n_mpi_ranks} MPI processes, "
+          f"{config.n_complex_bands} complex band FFTs")
+
+    result = run_fft_phase(config)
+
+    print(f"grid:            {result.desc.grid_shape}, "
+          f"{result.desc.ngw} G-vectors, {result.desc.sticks.nsticks} sticks")
+    print(f"FFT phase time:  {result.phase_time * 1e3:.3f} ms (simulated)")
+    print(f"average IPC:     {result.average_ipc:.3f}")
+
+    error = result.validate()
+    print(f"max relative error vs dense reference: {error:.2e}")
+    assert error < 1e-12, "distributed result diverged from the reference"
+
+    # The same workload with the paper's per-FFT OmpSs tasks — different
+    # schedule, identical numerics.
+    task_config = RunConfig(
+        ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2,
+        version="ompss_perfft", data_mode=True,
+    )
+    task_result = run_fft_phase(task_config)
+    print(f"\nompss_perfft:    {task_result.phase_time * 1e3:.3f} ms, "
+          f"error {task_result.validate():.2e}")
+
+
+if __name__ == "__main__":
+    main()

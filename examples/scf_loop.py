@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A full self-consistent field loop on the simulated machine.
+
+The complete Quantum ESPRESSO story in miniature: an SCF cycle whose every
+Hamiltonian application routes the V(r)*psi kernel — the code the paper
+optimizes — through the simulated distributed FFT pipeline.  Prints the
+convergence history, the fractional (smeared) occupations across the
+near-degenerate shell, and how much simulated KNL kernel time the whole
+calculation spent under the original vs. the OmpSs executor.
+
+Run:  python examples/scf_loop.py
+"""
+
+from repro.core import RunConfig
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe import run_scf
+
+
+def main() -> None:
+    desc = FftDescriptor(Cell(alat=5.0), ecutwfc=12.0)
+    v_ext = make_potential(desc.grid_shape, seed=4)
+    print(f"basis: {desc.ngw} plane waves, grid {desc.grid_shape}")
+
+    print("\nSCF with the dense engine (2 electrons, repulsive coupling):")
+    res = run_scf(desc, v_ext, n_electrons=2, coupling=2.0, tol=1e-8, max_iterations=80)
+    print(f"  converged in {res.n_iterations} iterations; E = {res.total_energy:.6f} Ry")
+    print(f"  occupations: {res.occupations.round(3)}")
+    print("  residual history:", " ".join(f"{r:.1e}" for r in res.residual_history[:6]), "...")
+
+    print("\nSCF through the simulated distributed pipeline:")
+    for version in ("original", "ompss_perfft"):
+        engine = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=16, ranks=2, taskgroups=2,
+            version=version, data_mode=True,
+        )
+        res = run_scf(
+            desc, v_ext, n_electrons=2, coupling=2.0, tol=1e-6,
+            max_iterations=40, engine=engine, band_tol=1e-8,
+        )
+        print(
+            f"  {version:<14} E = {res.total_energy:.6f} Ry in {res.n_iterations} "
+            f"iterations; simulated kernel time {res.simulated_time * 1e3:.1f} ms"
+        )
+
+    print(
+        "\nSame physics from every executor; the OmpSs kernel simply spends"
+        "\nless simulated machine time — the paper's gain, compounded over"
+        "\nevery H|psi> of a production run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP-517 editable route (which builds a wheel) is unavailable; this shim lets
+`setup.py develop` handle editable installs. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

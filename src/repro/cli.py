@@ -1,0 +1,193 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+::
+
+    fftxlib-repro list
+    fftxlib-repro fig2 [--quick]
+    fftxlib-repro table1
+    fftxlib-repro all --quick
+    fftxlib-repro run --ranks 8 --version ompss_perfft --validate
+
+``--quick`` shrinks the workload (30 Ry / 10 Bohr / 32 bands and a reduced
+rank sweep) so every experiment finishes in seconds; the full workload is
+the paper's (80 Ry / 20 Bohr / 128 bands / ntg 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.core import RunConfig, run_fft_phase
+from repro.experiments import (
+    run_multinode,
+    run_validation,
+    run_ablation_grainsize,
+    run_ablation_hyperthreading,
+    run_ablation_ntg,
+    run_ablation_scheduler,
+    run_ablation_versions,
+    run_ablation_whatif,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["main"]
+
+QUICK_WORKLOAD = dict(ecutwfc=30.0, alat=10.0, nbnd=32)
+QUICK_RANKS = (1, 2, 4, 8)
+
+_EXPERIMENTS: dict[str, tuple[_t.Callable, str]] = {
+    "fig2": (run_fig2, "Fig. 2 - runtime vs ranks, original"),
+    "table1": (run_table1, "Table I - POP factors, original"),
+    "fig3": (run_fig3, "Fig. 3 - trace structure at 8x8"),
+    "table2": (run_table2, "Table II - POP factors, OmpSs per-FFT"),
+    "fig6": (run_fig6, "Fig. 6 - original vs OmpSs runtimes"),
+    "fig7": (run_fig7, "Fig. 7 - de-synchronization at 8x8"),
+    "ablation-ntg": (run_ablation_ntg, "task-group knob sweep"),
+    "ablation-grainsize": (run_ablation_grainsize, "Opt 1 taskloop grainsize sweep"),
+    "ablation-ht": (run_ablation_hyperthreading, "hyper-threading 1/2/4"),
+    "ablation-scheduler": (run_ablation_scheduler, "ready-queue policies"),
+    "ablation-versions": (run_ablation_versions, "all four executors"),
+    "ablation-whatif": (run_ablation_whatif, "runtime attribution by bottleneck"),
+    "multinode": (run_multinode, "multi-node scale sweep (the paper's IV claim)"),
+    "validation": (run_validation, "numerical certification vs the dense reference"),
+}
+
+
+def _experiment_kwargs(name: str, quick: bool) -> dict:
+    if not quick:
+        return {}
+    kwargs: dict = dict(QUICK_WORKLOAD)
+    if name in ("fig2", "table1", "table2", "fig6"):
+        kwargs["ranks"] = QUICK_RANKS
+    if name == "ablation-ntg":
+        kwargs["total_procs"] = 16
+    if name == "multinode":
+        kwargs["nodes"] = (1, 2)
+    if name == "validation":
+        kwargs.update(ecutwfc=15.0, alat=6.0, nbnd=8)
+    return kwargs
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI dispatch; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="fftxlib-repro",
+        description="Reproduction of 'Performance Analysis and Optimization of "
+        "the FFTXlib on the Intel Knights Landing Architecture' (ICPPW 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, (_fn, help_text) in _EXPERIMENTS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true", help="reduced workload")
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--quick", action="store_true", help="reduced workload")
+
+    p_run = sub.add_parser("run", help="run a single configuration")
+    p_run.add_argument("--ranks", type=int, default=8)
+    p_run.add_argument("--taskgroups", type=int, default=8)
+    p_run.add_argument(
+        "--version",
+        default="original",
+        choices=["original", "pipelined", "ompss_perfft", "ompss_steps", "ompss_combined"],
+    )
+    p_run.add_argument("--quick", action="store_true", help="reduced workload")
+    p_run.add_argument(
+        "--validate", action="store_true", help="data mode + dense-reference check"
+    )
+    p_run.add_argument("--nodes", type=int, default=1, help="simulated KNL nodes")
+    p_run.add_argument(
+        "--prv", metavar="PATH", default=None,
+        help="write a Paraver-style trace (.prv/.pcf/.row) of the run",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", help="trace two versions and print the phase-delta table"
+    )
+    p_cmp.add_argument("version_a")
+    p_cmp.add_argument("version_b")
+    p_cmp.add_argument("--ranks", type=int, default=8)
+    p_cmp.add_argument("--taskgroups", type=int, default=8)
+    p_cmp.add_argument("--quick", action="store_true", help="reduced workload")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (_fn, help_text) in _EXPERIMENTS.items():
+            print(f"{name:<22} {help_text}")
+        return 0
+
+    if args.command == "run":
+        workload = dict(QUICK_WORKLOAD) if args.quick else {}
+        config = RunConfig(
+            ranks=args.ranks,
+            taskgroups=args.taskgroups,
+            version=args.version,
+            data_mode=args.validate,
+            n_nodes=args.nodes,
+            **workload,
+        )
+        if args.prv:
+            from repro.perf import trace_run, write_prv
+
+            result, trace = trace_run(config)
+            prv = write_prv(args.prv, trace)
+            print(f"trace written: {prv} (+ .pcf, .row)")
+        else:
+            result = run_fft_phase(config)
+        print(f"{config.label()}: FFT phase {result.phase_time * 1e3:.2f} ms "
+              f"(simulated), avg IPC {result.average_ipc:.3f}")
+        if args.validate:
+            err = result.validate()
+            print(f"max relative error vs dense reference: {err:.2e}")
+            if err > 1e-10:
+                print("VALIDATION FAILED", file=sys.stderr)
+                return 1
+        return 0
+
+    if args.command == "compare":
+        from repro.machine import knl_parameters
+        from repro.perf import compare_runs, format_run_comparison, trace_run
+
+        workload = dict(QUICK_WORKLOAD) if args.quick else {}
+        traces = {}
+        times = {}
+        for version in (args.version_a, args.version_b):
+            cfg = RunConfig(
+                ranks=args.ranks, taskgroups=args.taskgroups, version=version, **workload
+            )
+            result, trace = trace_run(cfg)
+            traces[version] = trace
+            times[version] = result.phase_time
+        cmp = compare_runs(
+            traces[args.version_a],
+            traces[args.version_b],
+            knl_parameters().frequency_hz,
+        )
+        print(
+            f"phase time: {args.version_a} {times[args.version_a] * 1e3:.2f} ms, "
+            f"{args.version_b} {times[args.version_b] * 1e3:.2f} ms"
+        )
+        print(format_run_comparison(cmp, labels=(args.version_a[:8], args.version_b[:8])))
+        return 0
+
+    names = list(_EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        fn, _help = _EXPERIMENTS[name]
+        report = fn(**_experiment_kwargs(name, args.quick))
+        print(f"\n{'=' * 72}\n{report.text}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The FFTXlib miniapp: the paper's kernel and its task-based optimizations.
+
+The kernel applies an operator diagonal in real space to a set of bands:
+forward transform (G -> R), multiply by the potential (VOFR), backward
+transform (R -> G), over the two-layer MPI distribution described in
+DESIGN.md.  Three executors share the same step library and produce
+*identical numerics* (asserted by the integration tests):
+
+* :mod:`~repro.core.exec_original` — the baseline FFTXlib: a synchronous
+  loop over band groups with FFT task groups (paper Fig. 1);
+* :mod:`~repro.core.exec_steps` — Opt 1: every step a task with flow
+  dependencies, nested taskloops in the FFT kernels (paper Fig. 4);
+* :mod:`~repro.core.exec_perfft` — Opt 2: each FFT (loop iteration) one
+  independent task, dynamically scheduled (paper Fig. 5);
+* :mod:`~repro.core.exec_combined` — the paper's future-work combination
+  (overlap + de-synchronization).
+
+:mod:`~repro.core.driver` wires a :class:`~repro.core.config.RunConfig`
+into a full simulated run and optionally validates the distributed result
+against the dense single-grid reference of :mod:`~repro.core.validate`.
+"""
+
+from repro.core.config import RunConfig, Version
+from repro.core.pipeline import CostConstants, CostModel
+from repro.core.driver import RunResult, run_fft_phase
+from repro.core.validate import dense_reference, max_relative_error
+from repro.core.gamma import pack_real_bands, unpack_real_bands
+from repro.core.observables import potential_expectation
+
+__all__ = [
+    "RunConfig",
+    "Version",
+    "CostConstants",
+    "CostModel",
+    "RunResult",
+    "run_fft_phase",
+    "dense_reference",
+    "max_relative_error",
+    "pack_real_bands",
+    "unpack_real_bands",
+    "potential_expectation",
+]

@@ -1,0 +1,182 @@
+"""Run configuration: the paper's workload and execution-version knobs.
+
+The paper's experiment family is described as ``N x 8`` (ranks x FFT task
+groups) with the workload "plane wave energy cut off: 80, lattice parameter:
+20, number of bands: 128, number of task groups: 8".  A :class:`RunConfig`
+captures both the workload and how it is executed:
+
+* ``version="original"`` — ``ranks * taskgroups`` single-threaded MPI
+  processes; the two-layer MPI communication with ``taskgroups`` FFT task
+  groups.
+* ``version="ompss_perfft"`` — Opt 2: ``ranks`` MPI processes, each with
+  ``taskgroups`` OmpSs worker threads replacing the task groups (ntg=1);
+  one task per FFT.
+* ``version="ompss_steps"`` — Opt 1: the original process grid, each process
+  with 2 hyper-threaded workers so blocked communication tasks overlap with
+  compute tasks of other iterations; per-step tasks + nested taskloops.
+* ``version="ompss_combined"`` — future work (§VI): per-band chains of step
+  tasks on the Opt 2 mapping.
+* ``version="pipelined"`` — a non-task overlap baseline: the original
+  process grid with depth-2 software pipelining over non-blocking
+  collectives (what careful MPI code does without a task runtime).
+
+128 *real* bands are packed pairwise into 64 complex FFT fields (the
+standard Gamma-point trick; the paper's trace shows exactly "the 64 FFTs ...
+executed with 8 FFTs at the same time").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["RunConfig", "Version", "VERSIONS"]
+
+Version = _t.Literal[
+    "original", "pipelined", "ompss_perfft", "ompss_steps", "ompss_combined"
+]
+
+VERSIONS: tuple[str, ...] = (
+    "original",
+    "pipelined",
+    "ompss_perfft",
+    "ompss_steps",
+    "ompss_combined",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """Workload + execution parameters of one FFT-phase run."""
+
+    #: Wave-function cutoff in Rydberg (paper: 80).
+    ecutwfc: float = 80.0
+    #: Lattice parameter in Bohr (paper: 20).
+    alat: float = 20.0
+    #: Number of real bands (paper: 128; must be even — bands pack in pairs).
+    nbnd: int = 128
+    #: FFT task groups / OmpSs threads (paper: 8).
+    taskgroups: int = 8
+    #: First-layer MPI ranks (the "N" of "N x 8").
+    ranks: int = 1
+    #: Which executor to run.
+    version: str = "original"
+    #: Move real numpy payloads (tests/validation) or metadata only (sweeps).
+    data_mode: bool = False
+    #: Grid-to-wave cutoff ratio (QE dual).
+    dual: float = 4.0
+    #: OmpSs scheduler policy for the task versions.
+    scheduler: str = "fifo"
+    #: Per-task dispatch overhead (seconds).
+    task_overhead: float = 3.0e-6
+    #: Workers per process for the per-step version (hyper-thread slots).
+    steps_workers: int = 2
+    #: Taskloop grainsize for the xy-plane loops (paper: 10).
+    grainsize_xy: int = 10
+    #: Taskloop grainsize for the z-stick loops (paper: 200).
+    grainsize_z: int = 200
+    #: Seed for the deterministic wavefunction/potential data.
+    seed: int = 2017
+    #: KNL nodes (1 = the paper's single-node testbed; >1 adds the
+    #: inter-node fabric and per-node contention domains).
+    n_nodes: int = 1
+    #: Suspend tasks blocked in MPI and run others meanwhile (the hybrid
+    #: MPI/SMPSs technique of the paper's ref. [11]).  ``None`` keeps each
+    #: version's default: on for the overlap-oriented per-step/combined
+    #: executors (without it their blocking collectives can strand every
+    #: worker), off for per-FFT tasks (the paper lists it as future work).
+    task_switching: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.version not in VERSIONS:
+            raise ValueError(f"unknown version {self.version!r}; choose from {VERSIONS}")
+        if self.nbnd < 2 or self.nbnd % 2:
+            raise ValueError(f"nbnd must be even and >= 2, got {self.nbnd}")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.taskgroups < 1:
+            raise ValueError(f"taskgroups must be >= 1, got {self.taskgroups}")
+        if self.n_complex_bands % self.bands_in_flight:
+            raise ValueError(
+                f"nbnd/2 = {self.n_complex_bands} complex bands must divide evenly "
+                f"into groups of {self.bands_in_flight}"
+            )
+        if self.steps_workers < 1:
+            raise ValueError(f"steps_workers must be >= 1, got {self.steps_workers}")
+        if self.grainsize_xy < 1 or self.grainsize_z < 1:
+            raise ValueError("grainsizes must be >= 1")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_mpi_ranks % self.n_nodes:
+            raise ValueError(
+                f"{self.n_mpi_ranks} MPI ranks do not distribute evenly over "
+                f"{self.n_nodes} nodes"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def n_complex_bands(self) -> int:
+        """Complex FFT fields after pairwise band packing (paper: 64)."""
+        return self.nbnd // 2
+
+    @property
+    def is_task_version(self) -> bool:
+        """Whether an OmpSs executor runs this config."""
+        return self.version not in ("original", "pipelined")
+
+    @property
+    def n_mpi_ranks(self) -> int:
+        """MPI processes launched."""
+        if self.version in ("original", "pipelined", "ompss_steps"):
+            return self.ranks * self.taskgroups
+        return self.ranks
+
+    @property
+    def threads_per_rank(self) -> int:
+        """Hardware threads each MPI process owns."""
+        if self.version in ("original", "pipelined"):
+            return 1
+        if self.version == "ompss_steps":
+            return self.steps_workers
+        return self.taskgroups
+
+    @property
+    def layout_scatter(self) -> int:
+        """R of the R x T data layout (scatter-group width)."""
+        if self.version in ("original", "pipelined", "ompss_steps"):
+            return self.ranks
+        return self.ranks  # task versions: ntg = 1, all ranks in one scatter group
+
+    @property
+    def layout_groups(self) -> int:
+        """T of the R x T data layout (1 for the task versions: ntg off)."""
+        if self.version in ("original", "pipelined", "ompss_steps"):
+            return self.taskgroups
+        return 1
+
+    @property
+    def effective_task_switching(self) -> bool:
+        """The MPI-task-switching setting after version defaults."""
+        if self.task_switching is not None:
+            return self.task_switching
+        return self.version in ("ompss_steps", "ompss_combined")
+
+    @property
+    def bands_in_flight(self) -> int:
+        """Complex bands processed per outer-loop iteration."""
+        return self.layout_groups
+
+    @property
+    def n_iterations(self) -> int:
+        """Outer-loop trip count (``DO I = 1, NB, NTG``)."""
+        return self.n_complex_bands // self.bands_in_flight
+
+    @property
+    def total_streams(self) -> int:
+        """Hardware threads the run occupies on the node."""
+        return self.n_mpi_ranks * self.threads_per_rank
+
+    def label(self) -> str:
+        """Short display label, e.g. ``'8x8 original'``."""
+        return f"{self.ranks}x{self.taskgroups} {self.version}"

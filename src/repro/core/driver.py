@@ -1,0 +1,283 @@
+"""Driver: configuration -> simulated machine -> executed FFT phase.
+
+:func:`run_fft_phase` assembles the full stack for one
+:class:`~repro.core.config.RunConfig`:
+
+1. geometry (cell, descriptor, R x T layout) and the cost model;
+2. the simulated KNL node (CPU contention model + network) and the MPI
+   world with the version's thread placement;
+3. the two communicator layers (created at setup time, before the measured
+   phase — as FFTXlib builds its communicators during initialization);
+4. deterministic wavefunction/potential data (data mode) or size-only
+   bookkeeping (meta mode);
+5. the version's executor program on every rank.
+
+The returned :class:`RunResult` carries the phase runtime, the machine
+counters, and (in data mode) the distributed outputs plus a
+:meth:`RunResult.validate` that checks them against the dense reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.exec_combined import make_combined_program
+from repro.core.exec_original import make_original_program
+from repro.core.exec_perfft import make_perfft_program
+from repro.core.exec_pipelined import make_pipelined_program
+from repro.core.exec_steps import make_steps_program
+from repro.core.pipeline import CostConstants, CostModel, FftPhaseContext
+from repro.core.validate import dense_reference, gather_results, max_relative_error
+from repro.core.wave import (
+    distribute_coefficients,
+    make_band_coefficients,
+    make_potential,
+    potential_slab,
+)
+from repro.grids import Cell, DistributedLayout, FftDescriptor
+from repro.machine import CpuModel, KnlParameters, knl_phase_table, knl_topology
+from repro.machine.cluster import ClusterTopology
+from repro.mpisim import MpiWorld, NetworkModel
+from repro.mpisim.network import ClusterNetworkModel
+from repro.simkit import Simulator
+
+__all__ = ["RunResult", "run_fft_phase"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one simulated FFT phase."""
+
+    config: RunConfig
+    phase_time: float
+    sim: Simulator
+    world: MpiWorld
+    cpu: CpuModel
+    desc: FftDescriptor
+    layout: DistributedLayout
+    contexts: list[FftPhaseContext]
+    input_coeffs: np.ndarray | None
+    potential: np.ndarray | None
+
+    def output_coefficients(self) -> np.ndarray:
+        """Gather the distributed outputs (data mode only)."""
+        if self.input_coeffs is None:
+            raise RuntimeError("outputs exist only in data mode")
+        return gather_results(
+            self.layout,
+            [ctx.results for ctx in self.contexts],
+            self.config.n_complex_bands,
+        )
+
+    def validate(self) -> float:
+        """Max relative error of the distributed result vs. the dense reference."""
+        if self.input_coeffs is None or self.potential is None:
+            raise RuntimeError("validation requires data mode")
+        reference = dense_reference(self.desc, self.input_coeffs, self.potential)
+        return max_relative_error(self.output_coefficients(), reference)
+
+    @property
+    def average_ipc(self) -> float:
+        """Compute-weighted average IPC over all streams (Table I/II metric)."""
+        return self.cpu.counters.average_ipc()
+
+
+def run_fft_phase(
+    config: RunConfig,
+    knl: KnlParameters | None = None,
+    cost_constants: CostConstants | None = None,
+    mpi_observer: _t.Callable | None = None,
+    compute_observer: _t.Callable | None = None,
+    task_observer: _t.Callable | None = None,
+    input_coeffs: np.ndarray | None = None,
+    potential: np.ndarray | None = None,
+) -> RunResult:
+    """Run one configuration to completion on a fresh simulated node.
+
+    ``input_coeffs`` (``(n_complex_bands, ngw)``) and ``potential``
+    (``V[iz, ix, iy]``) override the generated data — this is how a caller
+    (e.g. the :mod:`repro.qe` band solver) applies the kernel's operator to
+    its *own* wavefunctions; both require ``config.data_mode``.
+    """
+    knl = knl or KnlParameters()
+    if (input_coeffs is not None or potential is not None) and not config.data_mode:
+        raise ValueError("caller-provided data requires data_mode=True")
+
+    # 1. Geometry and costs.
+    cell = Cell(alat=config.alat)
+    desc = FftDescriptor(cell, ecutwfc=config.ecutwfc, dual=config.dual)
+    layout = DistributedLayout(desc, config.layout_scatter, config.layout_groups)
+    cost = CostModel(layout, cost_constants)
+
+    # 2. Machine + world.
+    sim = Simulator()
+    topo: _t.Any = knl_topology(knl)
+    if config.n_nodes > 1:
+        topo = ClusterTopology(topo, config.n_nodes)
+    cpu = CpuModel(
+        sim,
+        topo,
+        knl_phase_table(),
+        bandwidth_bytes_per_s=knl.mem_bandwidth,
+        jitter=knl.compute_jitter,
+        jitter_seed=knl.jitter_seed,
+        bandwidth_rampup_max=knl.mem_bw_rampup_max,
+        bandwidth_rampup_half=knl.mem_bw_rampup_half,
+    )
+    if config.version == "ompss_steps":
+        placement = topo.place_grouped(config.total_streams, config.threads_per_rank)
+    else:
+        placement = topo.place(config.total_streams)
+    if config.n_nodes > 1:
+        tpr = config.threads_per_rank
+
+        def node_of(rank: object) -> int:
+            return placement[int(rank) * tpr].node  # type: ignore[call-overload]
+
+        network: NetworkModel = ClusterNetworkModel(
+            sim,
+            capacity=knl.net_capacity,
+            injection_bw=knl.net_injection_bw,
+            latency=knl.net_latency,
+            node_of=node_of,
+            inter_capacity=knl.fabric_injection_bw * max(config.n_nodes / 2.0, 1.0),
+            inter_injection_bw=knl.fabric_injection_bw,
+            inter_latency=knl.fabric_latency,
+        )
+    else:
+        network = NetworkModel(
+            sim,
+            capacity=knl.net_capacity,
+            injection_bw=knl.net_injection_bw,
+            latency=knl.net_latency,
+        )
+    world = MpiWorld(
+        sim,
+        cpu,
+        network,
+        n_ranks=config.n_mpi_ranks,
+        threads_per_rank=config.threads_per_rank,
+        placement=placement,
+    )
+    if mpi_observer is not None:
+        world.add_mpi_observer(mpi_observer)
+    if compute_observer is not None:
+        cpu.add_observer(compute_observer)
+
+    # 3. Communicator layers (setup time, unmeasured — like FFTXlib init).
+    pack_comms = (
+        [world._register_comm(layout.pack_group(r), f"pack{r}") for r in range(layout.R)]
+        if layout.T > 1
+        else None
+    )
+    scatter_comms = [
+        world._register_comm(layout.scatter_group(t), f"scatter{t}")
+        for t in range(layout.T)
+    ]
+
+    # 4. Data (caller-provided arrays pass through; see the docstring).
+    per_proc_packed: list[np.ndarray] | None = None
+    v_slabs: list[np.ndarray] | None = None
+    if not config.data_mode:
+        input_coeffs = None
+        potential = None
+    if config.data_mode:
+        if input_coeffs is None:
+            input_coeffs = make_band_coefficients(
+                desc.ngw, config.n_complex_bands, config.seed
+            )
+        else:
+            input_coeffs = np.asarray(input_coeffs, dtype=np.complex128)
+            expected = (config.n_complex_bands, desc.ngw)
+            if input_coeffs.shape != expected:
+                raise ValueError(
+                    f"input_coeffs shape {input_coeffs.shape}; expected {expected}"
+                )
+        per_proc_packed = distribute_coefficients(layout, input_coeffs)
+        if potential is None:
+            potential = make_potential(desc.grid_shape, config.seed)
+        else:
+            potential = np.asarray(potential, dtype=float)
+            expected_v = (desc.nr3, desc.nr1, desc.nr2)
+            if potential.shape != expected_v:
+                raise ValueError(
+                    f"potential shape {potential.shape}; expected {expected_v}"
+                )
+        v_slabs = [potential_slab(layout, r, potential) for r in range(layout.R)]
+
+    contexts: dict[int, FftPhaseContext] = {}
+
+    def ctx_of(rank) -> FftPhaseContext:
+        p = rank.rank
+        if p not in contexts:
+            r, t = layout.rt_of(p)
+            contexts[p] = FftPhaseContext(
+                rank=rank,
+                layout=layout,
+                cost=cost,
+                pack_comm=pack_comms[r] if pack_comms is not None else None,
+                scatter_comm=scatter_comms[t],
+                packed=per_proc_packed[p] if per_proc_packed is not None else None,
+                v_slab=v_slabs[r] if v_slabs is not None else None,
+            )
+        return contexts[p]
+
+    # 5. The version's executor.
+    if config.version == "original":
+        program = make_original_program(ctx_of, config.n_iterations)
+    elif config.version == "pipelined":
+        program = make_pipelined_program(ctx_of, config.n_iterations)
+    elif config.version == "ompss_perfft":
+        program = make_perfft_program(
+            ctx_of,
+            config.n_complex_bands,
+            n_workers=config.threads_per_rank,
+            policy=config.scheduler,
+            task_overhead=config.task_overhead,
+            task_observer=task_observer,
+            mpi_task_switching=config.effective_task_switching,
+        )
+    elif config.version == "ompss_steps":
+        program = make_steps_program(
+            ctx_of,
+            config.n_iterations,
+            n_workers=config.threads_per_rank,
+            policy=config.scheduler,
+            task_overhead=config.task_overhead,
+            grainsize_xy=config.grainsize_xy,
+            grainsize_z=config.grainsize_z,
+            task_observer=task_observer,
+            mpi_task_switching=config.effective_task_switching,
+        )
+    else:  # ompss_combined
+        program = make_combined_program(
+            ctx_of,
+            config.n_complex_bands,
+            n_workers=config.threads_per_rank,
+            policy=config.scheduler,
+            task_overhead=config.task_overhead,
+            grainsize_xy=config.grainsize_xy,
+            grainsize_z=config.grainsize_z,
+            task_observer=task_observer,
+            mpi_task_switching=config.effective_task_switching,
+        )
+
+    world.launch(program)
+    phase_time = world.run()
+
+    return RunResult(
+        config=config,
+        phase_time=phase_time,
+        sim=sim,
+        world=world,
+        cpu=cpu,
+        desc=desc,
+        layout=layout,
+        contexts=[contexts[p] for p in sorted(contexts)],
+        input_coeffs=input_coeffs,
+        potential=potential,
+    )

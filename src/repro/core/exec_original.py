@@ -1,0 +1,34 @@
+"""The baseline FFTXlib executor (paper Fig. 1).
+
+A synchronous, single-threaded-per-rank loop over band groups: all steps run
+in program order, all ranks move through the phases together, synchronized
+by the collectives — the execution style whose lock-step high-intensity
+phases cause the resource contention analysed in Section III.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.pipeline import FftPhaseContext, band_chain_steps
+
+__all__ = ["make_original_program"]
+
+
+def make_original_program(
+    ctx_of: _t.Callable[[object], FftPhaseContext], n_iterations: int
+):
+    """Build the per-rank program: ``DO I = 1, NB, NTG`` over the step chain.
+
+    ``ctx_of(rank)`` supplies the rank's phase context (layout, comms, data).
+    """
+
+    def program(rank):
+        ctx = ctx_of(rank)
+        T = ctx.layout.T
+        for it in range(n_iterations):
+            bands = [it * T + t for t in range(T)]
+            yield from band_chain_steps(ctx, bands, key_prefix=("it", it))
+        return ctx
+
+    return program

@@ -1,0 +1,75 @@
+"""Pack/unpack of the NTG group sticks (the first MPI layer's marshalling).
+
+With task groups on, each process owns only a 1/P share of every band's
+G-sphere coefficients; the pack Alltoallv inside each pack group (T
+consecutive ranks) redistributes the *coefficients* — process (r, t) sends
+band t' of the current group (its own-sticks share, ``ngw_of(p)`` complex
+values) to member t', and receives band t's shares from every member.  The
+receiver then expands them into its group stick block (the low-IPC
+scatter-write the paper's Fig. 3 timeline shows around the Alltoallv).
+
+Note the exchanged payloads are *sphere coefficients* (``ngw``-sized), not
+full stick columns — this is why the ntg=P extreme of §II.A shifts the
+G-vector redistribution cost into pack/unpack while the scatter (which moves
+full grid columns) vanishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.descriptor import DistributedLayout
+from repro.mpisim.datatypes import MetaPayload
+
+__all__ = ["pack_parts", "unpack_parts", "pack_part_bytes"]
+
+_COMPLEX = 16  # bytes per complex128 coefficient
+
+
+def pack_part_bytes(layout: DistributedLayout, p: int) -> float:
+    """Size of one pack/unpack part from process ``p`` (one band's share)."""
+    return float(layout.ngw_of(p) * _COMPLEX)
+
+
+def pack_parts(
+    layout: DistributedLayout, p: int, band_coeffs: list | None
+) -> list:
+    """Parts for the pack Alltoallv of process ``p``.
+
+    ``band_coeffs[t']`` is band ``t'``'s packed coefficients on ``p``'s own
+    sticks (or ``None`` in meta mode).  Part ``t'`` goes to pack-group
+    member ``t'``, who assembles band ``t'``.
+    """
+    T = layout.T
+    if band_coeffs is None:
+        return [MetaPayload(pack_part_bytes(layout, p)) for _ in range(T)]
+    if len(band_coeffs) != T:
+        raise ValueError(f"need {T} band coefficient arrays, got {len(band_coeffs)}")
+    ngw = layout.ngw_of(p)
+    for t, c in enumerate(band_coeffs):
+        if c.shape != (ngw,):
+            raise ValueError(
+                f"band {t} coefficients have shape {c.shape}; process {p} owns {ngw} G-vectors"
+            )
+    return [np.ascontiguousarray(c) for c in band_coeffs]
+
+
+def unpack_parts(
+    layout: DistributedLayout, r: int, member_coeffs: list | None
+) -> list:
+    """Parts for the unpack Alltoallv: each member's extracted coefficients.
+
+    ``member_coeffs[t']`` (from
+    :func:`~repro.core.wave.extract_group_coefficients`) is this band's
+    share on member ``t'``'s sticks and is returned to member ``t'``.
+    """
+    if member_coeffs is None:
+        return [
+            MetaPayload(pack_part_bytes(layout, layout.proc_of(r, t)))
+            for t in range(layout.T)
+        ]
+    if len(member_coeffs) != layout.T:
+        raise ValueError(
+            f"need {layout.T} member arrays, got {len(member_coeffs)}"
+        )
+    return list(member_coeffs)

@@ -1,0 +1,326 @@
+"""The FFT-phase step library and its instruction cost model.
+
+Every executor (original, per-step tasks, per-FFT tasks, combined) composes
+the *same* nine steps of the paper's Fig. 1 kernel, implemented here as
+generator functions over a per-rank :class:`FftPhaseContext`:
+
+    prepare -> pack -> fft_z(+1) -> scatter_fw -> fft_xy(+1)
+            -> vofr -> fft_xy(-1) -> scatter_bw -> fft_z(-1) -> unpack
+
+Each step charges its compute phase on the machine model (the phase name
+selects the contention profile of :mod:`repro.machine.knl`) and, where the
+paper's kernel communicates, performs the simulated MPI collective — with
+real payloads in data mode, sizes only in meta mode.  Data transformations
+are delegated to :mod:`~repro.core.wave`, :mod:`~repro.core.pack`,
+:mod:`~repro.core.scatter` and :mod:`~repro.core.vofr`, so the numerics are
+identical no matter which executor (or scheduler order) drives the steps.
+
+Instruction budgets come from :class:`CostModel`: FFT steps use the standard
+``5 n log2 n`` flop count (times a flops-to-instructions factor), with the
+xy stage reduced to the lines that actually contain data — QE's
+empty-line-skipping — computed from the stick geometry; marshalling and
+pointwise steps are linear in the points touched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core import pack as pack_mod
+from repro.core import scatter as scatter_mod
+from repro.core import wave as wave_mod
+from repro.core.vofr import apply_potential
+from repro.core.wave import extract_from_sticks
+from repro.fft import cft_1z, cft_2xy
+from repro.grids.descriptor import DistributedLayout
+from repro.mpisim.datatypes import MetaPayload
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+    from repro.mpisim.world import RankContext
+
+__all__ = ["CostConstants", "CostModel", "FftPhaseContext", "band_chain_steps"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostConstants:
+    """Calibrated instruction-count constants (see DESIGN.md §5).
+
+    ``fft_instr_per_flop`` converts nominal FFT flops to instructions;
+    the ``*_per_g``/``*_per_point`` constants are instructions per touched
+    element for the gather/scatter-type steps.
+    """
+
+    prep_per_g: float = 10.0
+    unpack_per_g: float = 10.0
+    pack_per_point: float = 1.5
+    scatter_per_point: float = 1.5
+    fft_instr_per_flop: float = 0.6
+    vofr_per_point: float = 4.0
+    #: MPI-stack instructions per message of a collective (marshalling,
+    #: matching, progress).  This is what makes the *total* instruction
+    #: count grow slightly with the process count — the paper's
+    #: instruction-scalability row declining from 100 % to ~98.9 %.
+    instr_per_message: float = 5000.0
+
+
+class CostModel:
+    """Per-step instruction budgets for one distributed layout.
+
+    All quantities are *per complex band* unless stated otherwise; process
+    arguments are the layout's process indices.
+    """
+
+    def __init__(self, layout: DistributedLayout, constants: CostConstants | None = None):
+        self.layout = layout
+        self.c = constants or CostConstants()
+        desc = layout.desc
+        self._log_n3 = np.log2(max(desc.nr3, 2))
+        self._log_n1 = np.log2(max(desc.nr1, 2))
+        self._log_n2 = np.log2(max(desc.nr2, 2))
+        # QE's cft_2xy transforms along x only the y-lines that carry sticks.
+        self._nonempty_y_lines = len(np.unique(desc.sticks.coords[:, 1]))
+
+    # -- per-step budgets -----------------------------------------------------
+
+    def prepare(self, p: int) -> float:
+        """``prepare_psis`` for one band on process ``p``."""
+        return self.c.prep_per_g * self.layout.ngw_of(p)
+
+    def pack_expand(self, r: int) -> float:
+        """Zero-fill + scatter-write of one band into the group stick block,
+        plus the MPI-stack work of the pack Alltoallv's messages."""
+        expand = self.c.pack_per_point * self.layout.nst_group(r) * self.layout.desc.nr3
+        stack = self.c.instr_per_message * max(self.layout.T - 1, 0)
+        return expand + stack
+
+    def ngw_group(self, r: int) -> int:
+        """Sphere coefficients held by pack group ``r``."""
+        return sum(self.layout.ngw_of(self.layout.proc_of(r, t)) for t in range(self.layout.T))
+
+    def unpack_extract(self, r: int) -> float:
+        """Gathering one band's coefficients back out of the group block."""
+        return self.c.unpack_per_g * self.ngw_group(r)
+
+    def fft_z(self, r: int) -> float:
+        """Batched z-transforms of pack group ``r``'s sticks (one band)."""
+        flops = 5.0 * self.layout.nst_group(r) * self.layout.desc.nr3 * self._log_n3
+        return self.c.fft_instr_per_flop * flops
+
+    def scatter_marshal(self, r: int) -> float:
+        """Slab extraction + plane assembly around one scatter (one band),
+        plus the MPI-stack work of the Alltoall's messages."""
+        desc = self.layout.desc
+        send_points = self.layout.nst_group(r) * desc.nr3
+        recv_points = desc.sticks.nsticks * self.layout.npp(r)
+        stack = self.c.instr_per_message * max(self.layout.R - 1, 0)
+        return self.c.scatter_per_point * (send_points + recv_points) + stack
+
+    def fft_xy(self, r: int) -> float:
+        """2D transforms of rank ``r``'s planes (one band), skipping empty lines."""
+        desc = self.layout.desc
+        per_plane = 5.0 * (
+            self._nonempty_y_lines * desc.nr1 * self._log_n1
+            + desc.nr1 * desc.nr2 * self._log_n2
+        )
+        return self.c.fft_instr_per_flop * self.layout.npp(r) * per_plane
+
+    def vofr(self, r: int) -> float:
+        """Pointwise potential application on rank ``r``'s planes (one band)."""
+        desc = self.layout.desc
+        return self.c.vofr_per_point * self.layout.npp(r) * desc.nr1 * desc.nr2
+
+    def unpack(self, p: int) -> float:
+        """Coefficient extraction for one band on process ``p``."""
+        return self.c.unpack_per_g * self.layout.ngw_of(p)
+
+
+class FftPhaseContext:
+    """Everything one rank's executor needs to run pipeline steps.
+
+    Attributes
+    ----------
+    rank:
+        The simulated MPI rank context.
+    layout:
+        The R x T data distribution (this rank is layout process
+        ``rank.rank``).
+    cost:
+        Instruction budgets.
+    pack_comm / scatter_comm:
+        The two communicator layers (``pack_comm`` is ``None`` when T == 1,
+        i.e. task groups are off).
+    packed:
+        ``(n_complex_bands, ngw_of(p))`` input coefficients, or ``None`` in
+        meta mode.
+    results:
+        Output coefficients per band (filled by the unpack step).
+    v_slab:
+        This scatter rank's potential planes (``None`` in meta mode).
+    """
+
+    def __init__(
+        self,
+        rank: "RankContext",
+        layout: DistributedLayout,
+        cost: CostModel,
+        pack_comm: "Communicator | None",
+        scatter_comm: "Communicator",
+        packed: np.ndarray | None,
+        v_slab: np.ndarray | None,
+    ):
+        self.rank = rank
+        self.layout = layout
+        self.cost = cost
+        self.pack_comm = pack_comm
+        self.scatter_comm = scatter_comm
+        self.packed = packed
+        self.v_slab = v_slab
+        self.results: dict[int, np.ndarray] = {}
+        self.r, self.t = layout.rt_of(rank.rank)
+        self.data_mode = packed is not None
+
+    @property
+    def p(self) -> int:
+        """This rank's layout process index."""
+        return self.rank.rank
+
+    def band_coefficients(self, band: int) -> np.ndarray | None:
+        """Input packed coefficients of one band (``None`` in meta mode)."""
+        if self.packed is None:
+            return None
+        return self.packed[band]
+
+
+# ---------------------------------------------------------------------------
+# Step generators.  Each yields compute/MPI events on the given hardware
+# thread and returns the transformed data (None in meta mode).
+# ---------------------------------------------------------------------------
+
+
+def step_prepare(ctx: FftPhaseContext, bands: _t.Sequence[int], thread: int = 0):
+    """Gather/reorder the group's packed coefficients (the low-IPC Psi prep)."""
+    instructions = ctx.cost.prepare(ctx.p) * len(bands)
+    yield ctx.rank.compute("prepare_psis", instructions, thread=thread)
+    if not ctx.data_mode:
+        return None
+    return [np.ascontiguousarray(ctx.packed[band]) for band in bands]
+
+
+def step_pack(ctx: FftPhaseContext, band_coeffs: list | None, key: object, thread: int = 0):
+    """Pack Alltoallv + expansion: this rank ends up with band ``t`` on its
+    group sticks.
+
+    With task groups off (T == 1) there is no exchange; the expansion of the
+    rank's own coefficients is charged to the ``prepare_psis`` phase (it is
+    the same scatter-write, just without the communication around it).
+    """
+    if ctx.pack_comm is None:
+        yield ctx.rank.compute("prepare_psis", ctx.cost.pack_expand(ctx.r), thread=thread)
+        if band_coeffs is None:
+            return None
+        return wave_mod.expand_to_sticks(ctx.layout, ctx.p, band_coeffs[0])
+    parts = pack_mod.pack_parts(ctx.layout, ctx.p, band_coeffs)
+    received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
+    yield ctx.rank.compute("pack_sticks", ctx.cost.pack_expand(ctx.r), thread=thread)
+    if any(isinstance(b, MetaPayload) for b in received):
+        return None
+    return wave_mod.expand_group_block(ctx.layout, ctx.r, received)
+
+
+def step_fft_z(ctx: FftPhaseContext, group_block, sign: int, thread: int = 0):
+    """Batched 1D transforms along z of the group sticks."""
+    yield ctx.rank.compute("fft_z", ctx.cost.fft_z(ctx.r), thread=thread)
+    if group_block is None:
+        return None
+    return cft_1z(group_block, sign)
+
+
+def step_scatter_fw(ctx: FftPhaseContext, group_block, key: object, thread: int = 0):
+    """Forward scatter: sticks -> planes within the scatter group."""
+    yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
+    parts = scatter_mod.scatter_fw_parts(ctx.layout, ctx.r, group_block)
+    received = yield ctx.rank.alltoall(ctx.scatter_comm, parts, key=key, thread=thread)
+    return scatter_mod.assemble_planes(ctx.layout, ctx.r, received)
+
+
+def step_fft_xy(ctx: FftPhaseContext, planes, sign: int, thread: int = 0):
+    """Batched 2D transforms of this rank's planes."""
+    yield ctx.rank.compute("fft_xy", ctx.cost.fft_xy(ctx.r), thread=thread)
+    if planes is None:
+        return None
+    return cft_2xy(planes, sign)
+
+
+def step_vofr(ctx: FftPhaseContext, planes, thread: int = 0):
+    """Apply the real-space potential on this rank's planes."""
+    yield ctx.rank.compute("vofr", ctx.cost.vofr(ctx.r), thread=thread)
+    if planes is None:
+        return None
+    return apply_potential(planes, ctx.v_slab)
+
+
+def step_scatter_bw(ctx: FftPhaseContext, planes, key: object, thread: int = 0):
+    """Backward scatter: planes -> sticks within the scatter group."""
+    yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
+    parts = scatter_mod.scatter_bw_parts(ctx.layout, ctx.r, planes)
+    received = yield ctx.rank.alltoall(ctx.scatter_comm, parts, key=key, thread=thread)
+    return scatter_mod.assemble_group_block_from_planes(ctx.layout, ctx.r, received)
+
+
+def step_unpack(ctx: FftPhaseContext, group_block, bands: _t.Sequence[int], key: object, thread: int = 0):
+    """Extraction + unpack Alltoallv; stores per-band results.
+
+    With task groups on, this rank extracts band ``t``'s coefficients from
+    its group block (one share per member) and the Alltoallv returns every
+    member its own-sticks share of every band; with task groups off the
+    extraction is purely local.
+    """
+    if ctx.pack_comm is not None:
+        yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack_extract(ctx.r), thread=thread)
+        member_coeffs = (
+            None
+            if group_block is None
+            else wave_mod.extract_group_coefficients(ctx.layout, ctx.r, group_block)
+        )
+        parts = pack_mod.unpack_parts(ctx.layout, ctx.r, member_coeffs)
+        received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
+        yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
+        if any(isinstance(b, MetaPayload) for b in received):
+            return None
+        for band, coeffs in zip(bands, received):
+            ctx.results[band] = coeffs
+        return None
+
+    yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
+    if group_block is None:
+        return None
+    ctx.results[bands[0]] = extract_from_sticks(ctx.layout, ctx.p, group_block)
+    return None
+
+
+def band_chain_steps(
+    ctx: FftPhaseContext, bands: _t.Sequence[int], key_prefix: object, thread: int = 0
+):
+    """The full nine-step chain for one band group (Fig. 1's loop body).
+
+    ``bands`` are the complex bands of this iteration in task-group order
+    (``bands[t]`` is handled by pack-group member ``t``); this rank carries
+    ``bands[ctx.t]`` through the z/scatter/xy middle section.
+    """
+    if len(bands) != ctx.layout.T:
+        raise ValueError(f"band group must have T={ctx.layout.T} entries, got {len(bands)}")
+    my_band = bands[ctx.t]
+    blocks = yield from step_prepare(ctx, bands, thread)
+    group = yield from step_pack(ctx, blocks, key=(key_prefix, "pack"), thread=thread)
+    group = yield from step_fft_z(ctx, group, +1, thread)
+    planes = yield from step_scatter_fw(ctx, group, key=(key_prefix, "sfw", my_band), thread=thread)
+    planes = yield from step_fft_xy(ctx, planes, +1, thread)
+    planes = yield from step_vofr(ctx, planes, thread)
+    planes = yield from step_fft_xy(ctx, planes, -1, thread)
+    group = yield from step_scatter_bw(ctx, planes, key=(key_prefix, "sbw", my_band), thread=thread)
+    group = yield from step_fft_z(ctx, group, -1, thread)
+    yield from step_unpack(ctx, group, bands, key=(key_prefix, "unpack"), thread=thread)

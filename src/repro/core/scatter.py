@@ -1,0 +1,109 @@
+"""The forward/backward scatter (the second MPI layer's marshalling).
+
+Between the 1D z-transform and the 2D xy-transform the data must move from
+stick (pencil) layout to plane layout: each scatter-group member sends, for
+every peer, the z-slab of its group sticks that falls into the peer's
+planes (an MPI_Alltoall within the scatter communicator), and assembles the
+received stick slabs into full xy planes at the sticks' (ix, iy) positions.
+The backward scatter mirrors this exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.descriptor import DistributedLayout
+from repro.mpisim.datatypes import MetaPayload
+
+__all__ = [
+    "scatter_fw_parts",
+    "assemble_planes",
+    "scatter_bw_parts",
+    "assemble_group_block_from_planes",
+    "scatter_part_bytes",
+]
+
+_COMPLEX = 16
+
+
+def scatter_part_bytes(layout: DistributedLayout, r_from: int, r_to: int) -> float:
+    """Bytes of the slab scatter-rank ``r_from`` sends to ``r_to``."""
+    return float(layout.nst_group(r_from) * layout.npp(r_to) * _COMPLEX)
+
+
+def scatter_fw_parts(
+    layout: DistributedLayout, r: int, group_block: np.ndarray | None
+) -> list:
+    """Forward-scatter parts of rank ``r``: per-peer z-slabs of its sticks."""
+    if group_block is None:
+        return [
+            MetaPayload(scatter_part_bytes(layout, r, r_to))
+            for r_to in range(layout.R)
+        ]
+    return [
+        np.ascontiguousarray(group_block[:, layout.z_slice(r_to)])
+        for r_to in range(layout.R)
+    ]
+
+
+def assemble_planes(
+    layout: DistributedLayout, r: int, received: list
+) -> np.ndarray | None:
+    """Build rank ``r``'s xy planes from the received stick slabs.
+
+    ``received[r']`` has shape ``(nst_group(r'), npp(r))``; its rows land at
+    the (ix, iy) coordinates of ``group_sticks(r')``.  Result shape is
+    ``(npp(r), nr1, nr2)`` with zeros off the sticks.
+    """
+    if any(isinstance(b, MetaPayload) for b in received):
+        return None
+    desc = layout.desc
+    planes = np.zeros((layout.npp(r), desc.nr1, desc.nr2), dtype=np.complex128)
+    for r_from, block in enumerate(received):
+        coords = layout.stick_coords(layout.group_sticks(r_from))
+        expected = (layout.nst_group(r_from), layout.npp(r))
+        if block.shape != expected:
+            raise ValueError(
+                f"scatter slab from rank {r_from} has shape {block.shape}; "
+                f"expected {expected}"
+            )
+        planes[:, coords[:, 0], coords[:, 1]] = block.T
+    return planes
+
+
+def scatter_bw_parts(
+    layout: DistributedLayout, r: int, planes: np.ndarray | None
+) -> list:
+    """Backward-scatter parts: extract each peer's stick values from planes."""
+    if planes is None:
+        return [
+            MetaPayload(scatter_part_bytes(layout, r_to, r))
+            for r_to in range(layout.R)
+        ]
+    parts = []
+    for r_to in range(layout.R):
+        coords = layout.stick_coords(layout.group_sticks(r_to))
+        # (npp(r), nst_group(r_to)) -> (nst_group(r_to), npp(r))
+        parts.append(np.ascontiguousarray(planes[:, coords[:, 0], coords[:, 1]].T))
+    return parts
+
+
+def assemble_group_block_from_planes(
+    layout: DistributedLayout, r: int, received: list
+) -> np.ndarray | None:
+    """Reassemble rank ``r``'s (nst_group, nr3) stick block after backward scatter.
+
+    ``received[r']`` holds this rank's sticks restricted to ``r'``'s planes.
+    """
+    if any(isinstance(b, MetaPayload) for b in received):
+        return None
+    block = np.empty((layout.nst_group(r), layout.desc.nr3), dtype=np.complex128)
+    for r_from, slab in enumerate(received):
+        expected = (layout.nst_group(r), layout.npp(r_from))
+        if slab.shape != expected:
+            raise ValueError(
+                f"backward slab from rank {r_from} has shape {slab.shape}; "
+                f"expected {expected}"
+            )
+        block[:, layout.z_slice(r_from)] = slab
+    return block

@@ -1,0 +1,30 @@
+"""VOFR: apply the real-space (diagonal) potential.
+
+The inner loop of the kernel: once a band is in real space, the operator is
+a pointwise multiply by ``V(r)`` on this rank's plane slab.  The potential is
+real, so the Gamma-trick band pairing (two real bands in one complex field)
+commutes with it — both packed bands are multiplied correctly at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["apply_potential"]
+
+
+def apply_potential(planes: np.ndarray | None, v_slab: np.ndarray | None) -> np.ndarray | None:
+    """Multiply plane data by the potential slab, in place; returns the planes.
+
+    Both arguments are ``None`` in meta mode (cost-only runs).
+    """
+    if planes is None:
+        return None
+    if v_slab is None:
+        raise ValueError("data-mode VOFR needs a potential slab")
+    if planes.shape != v_slab.shape:
+        raise ValueError(
+            f"planes shape {planes.shape} does not match potential slab {v_slab.shape}"
+        )
+    planes *= v_slab
+    return planes

@@ -1,0 +1,149 @@
+"""Wavefunction and potential data (data mode) and stick-buffer helpers.
+
+128 real bands pack pairwise into 64 complex fields; the pipeline operates
+on the packed fields directly (the paper's 64 FFTs).  Coefficients live on
+the wave G-sphere in the canonical global ordering; each process holds the
+contiguous-by-G subset belonging to its sticks.
+
+The helpers here are the *data-mode* halves of the pipeline steps: expanding
+packed coefficients into stick columns (``prepare_psis``), extracting them
+back (``unpack``), and building the real-space potential slabs for VOFR.
+All are deterministic functions of the config seed, so every executor sees
+identical inputs and must produce identical outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.descriptor import DistributedLayout
+
+__all__ = [
+    "make_band_coefficients",
+    "make_potential",
+    "distribute_coefficients",
+    "expand_to_sticks",
+    "extract_from_sticks",
+    "expand_group_block",
+    "extract_group_coefficients",
+    "potential_slab",
+]
+
+
+def make_band_coefficients(ngw: int, n_complex_bands: int, seed: int) -> np.ndarray:
+    """Global packed coefficients, shape ``(n_complex_bands, ngw)``.
+
+    Each packed field is ``psi_{2b} + i * psi_{2b+1}`` of two random real
+    bands (unit-variance complex Gaussians serve the same purpose and keep
+    the generator simple); deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    re = rng.standard_normal((n_complex_bands, ngw))
+    im = rng.standard_normal((n_complex_bands, ngw))
+    return (re + 1j * im) / np.sqrt(2.0)
+
+
+def make_potential(grid_shape: tuple[int, int, int], seed: int) -> np.ndarray:
+    """A real, positive, smooth-ish potential on the full grid.
+
+    Layout is ``V[iz, ix, iy]`` (plane-major, matching the pipeline's plane
+    blocks).  Smoothness is irrelevant to the kernel; positivity keeps the
+    result well-conditioned for relative-error checks.
+    """
+    nr1, nr2, nr3 = grid_shape
+    rng = np.random.default_rng(seed + 1)
+    v = 1.0 + 0.5 * rng.random((nr3, nr1, nr2))
+    return v
+
+
+def distribute_coefficients(
+    layout: DistributedLayout, coeffs: np.ndarray
+) -> list[np.ndarray]:
+    """Split global packed coefficients by stick ownership.
+
+    Returns one ``(n_bands, ngw_of(p))`` array per process, columns in the
+    process's ascending global-G order (the packed storage convention).
+    """
+    out = []
+    for p in range(layout.P):
+        g_idx, _stick_local, _iz = layout.local_g_table(p)
+        out.append(np.ascontiguousarray(coeffs[:, g_idx]))
+    return out
+
+
+def expand_to_sticks(
+    layout: DistributedLayout, p: int, packed: np.ndarray
+) -> np.ndarray:
+    """``prepare_psis``: scatter packed coefficients into stick columns.
+
+    ``packed`` is ``(ngw_of(p),)``; the result is ``(nst_p, nr3)`` with
+    zeros outside the sphere.
+    """
+    _g_idx, stick_local, iz = layout.local_g_table(p)
+    if packed.shape != stick_local.shape:
+        raise ValueError(
+            f"packed coefficients have {packed.shape[0] if packed.ndim else 0} "
+            f"entries; process {p} owns {len(stick_local)} G-vectors"
+        )
+    block = np.zeros((len(layout.sticks_of(p)), layout.desc.nr3), dtype=np.complex128)
+    block[stick_local, iz] = packed
+    return block
+
+
+def extract_from_sticks(
+    layout: DistributedLayout, p: int, block: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`expand_to_sticks`: gather the sphere coefficients."""
+    _g_idx, stick_local, iz = layout.local_g_table(p)
+    expected = (len(layout.sticks_of(p)), layout.desc.nr3)
+    if block.shape != expected:
+        raise ValueError(f"stick block shape {block.shape}; expected {expected}")
+    return np.ascontiguousarray(block[stick_local, iz])
+
+
+def expand_group_block(
+    layout: DistributedLayout, r: int, member_coeffs: list
+) -> np.ndarray:
+    """Expand the pack group's received coefficients into the group stick block.
+
+    ``member_coeffs[t]`` holds one band's packed coefficients on member
+    ``t``'s sticks (what the pack Alltoallv delivered); each member's values
+    land in its segment of the concatenated group buffer, at its own
+    (stick, z) positions.  Result: ``(nst_group(r), nr3)``.
+    """
+    block = np.zeros((layout.nst_group(r), layout.desc.nr3), dtype=np.complex128)
+    offsets = layout.group_offsets(r)
+    for t, coeffs in enumerate(member_coeffs):
+        p = layout.proc_of(r, t)
+        _g, stick_local, iz = layout.local_g_table(p)
+        if coeffs.shape != stick_local.shape:
+            raise ValueError(
+                f"member {t} of group {r} sent {coeffs.shape} coefficients; "
+                f"owns {len(stick_local)} G-vectors"
+            )
+        block[offsets[t] + stick_local, iz] = coeffs
+    return block
+
+
+def extract_group_coefficients(
+    layout: DistributedLayout, r: int, block: np.ndarray
+) -> list[np.ndarray]:
+    """Inverse of :func:`expand_group_block`: per-member packed coefficients."""
+    expected = (layout.nst_group(r), layout.desc.nr3)
+    if block.shape != expected:
+        raise ValueError(f"group block shape {block.shape}; expected {expected}")
+    offsets = layout.group_offsets(r)
+    out = []
+    for t in range(layout.T):
+        p = layout.proc_of(r, t)
+        _g, stick_local, iz = layout.local_g_table(p)
+        out.append(np.ascontiguousarray(block[offsets[t] + stick_local, iz]))
+    return out
+
+
+def potential_slab(layout: DistributedLayout, r: int, potential: np.ndarray) -> np.ndarray:
+    """Scatter-rank ``r``'s z-plane slab of the potential ``V[iz, ix, iy]``."""
+    expected = (layout.desc.nr3, layout.desc.nr1, layout.desc.nr2)
+    if potential.shape != expected:
+        raise ValueError(f"potential shape {potential.shape}; expected {expected}")
+    return potential[layout.z_slice(r)]

@@ -1,0 +1,40 @@
+"""Shared plumbing for experiment runners."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.config import RunConfig
+
+__all__ = ["ExperimentReport", "paper_config"]
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """A rendered experiment: machine-readable data + printable text."""
+
+    name: str
+    data: dict
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def paper_config(ranks: int, version: str = "original", **overrides: _t.Any) -> RunConfig:
+    """The paper's workload (ecut 80 Ry, alat 20 Bohr, 128 bands, ntg 8).
+
+    ``overrides`` may shrink the workload for quick runs; the benchmark
+    harness always uses the full one.
+    """
+    params: dict[str, _t.Any] = dict(
+        ecutwfc=80.0,
+        alat=20.0,
+        nbnd=128,
+        taskgroups=8,
+        ranks=ranks,
+        version=version,
+    )
+    params.update(overrides)
+    return RunConfig(**params)

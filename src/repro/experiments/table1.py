@@ -1,0 +1,61 @@
+"""Table I: POP efficiency/scalability factors for the original version.
+
+Executions with 1-16 ranks x 8 FFT task groups (32x8 is excluded in the
+paper because "it does not provide any additional benefit or information
+over 16x8").  Each column needs two runs: the measured one and the
+ideal-network replay identifying the sync/transfer split.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.driver import run_fft_phase
+from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.paperdata import PAPER
+from repro.perf.popmodel import BaseMetrics, factors_from_run, ideal_network
+from repro.perf.report import format_factor_table
+
+__all__ = ["run_table1", "factor_columns"]
+
+
+def factor_columns(
+    version: str,
+    ranks: _t.Sequence[int],
+    with_reference: bool = True,
+    **overrides: _t.Any,
+) -> tuple[list, dict]:
+    """Measured factor columns for one executor version over a rank sweep."""
+    columns = []
+    base: BaseMetrics | None = None
+    runtimes = {}
+    for n in ranks:
+        cfg = paper_config(n, version, **overrides)
+        result = run_fft_phase(cfg)
+        ideal = run_fft_phase(cfg, knl=ideal_network())
+        if base is None:
+            base = BaseMetrics.from_run(result)
+        fs = factors_from_run(result, ideal_time=ideal.phase_time, base=base)
+        label = f"{n}x8"
+        columns.append((label, fs))
+        runtimes[label] = result.phase_time
+    return columns, runtimes
+
+
+def run_table1(ranks: _t.Sequence[int] = (1, 2, 4, 8, 16), **overrides: _t.Any) -> ExperimentReport:
+    """Reproduce Table I (original version)."""
+    columns, runtimes = factor_columns("original", ranks, **overrides)
+    reference = PAPER["table1"] if tuple(f"{n}x8" for n in ranks) == PAPER["config_labels"] else None
+    text = format_factor_table(
+        columns,
+        title="Table I — efficiency and scalability factors, original version",
+        reference=reference,
+    )
+    return ExperimentReport(
+        name="table1",
+        data={
+            "columns": {label: dict(fs.as_rows()) for label, fs in columns},
+            "runtime_s": runtimes,
+        },
+        text=text,
+    )

@@ -1,0 +1,139 @@
+"""Public FFT API and the FFTXlib compute kernels.
+
+Two families of entry points:
+
+* generic ``fft``/``ifft`` (any axis) and ``fft2``/``ifft2`` (two axes),
+  with numpy's normalisation convention (inverse scaled by 1/N) — used by
+  tests and by the dense validation reference;
+* Quantum ESPRESSO's convention, as FFTXlib uses it:
+
+  - ``invfft``  (G -> R, "backward"/"wave" direction): exponent ``+i``,
+    **unscaled**;
+  - ``fwfft``  (R -> G, "forward"): exponent ``-i``, scaled by ``1/N``;
+
+  and the two pipeline kernels mirroring ``fft_scalar``:
+
+  - ``cft_1z``: batched 1D transforms along z for a block of sticks laid
+    out as ``(nsticks, nz)``;
+  - ``cft_2xy``: batched 2D transforms over xy planes laid out as
+    ``(nplanes, nx, ny)``.
+
+``sign=+1`` selects the G→R direction in the kernels (QE's convention for
+``isign``), ``sign=-1`` the R→G direction with its 1/N scaling folded in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.mixed_radix import fft_last_axis
+
+__all__ = [
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "fwfft",
+    "invfft",
+    "cft_1z",
+    "cft_2xy",
+    "cfft3d",
+]
+
+
+def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unnormalised forward DFT (exponent ``-i``) along ``axis``."""
+    return _along_axis(x, axis, sign=-1)
+
+
+def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse DFT along ``axis`` (exponent ``+i``, scaled by ``1/n``)."""
+    n = np.asarray(x).shape[axis]
+    return _along_axis(x, axis, sign=+1) / n
+
+
+def fft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """Unnormalised 2D forward DFT over ``axes``."""
+    return fft(fft(x, axis=axes[1]), axis=axes[0])
+
+
+def ifft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2D inverse DFT over ``axes`` (scaled by ``1/(n1*n2)``)."""
+    return ifft(ifft(x, axis=axes[1]), axis=axes[0])
+
+
+def invfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """QE backward transform (G -> R): exponent ``+i``, unscaled."""
+    return _along_axis(x, axis, sign=+1)
+
+
+def fwfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """QE forward transform (R -> G): exponent ``-i``, scaled by ``1/n``."""
+    n = np.asarray(x).shape[axis]
+    return _along_axis(x, axis, sign=-1) / n
+
+
+def cft_1z(sticks: np.ndarray, sign: int) -> np.ndarray:
+    """Batched 1D z-transforms of a stick block ``(nsticks, nz)``.
+
+    ``sign=+1``: G -> R (unscaled); ``sign=-1``: R -> G (scaled by 1/nz).
+    """
+    sticks = np.asarray(sticks)
+    if sticks.ndim != 2:
+        raise ValueError(f"cft_1z expects (nsticks, nz), got shape {sticks.shape}")
+    _check_sign(sign)
+    out = _along_axis(sticks, -1, sign=sign)
+    if sign == -1:
+        out = out / sticks.shape[-1]
+    return out
+
+
+def cft_2xy(planes: np.ndarray, sign: int) -> np.ndarray:
+    """Batched 2D xy-transforms of a plane block ``(nplanes, nx, ny)``.
+
+    ``sign=+1``: G -> R (unscaled); ``sign=-1``: R -> G (scaled by 1/(nx*ny)).
+    """
+    planes = np.asarray(planes)
+    if planes.ndim != 3:
+        raise ValueError(f"cft_2xy expects (nplanes, nx, ny), got shape {planes.shape}")
+    _check_sign(sign)
+    out = _along_axis(_along_axis(planes, -1, sign=sign), -2, sign=sign)
+    if sign == -1:
+        out = out / (planes.shape[-1] * planes.shape[-2])
+    return out
+
+
+def cfft3d(field: np.ndarray, sign: int) -> np.ndarray:
+    """Full 3D transform of one grid in QE conventions.
+
+    ``sign=+1``: G -> R (unscaled); ``sign=-1``: R -> G (scaled 1/N).
+    The single-grid equivalent of the distributed pipeline — the dense
+    reference and the Gamma-trick checks are built on it.
+    """
+    field = np.asarray(field)
+    if field.ndim != 3:
+        raise ValueError(f"cfft3d expects a 3D grid, got shape {field.shape}")
+    _check_sign(sign)
+    out = field
+    for axis in range(3):
+        out = _along_axis(out, axis, sign=sign)
+    if sign == -1:
+        out = out / field.size
+    return out
+
+
+def _check_sign(sign: int) -> None:
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be -1 or +1, got {sign}")
+
+
+def _along_axis(x: np.ndarray, axis: int, sign: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.complex128)
+    _check_sign(sign)
+    if x.ndim == 0:
+        raise ValueError("FFT input must have at least one axis")
+    axis = axis % x.ndim
+    if axis == x.ndim - 1:
+        return fft_last_axis(x, sign)
+    moved = np.moveaxis(x, axis, -1)
+    return np.moveaxis(fft_last_axis(np.ascontiguousarray(moved), sign), -1, axis)

@@ -1,0 +1,59 @@
+"""Bluestein chirp-z transform: FFTs of arbitrary (e.g. large-prime) size.
+
+Rewrites the DFT as a convolution::
+
+    X[k] = c[k] * sum_j (x[j] * c[j]) * conj(c)[k - j],   c[j] = e^(sign*i*pi*j^2/n)
+
+and evaluates the convolution with zero-padded power-of-two FFTs (which the
+mixed-radix kernel handles natively).  ``good_fft_order`` keeps paper grids
+away from this path, but the library would be incomplete — and untestable on
+adversarial sizes — without it.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["bluestein_last_axis"]
+
+
+@functools.lru_cache(maxsize=128)
+def _chirp_tables(n: int, sign: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Chirp ``c``, forward transform of the padded kernel, and FFT size."""
+    j = np.arange(n)
+    # exp(sign * i*pi*j^2 / n); j^2 taken mod 2n keeps the argument small and
+    # the phase exact for large n.
+    phase = (j * j) % (2 * n)
+    c = np.exp(sign * 1j * np.pi * phase / n)
+    length = 1
+    while length < 2 * n - 1:
+        length *= 2
+    kernel = np.zeros(length, dtype=np.complex128)
+    kernel[:n] = np.conj(c)
+    kernel[length - n + 1:] = np.conj(c[1:][::-1])
+    from repro.fft.mixed_radix import fft_last_axis
+
+    kernel_hat = fft_last_axis(kernel, -1)
+    c.setflags(write=False)
+    kernel_hat.setflags(write=False)
+    return c, kernel_hat, np.conj(c), length
+
+
+def bluestein_last_axis(x: np.ndarray, sign: int) -> np.ndarray:
+    """Unnormalised DFT of the last axis via chirp-z (any size >= 1)."""
+    from repro.fft.mixed_radix import fft_last_axis
+
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    c, kernel_hat, _c_conj, length = _chirp_tables(n, sign)
+    padded = np.zeros((*x.shape[:-1], length), dtype=np.complex128)
+    padded[..., :n] = x * c
+    # Convolution theorem with power-of-two transforms; the inverse is the
+    # conjugate-forward trick with 1/L scaling.
+    prod = fft_last_axis(padded, -1) * kernel_hat
+    conv = np.conj(fft_last_axis(np.conj(prod), -1)) / length
+    return conv[..., :n] * c

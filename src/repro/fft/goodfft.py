@@ -1,0 +1,65 @@
+"""QE-style good FFT orders.
+
+Quantum ESPRESSO's ``good_fft_order`` rounds every grid dimension up to the
+next integer whose prime factorisation contains only 2, 3 and 5, with at most
+one factor of 7 or 11 (the radices its FFT backends handle efficiently).  The
+FFTXlib descriptor does the same, so grid dimensions like 60, 72, 96 appear
+throughout the paper's workload family.
+"""
+
+from __future__ import annotations
+
+__all__ = ["allowed_fft_order", "good_fft_order", "factorize"]
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Prime factorisation of ``n >= 1`` as ``{prime: multiplicity}``."""
+    if n < 1:
+        raise ValueError(f"factorize needs n >= 1, got {n}")
+    factors: dict[int, int] = {}
+    rest = n
+    p = 2
+    while p * p <= rest:
+        while rest % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            rest //= p
+        p += 1 if p == 2 else 2
+    if rest > 1:
+        factors[rest] = factors.get(rest, 0) + 1
+    return factors
+
+
+def allowed_fft_order(n: int) -> bool:
+    """Whether ``n`` factorises into 2/3/5 with at most one 7 or 11."""
+    if n < 1:
+        return False
+    factors = factorize(n)
+    extra = 0
+    for prime, mult in factors.items():
+        if prime in (2, 3, 5):
+            continue
+        if prime in (7, 11):
+            extra += mult
+        else:
+            return False
+    return extra <= 1
+
+
+def good_fft_order(n: int, max_order: int = 2049) -> int:
+    """Smallest allowed FFT order >= ``n``.
+
+    Parameters
+    ----------
+    n:
+        Minimum required size (>= 1).
+    max_order:
+        Search bound mirroring QE's ``nfftx`` sanity limit.
+    """
+    if n < 1:
+        raise ValueError(f"good_fft_order needs n >= 1, got {n}")
+    m = n
+    while m <= max_order:
+        if allowed_fft_order(m):
+            return m
+        m += 1
+    raise ValueError(f"no allowed FFT order found in [{n}, {max_order}]")

@@ -1,0 +1,85 @@
+"""Real-input transforms via the packed complex trick.
+
+A length-``n`` real sequence has a Hermitian spectrum, so its DFT can be
+computed from one length-``n/2`` *complex* transform: pack even/odd samples
+as real/imaginary parts, transform, and untangle with the standard
+split formulas.  This is the 1D sibling of the Gamma-point band pairing in
+:mod:`repro.core.gamma` (two real objects per complex FFT), implemented on
+top of the library's own complex kernel and validated against
+``numpy.fft.rfft`` in the tests.
+
+API mirrors numpy: ``rfft`` returns the ``n//2 + 1`` non-redundant
+coefficients; ``irfft`` inverts back to the real signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.mixed_radix import fft_last_axis
+
+__all__ = ["rfft", "irfft"]
+
+
+def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """DFT of real input; returns the ``n//2 + 1`` non-negative frequencies.
+
+    ``n`` (the transform length) must be even — the packing halves it.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    axis = axis % x.ndim
+    x = np.moveaxis(x, axis, -1)
+    n = x.shape[-1]
+    if n % 2 or n < 2:
+        raise ValueError(f"rfft requires an even length >= 2, got {n}")
+    half = n // 2
+
+    # Pack: z[j] = x[2j] + i x[2j+1]; one half-length complex transform.
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    zhat = fft_last_axis(z, -1)
+
+    # Untangle: split zhat into the even/odd subsequence spectra.
+    k = np.arange(half)
+    zconj = np.conj(zhat[..., (-k) % half])
+    even = 0.5 * (zhat + zconj)  # spectrum of x[0::2]
+    odd = -0.5j * (zhat - zconj)  # spectrum of x[1::2]
+    twiddle = np.exp(-2j * np.pi * k / n)
+
+    out = np.empty(x.shape[:-1] + (half + 1,), dtype=np.complex128)
+    out[..., :half] = even + twiddle * odd
+    # Nyquist term: X[n/2] = E[0] - O[0].
+    out[..., half] = (even[..., 0] - odd[..., 0]).real
+    return np.moveaxis(out, -1, axis)
+
+
+def irfft(spectrum: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`rfft`: Hermitian coefficients -> real signal.
+
+    The input carries ``n//2 + 1`` coefficients; the output length is the
+    (even) ``n``.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    axis = axis % spectrum.ndim
+    spectrum = np.moveaxis(spectrum, axis, -1)
+    m = spectrum.shape[-1]
+    if m < 2:
+        raise ValueError(f"irfft needs at least 2 coefficients, got {m}")
+    n = 2 * (m - 1)
+    half = n // 2
+
+    # Re-tangle the even/odd spectra out of the half-spectrum.
+    k = np.arange(half)
+    x_k = spectrum[..., :half]
+    x_rev = np.conj(spectrum[..., half - k])  # X*(n/2 - k) = X(n/2 + k)
+    even = 0.5 * (x_k + x_rev)
+    twiddle = np.exp(2j * np.pi * k / n)
+    odd = 0.5 * twiddle * (x_k - x_rev)
+
+    # Inverse half-length complex transform of z = E + i O.
+    zhat = even + 1j * odd
+    z = np.conj(fft_last_axis(np.conj(zhat), -1)) / half
+
+    out = np.empty(spectrum.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0::2] = z.real
+    out[..., 1::2] = z.imag
+    return np.moveaxis(out, -1, axis)

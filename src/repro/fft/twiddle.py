@@ -1,0 +1,47 @@
+"""Twiddle-factor and small-DFT-matrix construction (cached).
+
+All arrays returned here are cached and therefore must be treated as
+read-only by callers; the plan layer only ever multiplies by them.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["dft_matrix", "twiddle_block"]
+
+
+@functools.lru_cache(maxsize=256)
+def dft_matrix(n: int, sign: int) -> np.ndarray:
+    """The dense DFT matrix ``W[j, k] = exp(sign * 2*pi*i * j * k / n)``.
+
+    Used both as the base case of the mixed-radix recursion and as the
+    combine stage's small radix-``r`` matrix.
+    """
+    if n < 1:
+        raise ValueError(f"dft_matrix needs n >= 1, got {n}")
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be -1 or +1, got {sign}")
+    jk = np.outer(np.arange(n), np.arange(n))
+    w = np.exp(sign * 2j * np.pi * jk / n)
+    w.setflags(write=False)
+    return w
+
+
+@functools.lru_cache(maxsize=512)
+def twiddle_block(n: int, r: int, m: int, sign: int) -> np.ndarray:
+    """Twiddles ``T[s, k1] = exp(sign * 2*pi*i * s * k1 / n)`` for a CT level.
+
+    ``n = r * m``; ``s`` indexes the radix-``r`` residue class, ``k1`` the
+    length-``m`` sub-transform output.
+    """
+    if n != r * m:
+        raise ValueError(f"inconsistent level: n={n} != r*m={r}*{m}")
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be -1 or +1, got {sign}")
+    sk = np.outer(np.arange(r), np.arange(m))
+    t = np.exp(sign * 2j * np.pi * sk / n)
+    t.setflags(write=False)
+    return t

@@ -1,0 +1,208 @@
+"""The FFT descriptor (``dffts`` analogue) and the R x T distributed layout.
+
+:class:`FftDescriptor` holds the global geometry: cell, cutoffs, FFT grid
+dimensions, the wave G-sphere, and its stick map.
+
+:class:`DistributedLayout` fixes how a descriptor is spread over an
+``R x T`` process grid — R the size of each *scatter* group (the ranks that
+jointly compute one parallel 3D FFT) and T the number of *FFT task groups*
+(concurrently transformed bands), exactly the two MPI layers of the paper:
+
+* process ``p = r * T + t`` — so a *pack* group (fixed ``r``) is T
+  consecutive ranks and a *scatter* group (fixed ``t``) is R ranks strided
+  by T, reproducing the communicator patterns visible in the paper's Fig. 3
+  timeline ("R sub-communicators with T neighboring ranks each" for
+  pack/unpack; "T sub-communicators with R alternating ranks each" for the
+  scatter);
+* sticks are distributed over *all* P = R*T processes (balanced by G count);
+* after the pack alltoallv, process (r, t) owns band t on the union of its
+  pack group's sticks — the *group sticks* of r, stored as the concatenation
+  of the members' stick lists so pack/unpack segments stay contiguous;
+* z-planes are distributed over the R scatter ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.gvectors import GSphere, build_sphere, grid_dimensions
+from repro.grids.lattice import Cell
+from repro.grids.sticks import StickMap, distribute_sticks
+
+__all__ = ["FftDescriptor", "DistributedLayout"]
+
+
+class FftDescriptor:
+    """Global FFT geometry for a wave-function transform.
+
+    Parameters
+    ----------
+    cell:
+        The simulation cell.
+    ecutwfc:
+        Wave-function kinetic-energy cutoff (Rydberg); the paper's workload
+        uses 80.
+    dual:
+        Ratio of the grid (density) cutoff to ``ecutwfc`` (QE default 4).
+    """
+
+    def __init__(self, cell: Cell, ecutwfc: float, dual: float = 4.0):
+        if dual < 1.0:
+            raise ValueError(f"dual must be >= 1, got {dual}")
+        self.cell = cell
+        self.ecutwfc = float(ecutwfc)
+        self.dual = float(dual)
+        self.gkcut = cell.gcut_from_ecut(ecutwfc)
+        self.gcut_grid = cell.gcut_from_ecut(dual * ecutwfc)
+        self.nr1, self.nr2, self.nr3 = grid_dimensions(cell, self.gcut_grid)
+        self.sphere: GSphere = build_sphere(cell, self.gkcut)
+        self.grid_idx = self.sphere.grid_indices((self.nr1, self.nr2, self.nr3))
+        self.sticks: StickMap = StickMap.from_grid_indices(self.grid_idx)
+
+    @property
+    def ngw(self) -> int:
+        """Wave-sphere G-vector count (global)."""
+        return self.sphere.ngm
+
+    @property
+    def grid_shape(self) -> tuple[int, int, int]:
+        """Full FFT grid dimensions ``(nr1, nr2, nr3)``."""
+        return (self.nr1, self.nr2, self.nr3)
+
+    @property
+    def nnr(self) -> int:
+        """Total grid points."""
+        return self.nr1 * self.nr2 * self.nr3
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FftDescriptor(grid={self.grid_shape}, ngw={self.ngw}, "
+            f"nsticks={self.sticks.nsticks})"
+        )
+
+
+class DistributedLayout:
+    """Ownership bookkeeping of a descriptor over an R x T process grid."""
+
+    def __init__(self, desc: FftDescriptor, n_scatter: int, n_groups: int):
+        if n_scatter < 1 or n_groups < 1:
+            raise ValueError(
+                f"process grid must be positive, got R={n_scatter}, T={n_groups}"
+            )
+        self.desc = desc
+        self.R = n_scatter
+        self.T = n_groups
+        self.P = n_scatter * n_groups
+
+        #: Global stick -> owning process.
+        self.stick_owner = distribute_sticks(desc.sticks.counts, self.P)
+
+        self._sticks_of = [
+            np.flatnonzero(self.stick_owner == p) for p in range(self.P)
+        ]
+        self._ngw_of = np.array(
+            [int(desc.sticks.counts[s].sum()) for s in self._sticks_of]
+        )
+
+        # Group sticks: concatenation over the pack group's members in t
+        # order — pack/unpack exchange whole contiguous segments.
+        self._group_sticks = []
+        self._group_offsets = []
+        for r in range(self.R):
+            segments = [self._sticks_of[self.proc_of(r, t)] for t in range(self.T)]
+            offsets = np.zeros(self.T + 1, dtype=np.int64)
+            offsets[1:] = np.cumsum([len(s) for s in segments])
+            self._group_sticks.append(
+                np.concatenate(segments)
+                if segments
+                else np.empty(0, dtype=np.int64)
+            )
+            self._group_offsets.append(offsets)
+
+        # z-plane distribution over the scatter dimension.
+        base, extra = divmod(desc.nr3, self.R)
+        self._npp = np.array([base + (1 if r < extra else 0) for r in range(self.R)])
+        self._z_offset = np.zeros(self.R + 1, dtype=np.int64)
+        self._z_offset[1:] = np.cumsum(self._npp)
+
+    # -- process grid -------------------------------------------------------
+
+    def proc_of(self, r: int, t: int) -> int:
+        """Process index of scatter-rank ``r``, task-group ``t``."""
+        if not (0 <= r < self.R and 0 <= t < self.T):
+            raise ValueError(f"(r={r}, t={t}) outside grid {self.R}x{self.T}")
+        return r * self.T + t
+
+    def rt_of(self, p: int) -> tuple[int, int]:
+        """Inverse of :meth:`proc_of`."""
+        if not 0 <= p < self.P:
+            raise ValueError(f"process {p} outside world of size {self.P}")
+        return divmod(p, self.T)
+
+    def pack_group(self, r: int) -> list[int]:
+        """The T processes of pack group ``r`` (consecutive ranks)."""
+        return [self.proc_of(r, t) for t in range(self.T)]
+
+    def scatter_group(self, t: int) -> list[int]:
+        """The R processes of scatter group ``t`` (stride-T ranks)."""
+        return [self.proc_of(r, t) for r in range(self.R)]
+
+    # -- stick ownership ------------------------------------------------------
+
+    def sticks_of(self, p: int) -> np.ndarray:
+        """Global stick indices owned by process ``p`` (ascending)."""
+        return self._sticks_of[p]
+
+    def ngw_of(self, p: int) -> int:
+        """Wave-sphere G count on process ``p``'s sticks."""
+        return int(self._ngw_of[p])
+
+    def group_sticks(self, r: int) -> np.ndarray:
+        """Stick indices of pack group ``r`` (members concatenated in t order)."""
+        return self._group_sticks[r]
+
+    def group_offsets(self, r: int) -> np.ndarray:
+        """Segment offsets of each member inside :meth:`group_sticks`."""
+        return self._group_offsets[r]
+
+    def nst_group(self, r: int) -> int:
+        """Stick count of pack group ``r``."""
+        return len(self._group_sticks[r])
+
+    # -- plane ownership ----------------------------------------------------------
+
+    def npp(self, r: int) -> int:
+        """Number of z-planes owned by scatter rank ``r``."""
+        return int(self._npp[r])
+
+    def z_offset(self, r: int) -> int:
+        """First z-plane of scatter rank ``r``."""
+        return int(self._z_offset[r])
+
+    def z_slice(self, r: int) -> slice:
+        """Python slice of scatter rank ``r``'s planes."""
+        return slice(self.z_offset(r), self.z_offset(r) + self.npp(r))
+
+    # -- data-mode index helpers --------------------------------------------------
+
+    def local_g_table(self, p: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index tables for expanding process ``p``'s packed coefficients.
+
+        Returns ``(g_indices, stick_local, iz)``: the sphere positions of
+        ``p``'s G-vectors (ascending, i.e. their order within the packed
+        coefficient array), the local index of each G's stick within
+        ``sticks_of(p)``, and its z grid coordinate.
+        """
+        sticks = self._sticks_of[p]
+        mask = np.isin(self.desc.sticks.stick_of_g, sticks)
+        g_indices = np.flatnonzero(mask)
+        stick_local = np.searchsorted(sticks, self.desc.sticks.stick_of_g[g_indices])
+        iz = self.desc.grid_idx[g_indices, 2]
+        return g_indices, stick_local, iz
+
+    def stick_coords(self, stick_indices: np.ndarray) -> np.ndarray:
+        """(ix, iy) grid coordinates of the given global sticks."""
+        return self.desc.sticks.coords[stick_indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DistributedLayout(R={self.R}, T={self.T}, P={self.P})"

@@ -1,0 +1,83 @@
+"""Stick maps and their balanced distribution.
+
+A *stick* is an ``(ix, iy)`` column of the FFT grid that contains at least
+one sphere point; the 1D z-transforms operate on whole sticks, so sticks are
+the distribution unit of the G-space side of the parallel FFT.  Because the
+sphere is round, sticks near the axis carry many more G-vectors than sticks
+near the rim — QE balances *G-vector counts*, not stick counts, with a
+greedy longest-first assignment; we reproduce that (it is what gives the
+paper its near-perfect load-balance rows in Tables I/II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StickMap", "distribute_sticks"]
+
+
+class StickMap:
+    """The sticks of a G-sphere on a given grid.
+
+    Attributes
+    ----------
+    coords:
+        ``(nsticks, 2)`` wrapped grid coordinates (ix, iy) of each stick,
+        in first-appearance order of the sphere's canonical G ordering.
+    counts:
+        ``(nsticks,)`` number of sphere G-vectors on each stick.
+    stick_of_g:
+        ``(ngm,)`` stick index of every sphere G-vector.
+    """
+
+    def __init__(self, coords: np.ndarray, counts: np.ndarray, stick_of_g: np.ndarray):
+        self.coords = coords
+        self.counts = counts
+        self.stick_of_g = stick_of_g
+
+    @property
+    def nsticks(self) -> int:
+        """Number of sticks."""
+        return len(self.coords)
+
+    @property
+    def total_g(self) -> int:
+        """Total sphere points across sticks (= the sphere's ngm)."""
+        return int(self.counts.sum())
+
+    @classmethod
+    def from_grid_indices(cls, grid_indices: np.ndarray) -> "StickMap":
+        """Build the stick map from the sphere's wrapped grid coordinates."""
+        xy = np.ascontiguousarray(grid_indices[:, :2])
+        coords, stick_of_g, counts = np.unique(
+            xy, axis=0, return_inverse=True, return_counts=True
+        )
+        return cls(coords, counts, stick_of_g.ravel())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StickMap(nsticks={self.nsticks}, total_g={self.total_g})"
+
+
+def distribute_sticks(counts: np.ndarray, n_procs: int) -> np.ndarray:
+    """Greedy balanced assignment of sticks to processes.
+
+    Sticks are assigned heaviest-first to the currently lightest process
+    (ties broken by lowest process index, so the result is deterministic).
+    Returns ``(nsticks,)`` owner indices.
+
+    This is the classic LPT heuristic QE's ``sticks_base`` uses; with the
+    round sphere it yields per-process G counts within a few percent of
+    perfect balance, matching the paper's ~97 % load-balance factors.
+    """
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    counts = np.asarray(counts)
+    owners = np.empty(len(counts), dtype=np.int64)
+    loads = np.zeros(n_procs, dtype=np.int64)
+    # Heaviest first; stable tie-break on stick index for determinism.
+    order = np.argsort(-counts, kind="stable")
+    for stick in order:
+        p = int(np.argmin(loads))  # argmin takes the lowest index on ties
+        owners[stick] = p
+        loads[p] += counts[stick]
+    return owners

@@ -1,0 +1,189 @@
+"""The contention model: concurrent phases -> effective per-thread rates.
+
+:class:`BandwidthContentionAllocator` is a :class:`~repro.simkit.fluid.RateAllocator`
+for the node's CPU fluid resource.  Each active fluid task represents one
+compute phase executing on one hardware thread; its metadata carries the
+:class:`~repro.machine.phases.PhaseProfile` and the
+:class:`~repro.machine.topology.HwThread` binding.  Rates are in
+*instructions per second* and are derived in two stages:
+
+1. **Issue sharing (per core).**  Hyper-threads of the same physical core
+   share issue slots linearly: with ``k`` active hyper-threads each gets a
+   ceiling of ``ipc0 * frequency / k`` instructions/s.  This reproduces the
+   paper's observation that "the average IPC is more or less cut in half when
+   going from 8x8 (no hyper-threading) to 16x8 (two-time hyper-threading)".
+
+2. **Bandwidth water filling (per node).**  Each task *demands* memory
+   traffic ``ceiling_i * bytes_per_instr_i``.  The node bandwidth ``B`` is
+   divided max-min fairly: tasks demanding less than the fair share are fully
+   satisfied, the slack is redistributed over the rest.  A task's final rate
+   is ``grant_i / bytes_per_instr_i`` (or its issue ceiling for phases with
+   negligible traffic).
+
+When every thread executes the high-intensity phase simultaneously (the
+original, statically synchronised FFTXlib), all demands collide and every
+thread is throttled to ``B / n / bpi``.  When the OmpSs scheduler
+de-synchronises phases, low-demand phases leave bandwidth to high-demand
+ones, raising their effective IPC — the mechanism behind Fig. 7.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.machine.phases import PhaseProfile
+from repro.machine.topology import HwThread
+from repro.simkit.fluid import FluidTask
+
+__all__ = ["BandwidthContentionAllocator", "waterfill"]
+
+#: Numerical slack for the water-filling fixpoint.
+_EPS = 1e-12
+
+
+def waterfill(demands: _t.Sequence[float], capacity: float) -> list[float]:
+    """Max-min fair allocation of ``capacity`` over ``demands``.
+
+    Tasks demanding no more than the current fair share receive their full
+    demand; the freed capacity is redistributed among the remaining tasks
+    until all are either satisfied or capped at the final fair share.
+
+    Returns one grant per demand, with ``sum(grants) <= capacity`` and
+    ``grants[i] <= demands[i]``.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    n = len(demands)
+    grants = [0.0] * n
+    if n == 0:
+        return grants
+    remaining = capacity
+    unsat = [i for i in range(n) if demands[i] > 0.0]
+    while unsat:
+        fair = remaining / len(unsat)
+        satisfied = [i for i in unsat if demands[i] <= fair + _EPS]
+        if not satisfied:
+            for i in unsat:
+                grants[i] = fair
+            return grants
+        for i in satisfied:
+            grants[i] = demands[i]
+            remaining -= demands[i]
+        unsat = [i for i in unsat if i not in set(satisfied)]
+        if remaining <= 0.0:
+            break
+    return grants
+
+
+class BandwidthContentionAllocator:
+    """Rate allocator combining per-core issue sharing and node bandwidth.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Core clock frequency.
+    bandwidth_bytes_per_s:
+        Effective shared node memory bandwidth.
+
+    Fluid-task metadata contract: ``meta["profile"]`` is a
+    :class:`PhaseProfile` and ``meta["thread"]`` a :class:`HwThread`.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        bandwidth_bytes_per_s: float,
+        bandwidth_rampup_max: float | None = None,
+        bandwidth_rampup_half: float = 0.0,
+    ):
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth_bytes_per_s must be positive, got {bandwidth_bytes_per_s}"
+            )
+        if bandwidth_rampup_half < 0:
+            raise ValueError(
+                f"bandwidth_rampup_half must be >= 0, got {bandwidth_rampup_half}"
+            )
+        self.frequency_hz = frequency_hz
+        self.bandwidth = bandwidth_bytes_per_s
+        #: Concurrency ramp-up of the memory system (Little's-law queueing):
+        #: with n demanding threads the achievable aggregate bandwidth is
+        #: ``min(rampup_max * n / (n + rampup_half), bandwidth)``.  Real
+        #: many-core memory systems need tens of outstanding request streams
+        #: to reach peak; the per-thread share therefore *degrades gradually*
+        #: with concurrency instead of at a hard saturation knee — this is
+        #: what produces the paper's smooth IPC-scalability decline across
+        #: 2x8 and 4x8 (Table I).  ``rampup_max=None`` disables the ramp.
+        self.bandwidth_rampup_max = bandwidth_rampup_max
+        self.bandwidth_rampup_half = bandwidth_rampup_half
+
+    def effective_capacity(self, n_demanding: int) -> float:
+        """Achievable aggregate bandwidth with ``n_demanding`` active streams."""
+        if self.bandwidth_rampup_max is None or n_demanding <= 0:
+            return self.bandwidth
+        ramp = self.bandwidth_rampup_max * n_demanding / (n_demanding + self.bandwidth_rampup_half)
+        return min(ramp, self.bandwidth)
+
+    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
+        """Instruction rates for the active compute tasks (see module docs).
+
+        Both sharing stages are per *node*: hyper-threads share their own
+        core's issue slots, and the bandwidth water-filling runs over each
+        node's tasks against that node's achievable capacity (nodes of a
+        cluster are independent contention domains).
+        """
+        n = len(tasks)
+        if n == 0:
+            return []
+        profiles: list[PhaseProfile] = []
+        threads: list[HwThread] = []
+        per_core: dict[tuple[int, int], int] = {}
+        for task in tasks:
+            try:
+                profile = task.meta["profile"]
+                thread = task.meta["thread"]
+            except KeyError as exc:
+                raise RuntimeError(
+                    f"compute task missing required metadata {exc}: {task!r}"
+                ) from None
+            profiles.append(profile)
+            threads.append(thread)
+            key = (thread.node, thread.core)
+            per_core[key] = per_core.get(key, 0) + 1
+
+        # Stage 1: per-core issue ceilings (instructions/s).
+        ceilings = [
+            p.ipc0 * self.frequency_hz / per_core[(t.node, t.core)]
+            for p, t in zip(profiles, threads)
+        ]
+
+        # Stage 2: per-node bandwidth water filling (bytes/s demands) against
+        # the concurrency-dependent achievable capacity of that node.
+        demands = [c * p.bytes_per_instr for c, p in zip(ceilings, profiles)]
+        grants = [0.0] * n
+        by_node: dict[int, list[int]] = {}
+        for i, t in enumerate(threads):
+            by_node.setdefault(t.node, []).append(i)
+        for node_tasks in by_node.values():
+            node_demands = [demands[i] for i in node_tasks]
+            n_demanding = sum(1 for d in node_demands if d > 0.0)
+            node_grants = waterfill(node_demands, self.effective_capacity(n_demanding))
+            for i, g in zip(node_tasks, node_grants):
+                grants[i] = g
+
+        rates = []
+        for task, ceiling, grant, profile in zip(tasks, ceilings, grants, profiles):
+            if profile.bytes_per_instr <= 0.0:
+                rate = ceiling
+            else:
+                rate = min(ceiling, grant / profile.bytes_per_instr)
+            # Per-execution speed factor (models run-to-run microarchitectural
+            # variability — cache state, TLB, OS noise; see CpuModel.jitter).
+            rates.append(rate * task.meta.get("speed", 1.0))
+        return rates
+
+    def effective_ipc(self, rate_instr_per_s: float) -> float:
+        """Convert an instruction rate back to IPC (for counters/tracing)."""
+        return rate_instr_per_s / self.frequency_hz

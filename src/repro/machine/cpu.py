@@ -1,0 +1,166 @@
+"""The CPU model: executing compute phases on the contended node.
+
+:class:`CpuModel` wraps one :class:`~repro.simkit.fluid.FluidResource` whose
+allocator is the :class:`~repro.machine.contention.BandwidthContentionAllocator`.
+Rank programs and OmpSs workers execute computation as::
+
+    yield cpu.compute(stream, thread, "fft_xy", instructions)
+
+The returned event fires when the phase's instruction budget has been issued
+at whatever (time-varying) effective rate the contention model granted.  On
+completion the CPU model updates the hardware counters and notifies observers
+(the Extrae-like tracer) with a :class:`ComputeRecord`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.machine.contention import BandwidthContentionAllocator
+from repro.machine.counters import CounterSet
+from repro.machine.phases import PhaseTable
+from repro.machine.topology import HwThread, NodeTopology
+from repro.simkit.events import Event
+from repro.simkit.fluid import FluidResource
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = ["ComputeRecord", "CpuModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeRecord:
+    """One completed compute phase, as reported to observers."""
+
+    stream: _t.Hashable
+    thread: HwThread
+    phase: str
+    instructions: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Wall (simulated) duration of the phase."""
+        return self.end - self.start
+
+    def ipc(self, frequency_hz: float) -> float:
+        """Average effective IPC over the phase."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.instructions / (self.duration * frequency_hz)
+
+
+class CpuModel:
+    """Compute facade over the contended node.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    topology:
+        The node (frequency and thread slots).
+    phase_table:
+        Known compute-phase profiles.
+    bandwidth_bytes_per_s:
+        Effective shared memory bandwidth for the water-filling stage.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: NodeTopology,
+        phase_table: PhaseTable,
+        bandwidth_bytes_per_s: float,
+        jitter: float = 0.0,
+        jitter_seed: int = 7,
+        bandwidth_rampup_max: float | None = None,
+        bandwidth_rampup_half: float = 0.0,
+    ):
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.sim = sim
+        self.topology = topology
+        self.phase_table = phase_table
+        self.allocator = BandwidthContentionAllocator(
+            frequency_hz=topology.frequency_hz,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+            bandwidth_rampup_max=bandwidth_rampup_max,
+            bandwidth_rampup_half=bandwidth_rampup_half,
+        )
+        self.resource = FluidResource(sim, self.allocator, name="cpu")
+        self.counters = CounterSet(frequency_hz=topology.frequency_hz)
+        self._observers: list[_t.Callable[[ComputeRecord], None]] = []
+        #: Relative amplitude of per-execution speed variability.  Real cores
+        #: never run two nominally identical phases at exactly the same speed
+        #: (cache/TLB state, OS noise); this seeded, deterministic jitter is
+        #: what lets dynamically scheduled tasks drift out of lock-step — the
+        #: raw material of the paper's de-synchronization effect.  Statically
+        #: synchronized executions re-align at every collective, so the same
+        #: jitter costs them load balance instead.
+        self.jitter = jitter
+        self._rng = np.random.default_rng(jitter_seed)
+
+    @property
+    def frequency_hz(self) -> float:
+        """Core clock frequency (Hz)."""
+        return self.topology.frequency_hz
+
+    def add_observer(self, observer: _t.Callable[[ComputeRecord], None]) -> None:
+        """Register a callback invoked with every completed :class:`ComputeRecord`."""
+        self._observers.append(observer)
+
+    def compute(
+        self,
+        stream: _t.Hashable,
+        thread: HwThread,
+        phase: str,
+        instructions: float,
+    ) -> Event:
+        """Execute ``instructions`` of phase ``phase`` on ``thread``.
+
+        Returns an event that fires when the work completes.  The phase must
+        exist in the phase table; unknown phases raise immediately (catching
+        cost-model typos at call time rather than as silent stalls).
+        """
+        profile = self.phase_table[phase]
+        if instructions < 0:
+            raise ValueError(f"negative instruction count {instructions!r}")
+        start = self.sim.now
+        speed = 1.0
+        if self.jitter > 0.0:
+            speed = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        task = self.resource.submit(
+            instructions,
+            meta={"profile": profile, "thread": thread, "stream": stream, "speed": speed},
+        )
+        done = Event(self.sim, name=f"compute:{phase}")
+
+        def _finish(event: Event) -> None:
+            end = self.sim.now
+            record = ComputeRecord(
+                stream=stream,
+                thread=thread,
+                phase=phase,
+                instructions=instructions,
+                start=start,
+                end=end,
+            )
+            self.counters.record(stream, phase, instructions, end - start)
+            for observer in self._observers:
+                observer(record)
+            done.succeed(record)
+
+        task.done.add_callback(_finish)
+        return done
+
+    def current_ipc_of(self, stream: _t.Hashable) -> float | None:
+        """Instantaneous effective IPC of a stream's running phase (or None)."""
+        for task in self.resource.active_tasks:
+            if task.meta.get("stream") == stream:
+                return self.allocator.effective_ipc(task.rate)
+        return None

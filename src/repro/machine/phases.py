@@ -1,0 +1,85 @@
+"""Compute-phase profiles: the per-phase inputs of the contention model.
+
+A :class:`PhaseProfile` characterises one kind of compute phase by
+
+* ``ipc0`` — the *nominal* IPC the phase sustains when it has a full core and
+  an uncontended memory system (the intrinsic quality of the code: a strided
+  gather like the Psi preparation is latency-bound and never exceeds a very
+  low IPC no matter how empty the node is);
+* ``bytes_per_instr`` — average main-memory traffic per instruction, which
+  determines how strongly the phase presses on the shared node bandwidth.
+
+Effective IPC at run time is derived by the allocator in
+:mod:`repro.machine.contention`; it is at most ``ipc0`` (scaled down by
+hyper-thread issue sharing) and possibly lower when the aggregate bandwidth
+demand of all concurrently running phases exceeds the node bandwidth — the
+resource contention the paper identifies as the scaling killer (Table I,
+"IPC Scalability").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["PhaseProfile", "PhaseTable"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseProfile:
+    """Static performance character of one compute-phase kind.
+
+    Attributes
+    ----------
+    name:
+        Phase identifier (e.g. ``"fft_xy"``); also the tracer's state label.
+    ipc0:
+        Nominal instructions-per-cycle with a full core and no bandwidth
+        pressure.
+    bytes_per_instr:
+        Main-memory bytes moved per instruction (arithmetic intensity
+        inverse); drives the bandwidth water-filling.
+    """
+
+    name: str
+    ipc0: float
+    bytes_per_instr: float
+
+    def __post_init__(self) -> None:
+        if self.ipc0 <= 0:
+            raise ValueError(f"ipc0 must be positive, got {self.ipc0}")
+        if self.bytes_per_instr < 0:
+            raise ValueError(f"bytes_per_instr must be >= 0, got {self.bytes_per_instr}")
+
+
+class PhaseTable:
+    """Registry of the phase profiles known to one machine configuration."""
+
+    def __init__(self, profiles: _t.Iterable[PhaseProfile] = ()):
+        self._profiles: dict[str, PhaseProfile] = {}
+        for p in profiles:
+            self.add(p)
+
+    def add(self, profile: PhaseProfile) -> None:
+        """Register ``profile``; duplicate names are rejected."""
+        if profile.name in self._profiles:
+            raise ValueError(f"phase {profile.name!r} already registered")
+        self._profiles[profile.name] = profile
+
+    def __getitem__(self, name: str) -> PhaseProfile:
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown phase {name!r}; known: {sorted(self._profiles)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    def names(self) -> list[str]:
+        """Registered phase names, sorted."""
+        return sorted(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)

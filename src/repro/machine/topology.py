@@ -1,0 +1,196 @@
+"""Node topology: cores, hardware threads, and thread placement.
+
+The KNL node of the paper has 68 cores (in 34 tiles of 2), each with 4
+hardware-thread slots.  Simulated execution streams (MPI ranks, OmpSs worker
+threads) are bound to :class:`HwThread` slots by a :class:`Placement` policy.
+
+The placement used throughout the reproduction mirrors the paper's runs: one
+stream per core as long as streams <= cores, then wrapping onto the second
+(and fourth) hyper-thread slot — e.g. the 16x8 configuration (128 streams on
+68 cores) runs most cores with two hyper-threads, and 32x8 (256 streams) with
+four, exactly the "2 and 4 hyper-threads per core" of Figures 2/6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["HwThread", "NodeTopology", "Placement"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HwThread:
+    """One hardware-thread slot of one core.
+
+    Attributes
+    ----------
+    core:
+        Physical core index in ``[0, n_cores)`` *within its node*.
+    slot:
+        Hyper-thread slot on that core in ``[0, threads_per_core)``.
+    index:
+        Dense index within the node (``slot``-major over occupied slots).
+    node:
+        Node index for cluster topologies (0 on a single node).
+    """
+
+    core: int
+    slot: int
+    index: int
+    node: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        prefix = f"n{self.node}" if self.node else ""
+        return f"{prefix}c{self.core}t{self.slot}"
+
+
+class NodeTopology:
+    """Static description of one many-core node.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of physical cores.
+    threads_per_core:
+        Hardware-thread slots per core.
+    frequency_hz:
+        Core clock frequency in Hz.
+    cores_per_tile:
+        Cores sharing an L2 tile (descriptive; the contention model works at
+        core and node granularity).
+    """
+
+    def __init__(
+        self,
+        n_cores: int = 68,
+        threads_per_core: int = 4,
+        frequency_hz: float = 1.4e9,
+        cores_per_tile: int = 2,
+    ):
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        if threads_per_core < 1:
+            raise ValueError(f"threads_per_core must be >= 1, got {threads_per_core}")
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+        self.n_cores = n_cores
+        self.threads_per_core = threads_per_core
+        self.frequency_hz = frequency_hz
+        self.cores_per_tile = cores_per_tile
+
+    @property
+    def n_hw_threads(self) -> int:
+        """Total hardware-thread slots on the node."""
+        return self.n_cores * self.threads_per_core
+
+    def tile_of(self, core: int) -> int:
+        """L2 tile index of ``core``."""
+        self._check_core(core)
+        return core // self.cores_per_tile
+
+    def hw_thread(self, core: int, slot: int) -> HwThread:
+        """The :class:`HwThread` for an explicit (core, slot) pair."""
+        self._check_core(core)
+        if not 0 <= slot < self.threads_per_core:
+            raise ValueError(f"slot {slot} out of range [0, {self.threads_per_core})")
+        return HwThread(core=core, slot=slot, index=slot * self.n_cores + core)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range [0, {self.n_cores})")
+
+    def place(self, n_streams: int) -> "Placement":
+        """Bind ``n_streams`` execution streams to hardware threads.
+
+        Streams are spread across cores first (one per core), wrapping onto
+        higher hyper-thread slots only when all cores are occupied — the
+        paper's configuration style.  Raises if the node is over-subscribed.
+        """
+        if n_streams < 1:
+            raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+        if n_streams > self.n_hw_threads:
+            raise ValueError(
+                f"{n_streams} streams exceed the node's {self.n_hw_threads} hardware threads"
+            )
+        threads = [
+            self.hw_thread(core=i % self.n_cores, slot=i // self.n_cores)
+            for i in range(n_streams)
+        ]
+        return Placement(topology=self, threads=threads)
+
+    def place_grouped(self, n_streams: int, group: int) -> "Placement":
+        """Bind streams so each consecutive group of ``group`` shares a core.
+
+        Used by the per-step task version, whose extra worker per MPI process
+        lives on its own core's spare hyper-thread slot (so a worker blocked
+        in MPI leaves the full core to its sibling).  Groups are spread over
+        cores; when groups outnumber cores they wrap onto higher slot banks.
+        """
+        if n_streams < 1:
+            raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+        if not 1 <= group <= self.threads_per_core:
+            raise ValueError(
+                f"group must be in [1, {self.threads_per_core}], got {group}"
+            )
+        threads = []
+        for i in range(n_streams):
+            g, within = divmod(i, group)
+            core = g % self.n_cores
+            slot = within + group * (g // self.n_cores)
+            if slot >= self.threads_per_core:
+                raise ValueError(
+                    f"{n_streams} streams in groups of {group} exceed the node's "
+                    f"hyper-thread slots"
+                )
+            threads.append(self.hw_thread(core=core, slot=slot))
+        return Placement(topology=self, threads=threads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ghz = self.frequency_hz / 1e9
+        return (
+            f"NodeTopology({self.n_cores} cores x {self.threads_per_core} HT @ {ghz:g} GHz)"
+        )
+
+
+class Placement:
+    """A binding of execution streams to hardware threads.
+
+    ``placement[i]`` is the :class:`HwThread` of stream ``i``.
+    """
+
+    def __init__(self, topology: NodeTopology, threads: _t.Sequence[HwThread]):
+        self.topology = topology
+        self.threads = list(threads)
+        occupied = set()
+        for t in self.threads:
+            key = (t.node, t.core, t.slot)
+            if key in occupied:
+                raise ValueError(f"hardware thread {t} bound twice")
+            occupied.add(key)
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def __getitem__(self, stream: int) -> HwThread:
+        return self.threads[stream]
+
+    def __iter__(self) -> _t.Iterator[HwThread]:
+        return iter(self.threads)
+
+    @property
+    def max_threads_per_core(self) -> int:
+        """Worst-case hyper-threads sharing one core under this placement."""
+        counts: dict[tuple[int, int], int] = {}
+        for t in self.threads:
+            key = (t.node, t.core)
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.values())
+
+    def streams_on_core(self, core: int, node: int = 0) -> list[int]:
+        """Stream indices bound to ``core`` (of ``node``)."""
+        return [
+            i
+            for i, t in enumerate(self.threads)
+            if t.core == core and t.node == node
+        ]

@@ -1,0 +1,82 @@
+"""Dual-mode message payloads.
+
+Simulated communication must serve two masters:
+
+* **correctness runs** move real numpy arrays so the distributed FFT can be
+  validated against a dense reference;
+* **performance sweeps** only need the *size* of every message to drive the
+  cost model — copying hundreds of megabytes around a 256-rank sweep would
+  make the benchmark harness pointlessly slow.
+
+A payload is therefore either a ``numpy.ndarray`` (data + size) or a
+:class:`MetaPayload` (size only).  All of :mod:`repro.mpisim` and the FFTXlib
+pipeline accept both; :func:`nbytes_of` and :func:`payload_like` are the two
+helpers that keep the call sites mode-agnostic.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+__all__ = ["MetaPayload", "nbytes_of", "payload_like"]
+
+
+class MetaPayload:
+    """A message body known only by size (and optionally logical length).
+
+    Parameters
+    ----------
+    nbytes:
+        Size in bytes used by the communication cost model.
+    count:
+        Optional element count (for sanity checks mirroring array lengths).
+    """
+
+    __slots__ = ("nbytes", "count")
+
+    def __init__(self, nbytes: float, count: int | None = None):
+        if nbytes < 0:
+            raise ValueError(f"negative payload size {nbytes!r}")
+        self.nbytes = float(nbytes)
+        self.count = count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetaPayload({self.nbytes:.0f} B)"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MetaPayload)
+            and other.nbytes == self.nbytes
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nbytes, self.count))
+
+
+Payload = _t.Union[np.ndarray, MetaPayload]
+
+
+def nbytes_of(payload: Payload) -> float:
+    """Size in bytes of a payload of either mode."""
+    if isinstance(payload, MetaPayload):
+        return payload.nbytes
+    if isinstance(payload, np.ndarray):
+        return float(payload.nbytes)
+    raise TypeError(f"not a payload: {payload!r} (expected ndarray or MetaPayload)")
+
+
+def payload_like(payload: Payload) -> Payload:
+    """A receive-side placeholder with the same size/content semantics.
+
+    Arrays are *copied* (the receiver owns its data — simulated ranks share
+    one address space, so aliasing a sender's buffer would let later in-place
+    updates corrupt messages already 'delivered'); meta payloads pass through.
+    """
+    if isinstance(payload, MetaPayload):
+        return payload
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    raise TypeError(f"not a payload: {payload!r} (expected ndarray or MetaPayload)")

@@ -1,0 +1,261 @@
+"""On-node communication cost model.
+
+MPI on a single KNL node moves data through the shared memory system.  The
+model has three calibrated constants (see :class:`~repro.machine.knl.KnlParameters`):
+
+``latency``
+    Per-message software overhead of the MPI stack (s).
+``injection_bw``
+    Peak copy bandwidth of a single rank (B/s) — the per-task cap of the
+    transport fluid resource.
+``capacity``
+    Aggregate transport bandwidth (B/s) shared by *all* concurrent transfers
+    through the :class:`~repro.simkit.fluid.FluidResource`.
+
+Latency terms for collectives follow the usual flat/tree counts:
+``alltoall`` pays ``latency * (P - 1)`` (pairwise exchange pattern),
+``barrier``/``bcast`` pay ``latency * ceil(log2 P)``, ``allreduce`` twice
+that.  Transfer time is not a formula — it comes out of the fluid resource,
+so overlapping communication genuinely contends for bandwidth (this is what
+makes the paper's Opt 1 overlap question non-trivial in the model).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.machine.contention import waterfill
+from repro.simkit.events import Event
+from repro.simkit.fluid import FluidResource, FluidTask
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = ["NetworkModel", "ClusterNetworkModel", "RankAwareAllocator"]
+
+
+class RankAwareAllocator:
+    """Transport rate allocator with per-process injection sharing.
+
+    A transfer's rate is capped by its sending process's injection bandwidth
+    *divided among that process's concurrent transfers* (a multi-threaded MPI
+    process does not inject N times faster because N tasks call MPI at once),
+    then the aggregate capacity is divided max-min fairly over the resulting
+    demands.  Transfers without a known sender (``rank=None``) are treated as
+    separate one-transfer processes.
+    """
+
+    def __init__(self, capacity: float, injection_bw: float):
+        self.capacity = capacity
+        self.injection_bw = injection_bw
+
+    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
+        if not tasks:
+            return []
+        per_rank: dict[object, int] = {}
+        keys = []
+        for i, task in enumerate(tasks):
+            rank = task.meta.get("rank")
+            key = rank if rank is not None else ("anon", i)
+            keys.append(key)
+            per_rank[key] = per_rank.get(key, 0) + 1
+        demands = [self.injection_bw / per_rank[key] for key in keys]
+        return waterfill(demands, self.capacity)
+
+
+class NetworkModel:
+    """Shared transport resource + latency bookkeeping for simulated MPI."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float,
+        injection_bw: float,
+        latency: float,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if injection_bw <= 0:
+            raise ValueError(f"injection_bw must be positive, got {injection_bw}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.capacity = capacity
+        self.injection_bw = injection_bw
+        self.latency = latency
+        #: World rank -> node index (constant 0 on a single node); cluster
+        #: subclasses override.  Collectives use it to route per-node traffic.
+        self.node_of: _t.Callable[[object], int] = lambda rank: 0
+        self.resource = FluidResource(
+            sim,
+            RankAwareAllocator(capacity, injection_bw),
+            name="network",
+        )
+        #: Total bytes ever injected (diagnostics / tests).
+        self.bytes_transferred = 0.0
+
+    # -- building blocks ----------------------------------------------------
+
+    def transfer_parts(
+        self, src_rank: object, parts: _t.Sequence[tuple[int, float]]
+    ) -> Event:
+        """Move per-destination payloads from one sender; fires when all moved.
+
+        The single-fabric model ignores destinations and moves the total;
+        :class:`ClusterNetworkModel` splits intra- from inter-node traffic.
+        """
+        total = sum(nbytes for _dst, nbytes in parts)
+        return self.transfer(total, rank=src_rank)
+
+    def message_latency(self, ranks: _t.Sequence[int]) -> float:
+        """Per-message latency for a communicator spanning ``ranks``."""
+        return self.latency
+
+    def transfer(self, nbytes: float, rank: object = None) -> Event:
+        """Move ``nbytes`` through the shared transport; event fires when done.
+
+        ``rank`` identifies the sending process for injection sharing (see
+        :class:`RankAwareAllocator`).  Zero-byte transfers complete
+        immediately (no latency — latency is accounted separately by the
+        callers, per *message*, not per byte).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        self.bytes_transferred += nbytes
+        done = Event(self.sim, name="net-transfer")
+        task = self.resource.submit(nbytes, meta={"rank": rank})
+        task.done.add_callback(lambda ev: done.succeed(nbytes))
+        return done
+
+    def after_latency(self, n_messages: float, event: Event | None = None) -> Event:
+        """Event firing ``n_messages * latency`` after now (or after ``event``)."""
+        delay = n_messages * self.latency
+        if event is None:
+            return self.sim.timeout(delay, name="net-latency")
+        out = Event(self.sim, name="net-latency")
+
+        def _chain(ev: Event) -> None:
+            t = self.sim.timeout(delay)
+            t.add_callback(lambda _: out.succeed(ev._value))
+
+        event.add_callback(_chain)
+        return out
+
+    # -- per-collective latency message counts --------------------------------
+
+    @staticmethod
+    def alltoall_messages(n_ranks: int) -> int:
+        """Messages each rank sends in a pairwise-exchange alltoall."""
+        return max(n_ranks - 1, 0)
+
+    @staticmethod
+    def tree_messages(n_ranks: int) -> int:
+        """Tree depth for barrier/bcast-style collectives."""
+        return int(math.ceil(math.log2(n_ranks))) if n_ranks > 1 else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NetworkModel(capacity={self.capacity:.3g} B/s, "
+            f"injection={self.injection_bw:.3g} B/s, latency={self.latency:.3g} s)"
+        )
+
+
+class ClusterNetworkModel(NetworkModel):
+    """Two-tier transport: on-node memory system + inter-node fabric.
+
+    Intra-node traffic uses one :class:`NetworkModel`-style fluid resource
+    *per node* (nodes' memory systems are independent); inter-node traffic
+    shares a single fabric resource whose injection cap applies per *node*
+    (the NIC — all ranks of a node share it, however many threads call MPI).
+
+    Parameters
+    ----------
+    node_of:
+        Callable mapping a world rank to its node index.
+    inter_capacity / inter_injection_bw / inter_latency:
+        Fabric parameters (bisection bandwidth, per-node NIC bandwidth,
+        per-message fabric latency).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float,
+        injection_bw: float,
+        latency: float,
+        node_of: _t.Callable[[object], int],
+        inter_capacity: float,
+        inter_injection_bw: float,
+        inter_latency: float,
+    ):
+        super().__init__(sim, capacity, injection_bw, latency)
+        if inter_capacity <= 0 or inter_injection_bw <= 0:
+            raise ValueError("inter-node bandwidths must be positive")
+        if inter_latency < 0:
+            raise ValueError(f"inter_latency must be >= 0, got {inter_latency}")
+        self.node_of = node_of  # overrides the base's constant-0 mapping
+        self.inter_latency = inter_latency
+        self._node_resources: dict[int, FluidResource] = {}
+        self._fabric = FluidResource(
+            sim,
+            RankAwareAllocator(inter_capacity, inter_injection_bw),
+            name="fabric",
+        )
+        #: Bytes that crossed the fabric (diagnostics / tests).
+        self.inter_bytes = 0.0
+
+    def _node_resource(self, node: int) -> FluidResource:
+        res = self._node_resources.get(node)
+        if res is None:
+            res = FluidResource(
+                self.sim,
+                RankAwareAllocator(self.capacity, self.injection_bw),
+                name=f"net-node{node}",
+            )
+            self._node_resources[node] = res
+        return res
+
+    def transfer_parts(
+        self, src_rank: object, parts: _t.Sequence[tuple[int, float]]
+    ) -> Event:
+        src_node = self.node_of(src_rank)
+        intra = 0.0
+        inter = 0.0
+        for dst, nbytes in parts:
+            if self.node_of(dst) == src_node:
+                intra += nbytes
+            else:
+                inter += nbytes
+        self.bytes_transferred += intra + inter
+        self.inter_bytes += inter
+        pieces = []
+        if intra > 0:
+            task = self._node_resource(src_node).submit(intra, meta={"rank": src_rank})
+            pieces.append(task.done)
+        if inter > 0:
+            # NIC sharing: the fabric allocator keys on the *node*.
+            task = self._fabric.submit(inter, meta={"rank": ("node", src_node)})
+            pieces.append(task.done)
+        done = Event(self.sim, name="cluster-transfer")
+        if not pieces:
+            done.succeed(0.0)
+        else:
+            self.sim.all_of(pieces).add_callback(lambda ev: done.succeed(intra + inter))
+        return done
+
+    def transfer(self, nbytes: float, rank: object = None) -> Event:
+        """Destination-less transfers stay on the sender's node."""
+        if rank is None:
+            return super().transfer(nbytes, rank=rank)
+        self.bytes_transferred += nbytes
+        done = Event(self.sim, name="net-transfer")
+        task = self._node_resource(self.node_of(rank)).submit(
+            nbytes, meta={"rank": rank}
+        )
+        task.done.add_callback(lambda ev: done.succeed(nbytes))
+        return done
+
+    def message_latency(self, ranks: _t.Sequence[int]) -> float:
+        nodes = {self.node_of(r) for r in ranks}
+        return self.inter_latency if len(nodes) > 1 else self.latency

@@ -1,0 +1,306 @@
+"""The MPI world: ranks, their hardware binding, and the rank-facing API.
+
+:class:`MpiWorld` wires together the machine model (CPU + network) and the
+communicator machinery, and launches *rank programs* — generator functions
+receiving a :class:`RankContext`.  A rank context is the simulated analogue
+of "an MPI process": it knows its world rank, its hardware threads (one for
+the original FFTXlib, several for the OmpSs versions), and exposes compute
+and communication verbs that all return simkit events::
+
+    def program(rank: RankContext):
+        yield rank.compute("fft_z", 1.0e9)
+        recv = yield rank.alltoall(comm, parts)
+        yield rank.barrier(comm)
+
+Every MPI call is reported to registered observers as an :class:`MpiRecord`
+(begin/end time, bytes, synchronization share) — the raw material of the
+Extrae-like tracer and the POP model's communication-efficiency factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.machine.cpu import CpuModel
+from repro.machine.topology import HwThread, Placement
+from repro.mpisim.communicator import CollectiveResult, Communicator, MpiSimError
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.p2p import P2PEngine
+from repro.simkit.events import Event
+from repro.simkit.process import Process
+from repro.simkit.simulator import Simulator
+
+__all__ = ["MpiWorld", "RankContext", "MpiRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MpiRecord:
+    """One completed MPI call, as reported to observers."""
+
+    stream: tuple
+    call: str
+    comm_id: int
+    comm_name: str
+    t_begin: float
+    t_end: float
+    bytes_sent: float
+    sync_time: float
+
+    @property
+    def duration(self) -> float:
+        """Wall (simulated) time spent inside the call."""
+        return self.t_end - self.t_begin
+
+    @property
+    def transfer_time(self) -> float:
+        """Non-synchronization share of the call."""
+        return self.duration - self.sync_time
+
+
+class MpiWorld:
+    """A set of simulated MPI ranks bound to one machine.
+
+    Parameters
+    ----------
+    sim:
+        The simulator shared by machine, network and ranks.
+    cpu:
+        Machine compute model (provides topology and counters).
+    network:
+        Communication cost model.
+    n_ranks:
+        Number of MPI ranks.
+    threads_per_rank:
+        Hardware threads owned by each rank (1 for the pure-MPI FFTXlib,
+        the OmpSs thread count for the task versions).
+    placement:
+        Optional explicit binding; defaults to
+        ``cpu.topology.place(n_ranks * threads_per_rank)`` with the block
+        layout (rank r, thread t) -> stream ``r * threads_per_rank + t``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CpuModel,
+        network: NetworkModel,
+        n_ranks: int,
+        threads_per_rank: int = 1,
+        placement: Placement | None = None,
+    ):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if threads_per_rank < 1:
+            raise ValueError(f"threads_per_rank must be >= 1, got {threads_per_rank}")
+        self.sim = sim
+        self.cpu = cpu
+        self.network = network
+        self.n_ranks = n_ranks
+        self.threads_per_rank = threads_per_rank
+        self.placement = placement or cpu.topology.place(n_ranks * threads_per_rank)
+        if len(self.placement) < n_ranks * threads_per_rank:
+            raise ValueError(
+                f"placement provides {len(self.placement)} threads; "
+                f"{n_ranks * threads_per_rank} needed"
+            )
+        self.p2p = P2PEngine(self)
+        self._comms: dict[int, Communicator] = {}
+        self._next_comm_id = 0
+        self.comm_world = self._register_comm(list(range(n_ranks)), "world")
+        self.ranks = [RankContext(self, r) for r in range(n_ranks)]
+        self._mpi_observers: list[_t.Callable[[MpiRecord], None]] = []
+
+    # -- communicator registry ----------------------------------------------
+
+    def _register_comm(self, ranks: _t.Sequence[int], name: str) -> Communicator:
+        comm = Communicator(self, self._next_comm_id, ranks, name)
+        self._comms[comm.id] = comm
+        self._next_comm_id += 1
+        return comm
+
+    @property
+    def communicators(self) -> dict[int, Communicator]:
+        """All communicators ever created (id -> communicator)."""
+        return dict(self._comms)
+
+    # -- observation -------------------------------------------------------------
+
+    def add_mpi_observer(self, observer: _t.Callable[[MpiRecord], None]) -> None:
+        """Register a callback receiving every completed :class:`MpiRecord`."""
+        self._mpi_observers.append(observer)
+
+    def _notify(self, record: MpiRecord) -> None:
+        for obs in self._mpi_observers:
+            obs(record)
+
+    # -- program launch ------------------------------------------------------------
+
+    def launch(
+        self,
+        program: _t.Callable[["RankContext"], _t.Generator],
+        ranks: _t.Iterable[int] | None = None,
+    ) -> list[Process]:
+        """Start ``program(rank_context)`` as a process on each rank."""
+        selected = list(ranks) if ranks is not None else list(range(self.n_ranks))
+        procs = []
+        for r in selected:
+            ctx = self.ranks[r]
+            procs.append(self.sim.process(program(ctx), name=f"rank{r}"))
+        return procs
+
+    def run(self) -> float:
+        """Run the simulation to completion; returns the final time."""
+        self.sim.run()
+        return self.sim.now
+
+
+class RankContext:
+    """The rank-facing API: compute and communication verbs returning events."""
+
+    def __init__(self, world: MpiWorld, rank: int):
+        self.world = world
+        self.rank = rank
+
+    @property
+    def sim(self) -> Simulator:
+        """The shared simulator (for timeouts and bookkeeping)."""
+        return self.world.sim
+
+    @property
+    def n_threads(self) -> int:
+        """Hardware threads owned by this rank."""
+        return self.world.threads_per_rank
+
+    def thread(self, t: int = 0) -> HwThread:
+        """The ``t``-th hardware thread of this rank."""
+        if not 0 <= t < self.world.threads_per_rank:
+            raise ValueError(
+                f"thread {t} out of range [0, {self.world.threads_per_rank}) on rank {self.rank}"
+            )
+        return self.world.placement[self.rank * self.world.threads_per_rank + t]
+
+    def stream(self, t: int = 0) -> tuple:
+        """Analysis stream id of (this rank, thread ``t``)."""
+        return (self.rank, t)
+
+    # -- compute --------------------------------------------------------------
+
+    def compute(self, phase: str, instructions: float, thread: int = 0) -> Event:
+        """Execute a compute phase on one of this rank's hardware threads."""
+        return self.world.cpu.compute(
+            self.stream(thread), self.thread(thread), phase, instructions
+        )
+
+    # -- collectives -------------------------------------------------------------
+
+    def alltoall(self, comm: Communicator, parts: _t.Sequence, key: object = None, thread: int = 0) -> Event:
+        """MPI_Alltoall(v); resolves to the list of received parts."""
+        return self._traced("alltoall", comm, comm.alltoall(self.rank, parts, key=key), thread)
+
+    def barrier(self, comm: Communicator, key: object = None, thread: int = 0) -> Event:
+        """MPI_Barrier."""
+        return self._traced("barrier", comm, comm.barrier(self.rank, key=key), thread)
+
+    def bcast(self, comm: Communicator, root: int, payload: object = None, key: object = None, thread: int = 0) -> Event:
+        """MPI_Bcast; resolves to the payload on every member."""
+        return self._traced("bcast", comm, comm.bcast(self.rank, root, payload, key=key), thread)
+
+    def allreduce(self, comm: Communicator, array: object, op: str = "sum", key: object = None, thread: int = 0) -> Event:
+        """MPI_Allreduce; resolves to the reduced array."""
+        return self._traced("allreduce", comm, comm.allreduce(self.rank, array, op=op, key=key), thread)
+
+    def gather(self, comm: Communicator, root: int, payload: object, key: object = None, thread: int = 0) -> Event:
+        """MPI_Gather; resolves to the payload list at root, ``None`` elsewhere."""
+        return self._traced("gather", comm, comm.gather(self.rank, root, payload, key=key), thread)
+
+    def allgather(self, comm: Communicator, payload: object, key: object = None, thread: int = 0) -> Event:
+        """MPI_Allgather; resolves to every member's payload in local order."""
+        return self._traced("allgather", comm, comm.allgather(self.rank, payload, key=key), thread)
+
+    def reduce(self, comm: Communicator, root: int, array: object, op: str = "sum", key: object = None, thread: int = 0) -> Event:
+        """MPI_Reduce; resolves to the result at root, ``None`` elsewhere."""
+        return self._traced("reduce", comm, comm.reduce(self.rank, root, array, op=op, key=key), thread)
+
+    def scatter_from_root(self, comm: Communicator, root: int, parts: _t.Sequence | None = None, key: object = None, thread: int = 0) -> Event:
+        """MPI_Scatter; resolves to this member's part."""
+        return self._traced("rscatter", comm, comm.scatter_from_root(self.rank, root, parts, key=key), thread)
+
+    def split(self, comm: Communicator, color: int, order_key: int = 0, key: object = None, thread: int = 0) -> Event:
+        """MPI_Comm_split; resolves to the new communicator (or ``None``)."""
+        return self._traced("split", comm, comm.split(self.rank, color, order_key, key=key), thread)
+
+    def dup(self, comm: Communicator, key: object = None, thread: int = 0) -> Event:
+        """MPI_Comm_dup; resolves to a same-group communicator."""
+        return self._traced("dup", comm, comm.dup(self.rank, key=key), thread)
+
+    # -- point to point -----------------------------------------------------------
+
+    def send(self, comm: Communicator, dst_local: int, payload: object, tag: int = 0, thread: int = 0) -> Event:
+        """Post a send to a local rank of ``comm``."""
+        t0 = self.sim.now
+        inner = self.world.p2p.send(comm, self.rank, dst_local, payload, tag)
+        return self._wrap_p2p("send", comm, inner, t0, thread)
+
+    def recv(self, comm: Communicator, src_local: int, tag: int = 0, thread: int = 0) -> Event:
+        """Post a receive; resolves to the received payload."""
+        t0 = self.sim.now
+        inner = self.world.p2p.recv(comm, self.rank, src_local, tag)
+        return self._wrap_p2p("recv", comm, inner, t0, thread)
+
+    # -- internal: trace wrapping -----------------------------------------------
+
+    def _traced(self, call: str, comm: Communicator, inner: Event, thread: int) -> Event:
+        t0 = self.sim.now
+        outer = Event(self.sim, name=f"mpi:{call}")
+        stream = self.stream(thread)
+
+        def _complete(ev: Event) -> None:
+            if ev.exception is not None:
+                ev.defuse()
+                outer.fail(ev.exception)
+                return
+            result: CollectiveResult = ev.value  # type: ignore[assignment]
+            self.world._notify(
+                MpiRecord(
+                    stream=stream,
+                    call=call,
+                    comm_id=comm.id,
+                    comm_name=comm.name,
+                    t_begin=t0,
+                    t_end=self.sim.now,
+                    bytes_sent=result.bytes_sent,
+                    sync_time=result.sync_time,
+                )
+            )
+            outer.succeed(result.value)
+
+        inner.add_callback(_complete)
+        return outer
+
+    def _wrap_p2p(self, call: str, comm: Communicator, inner: Event, t0: float, thread: int) -> Event:
+        outer = Event(self.sim, name=f"mpi:{call}")
+        stream = self.stream(thread)
+
+        def _complete(ev: Event) -> None:
+            if ev.exception is not None:
+                ev.defuse()
+                outer.fail(ev.exception)
+                return
+            nbytes = ev.value if call == "send" else 0.0
+            self.world._notify(
+                MpiRecord(
+                    stream=stream,
+                    call=call,
+                    comm_id=comm.id,
+                    comm_name=comm.name,
+                    t_begin=t0,
+                    t_end=self.sim.now,
+                    bytes_sent=float(nbytes),  # type: ignore[arg-type]
+                    sync_time=0.0,
+                )
+            )
+            outer.succeed(ev.value)
+
+        inner.add_callback(_complete)
+        return outer

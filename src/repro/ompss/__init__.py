@@ -1,0 +1,52 @@
+"""OmpSs-style task runtime (the Nanos++ substitute).
+
+The paper's optimizations annotate the FFTXlib loop with OmpSs ``task``
+constructs whose ``in``/``out``/``inout`` clauses build a *dynamic task
+dependency graph*; the Nanos++ runtime then schedules ready tasks onto
+threads with no user-defined order.  This package reproduces those semantics
+on the simulated machine:
+
+* :mod:`~repro.ompss.deps` — dependency regions and the RAW/WAR/WAW rules;
+* :mod:`~repro.ompss.task` — task objects and lifecycle records;
+* :mod:`~repro.ompss.graph` — the dynamic dependency graph (successor
+  tracking, ready propagation);
+* :mod:`~repro.ompss.scheduler` — ready-queue policies (FIFO / LIFO /
+  priority) feeding the worker threads;
+* :mod:`~repro.ompss.runtime` — :class:`TaskRuntime`: ``submit`` (the task
+  pragma), ``taskloop`` (with grainsize), ``taskwait``, and the worker pool
+  bound to a rank's hardware threads.
+
+Task bodies are generator factories ``body(worker) -> generator`` so they
+can issue simulated compute and MPI calls from whichever hardware thread the
+scheduler placed them on — exactly how the per-FFT tasks of the paper's
+second optimization run their Alltoalls from inside tasks.
+"""
+
+from repro.ompss.deps import AccessMode, DependencyTracker
+from repro.ompss.task import Task, TaskRecord, TaskState
+from repro.ompss.graph import TaskGraph
+from repro.ompss.scheduler import (
+    FifoQueue,
+    LifoQueue,
+    LocalityQueue,
+    PriorityQueue,
+    WorkStealingQueue,
+    make_queue,
+)
+from repro.ompss.runtime import TaskRuntime
+
+__all__ = [
+    "AccessMode",
+    "DependencyTracker",
+    "Task",
+    "TaskState",
+    "TaskRecord",
+    "TaskGraph",
+    "FifoQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "LocalityQueue",
+    "WorkStealingQueue",
+    "make_queue",
+    "TaskRuntime",
+]

@@ -1,0 +1,74 @@
+"""Dependency regions and the in/out/inout conflict rules.
+
+OmpSs data dependencies are declared over *regions* — here any hashable
+token naming a piece of data, e.g. ``("psis", band)`` or ``"aux"``.  The
+:class:`DependencyTracker` applies the standard rules when a task is created:
+
+* ``in``    (read)  — depends on the region's last writer (RAW);
+* ``out``   (write) — depends on the last writer (WAW) *and* on every reader
+  since that write (WAR); becomes the new last writer;
+* ``inout`` — both.
+
+Only *predecessor* edges ever matter at run time (a task becomes ready when
+its predecessors finished), so the tracker returns the predecessor set for
+each new task and keeps per-region writer/reader state.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.ompss.task import Task
+
+__all__ = ["AccessMode", "DependencyTracker"]
+
+
+class AccessMode(enum.Enum):
+    """How a task accesses a dependency region."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class _RegionState:
+    __slots__ = ("last_writer", "readers")
+
+    def __init__(self) -> None:
+        self.last_writer: "Task | None" = None
+        self.readers: list["Task"] = []
+
+
+class DependencyTracker:
+    """Per-runtime region state; computes predecessor sets for new tasks."""
+
+    def __init__(self) -> None:
+        self._regions: dict[_t.Hashable, _RegionState] = {}
+
+    def register(self, task: "Task") -> set["Task"]:
+        """Apply the task's clauses; returns the set of predecessor tasks.
+
+        Finished tasks are excluded from the result (they can't gate
+        readiness) but still update writer/reader bookkeeping.
+        """
+        predecessors: set["Task"] = set()
+        for region, mode in task.accesses:
+            state = self._regions.setdefault(region, _RegionState())
+            if mode is AccessMode.IN:
+                if state.last_writer is not None:
+                    predecessors.add(state.last_writer)
+                state.readers.append(task)
+            else:  # OUT / INOUT: RAW for inout is covered by the writer dep
+                if state.last_writer is not None:
+                    predecessors.add(state.last_writer)
+                predecessors.update(state.readers)
+                state.last_writer = task
+                state.readers = []
+        predecessors.discard(task)
+        return {p for p in predecessors if not p.is_finished}
+
+    def regions(self) -> list[_t.Hashable]:
+        """All regions seen so far (diagnostics)."""
+        return list(self._regions)

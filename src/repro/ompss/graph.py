@@ -1,0 +1,65 @@
+"""The dynamic task-dependency graph.
+
+Built incrementally as tasks are created (OmpSs evaluates clauses "at runtime
+whenever a task is created"); a task with no unfinished predecessors is
+handed to the ready callback immediately, otherwise it waits until its last
+predecessor finishes.  The graph also keeps simple aggregate statistics used
+by the tests and the analysis tooling (edges, widths).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.ompss.deps import DependencyTracker
+from repro.ompss.task import Task, TaskState
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """Dependency bookkeeping: registration, completion, ready propagation.
+
+    Parameters
+    ----------
+    on_ready:
+        Callback invoked with each task the moment it becomes ready.
+    """
+
+    def __init__(self, on_ready: _t.Callable[[Task], None]):
+        self._tracker = DependencyTracker()
+        self._on_ready = on_ready
+        self.n_created = 0
+        self.n_finished = 0
+        self.n_edges = 0
+
+    def add(self, task: Task) -> None:
+        """Register a new task; may immediately mark it ready."""
+        predecessors = self._tracker.register(task)
+        self.n_created += 1
+        task.n_pending = len(predecessors)
+        self.n_edges += len(predecessors)
+        for pred in predecessors:
+            pred.successors.append(task)
+        if task.n_pending == 0:
+            self._make_ready(task)
+
+    def complete(self, task: Task) -> None:
+        """Mark a task finished and release its successors."""
+        if task.state is not TaskState.RUNNING:
+            raise RuntimeError(f"{task!r} completed while not running")
+        task.state = TaskState.FINISHED
+        self.n_finished += 1
+        for succ in task.successors:
+            succ.n_pending -= 1
+            if succ.n_pending == 0 and succ.state is TaskState.CREATED:
+                self._make_ready(succ)
+
+    def _make_ready(self, task: Task) -> None:
+        task.state = TaskState.READY
+        self._on_ready(task)
+
+    @property
+    def n_outstanding(self) -> int:
+        """Tasks created but not yet finished."""
+        return self.n_created - self.n_finished

@@ -1,0 +1,59 @@
+"""Performance tracing and analysis (the Extrae + Paraver + POP toolchain).
+
+The paper's methodology is as much a contribution as its optimization: trace
+the run (Extrae), inspect timelines and histograms (Paraver), and condense
+everything into the multiplicative POP efficiency model (Tables I/II).
+This package reproduces that workflow against the simulator:
+
+* :mod:`~repro.perf.tracer` — :class:`Tracer` collects compute-phase, MPI
+  and task records through the driver's observer hooks; ``trace_run`` is
+  the one-call "run with tracing" entry point;
+* :mod:`~repro.perf.popmodel` — the efficiency/scalability factor
+  decomposition: parallel efficiency = load balance x communication
+  efficiency; communication efficiency = serialization x transfer (transfer
+  measured by an *ideal-network replay*, trivially exact in a simulator);
+  computation scalability = IPC x instruction scalability; global = PE x CS;
+* :mod:`~repro.perf.timeline` — Fig. 3/7 artifacts: per-stream phase
+  timelines, MPI call maps, communicator structure, IPC histograms;
+* :mod:`~repro.perf.paraver` — a Paraver-like trace format (.prv state /
+  event / communication records with .pcf/.row sidecars) writer and parser;
+* :mod:`~repro.perf.report` — ASCII rendering of the factor tables and
+  series the experiments print.
+"""
+
+from repro.perf.tracer import Trace, Tracer, trace_run
+from repro.perf.popmodel import BaseMetrics, FactorSet, factors_from_run, ideal_network
+from repro.perf.timeline import (
+    communicator_structure,
+    ipc_histogram,
+    mpi_intervals,
+    phase_intervals,
+    phase_summary,
+)
+from repro.perf.paraver import read_prv, write_prv
+from repro.perf.report import format_factor_table, format_series
+from repro.perf.whatif import runtime_attribution, whatif_sweep
+from repro.perf.compare import compare_runs, format_run_comparison
+
+__all__ = [
+    "Trace",
+    "Tracer",
+    "trace_run",
+    "BaseMetrics",
+    "FactorSet",
+    "factors_from_run",
+    "ideal_network",
+    "phase_intervals",
+    "mpi_intervals",
+    "phase_summary",
+    "ipc_histogram",
+    "communicator_structure",
+    "write_prv",
+    "read_prv",
+    "format_factor_table",
+    "format_series",
+    "whatif_sweep",
+    "runtime_attribution",
+    "compare_runs",
+    "format_run_comparison",
+]

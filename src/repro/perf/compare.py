@@ -1,0 +1,132 @@
+"""Run comparison: where did the time go between two executions?
+
+The analyst's follow-up question after any optimization — "which phases got
+faster, which got slower, and did communication or computation move?" —
+answered by aligning two traces phase by phase.  This is the quantitative
+version of the paper's side-by-side Fig. 7 reading.
+
+:func:`compare_runs` aggregates each trace into per-phase compute time/IPC
+and per-communicator-layer MPI time, then reports absolute and relative
+deltas; :func:`format_run_comparison` renders the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.perf.timeline import phase_summary
+from repro.perf.tracer import Trace
+
+__all__ = ["PhaseDelta", "RunComparison", "compare_runs", "format_run_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's aggregate change between runs A and B."""
+
+    name: str
+    time_a: float
+    time_b: float
+    ipc_a: float
+    ipc_b: float
+
+    @property
+    def time_delta(self) -> float:
+        return self.time_b - self.time_a
+
+    @property
+    def relative(self) -> float:
+        """Relative time change (B vs A; negative = faster)."""
+        if self.time_a <= 0:
+            return float("inf") if self.time_b > 0 else 0.0
+        return self.time_b / self.time_a - 1.0
+
+
+@dataclasses.dataclass
+class RunComparison:
+    """Phase-by-phase and layer-by-layer deltas between two traces."""
+
+    phases: list[PhaseDelta]
+    mpi_a: dict[str, float]  # communicator-layer -> accumulated seconds
+    mpi_b: dict[str, float]
+    total_compute_a: float
+    total_compute_b: float
+
+    def regressions(self, threshold: float = 0.05) -> list[PhaseDelta]:
+        """Phases that got slower by more than ``threshold`` (relative)."""
+        return [p for p in self.phases if p.relative > threshold]
+
+    def improvements(self, threshold: float = 0.05) -> list[PhaseDelta]:
+        """Phases that got faster by more than ``threshold`` (relative)."""
+        return [p for p in self.phases if p.relative < -threshold]
+
+
+def _mpi_by_layer(trace: Trace) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for r in trace.mpi:
+        layer = r.comm_name.rstrip("0123456789")  # pack3 -> pack
+        out[layer] = out.get(layer, 0.0) + r.duration
+    return out
+
+
+def compare_runs(trace_a: Trace, trace_b: Trace, frequency_hz: float) -> RunComparison:
+    """Align two traces phase by phase (union of phase names)."""
+    sum_a = phase_summary(trace_a, frequency_hz)
+    sum_b = phase_summary(trace_b, frequency_hz)
+    phases = []
+    for name in sorted(set(sum_a) | set(sum_b)):
+        a = sum_a.get(name, {"time": 0.0, "ipc": 0.0})
+        b = sum_b.get(name, {"time": 0.0, "ipc": 0.0})
+        phases.append(
+            PhaseDelta(
+                name=name,
+                time_a=a["time"],
+                time_b=b["time"],
+                ipc_a=a.get("ipc", 0.0),
+                ipc_b=b.get("ipc", 0.0),
+            )
+        )
+    return RunComparison(
+        phases=phases,
+        mpi_a=_mpi_by_layer(trace_a),
+        mpi_b=_mpi_by_layer(trace_b),
+        total_compute_a=sum(p.time_a for p in phases),
+        total_compute_b=sum(p.time_b for p in phases),
+    )
+
+
+def format_run_comparison(
+    comparison: RunComparison, labels: tuple[str, str] = ("A", "B")
+) -> str:
+    """Render the comparison as an ASCII table."""
+    la, lb = labels
+    lines = [
+        f"{'phase':<18}{la + ' time':>12}{lb + ' time':>12}{'delta':>9}"
+        f"{la + ' IPC':>9}{lb + ' IPC':>9}",
+        "-" * 69,
+    ]
+    for p in comparison.phases:
+        rel = p.relative
+        rel_str = f"{rel * 100:+6.1f}%" if rel != float("inf") else "   new"
+        lines.append(
+            f"{p.name:<18}{p.time_a * 1e3:>10.2f}ms{p.time_b * 1e3:>10.2f}ms"
+            f"{rel_str:>9}{p.ipc_a:>9.3f}{p.ipc_b:>9.3f}"
+        )
+    lines.append("-" * 69)
+    rel_total = (
+        comparison.total_compute_b / comparison.total_compute_a - 1.0
+        if comparison.total_compute_a > 0
+        else 0.0
+    )
+    lines.append(
+        f"{'total compute':<18}{comparison.total_compute_a * 1e3:>10.2f}ms"
+        f"{comparison.total_compute_b * 1e3:>10.2f}ms{rel_total * 100:>+8.1f}%"
+    )
+    for layer in sorted(set(comparison.mpi_a) | set(comparison.mpi_b)):
+        a = comparison.mpi_a.get(layer, 0.0)
+        b = comparison.mpi_b.get(layer, 0.0)
+        lines.append(
+            f"{'MPI ' + layer:<18}{a * 1e3:>10.2f}ms{b * 1e3:>10.2f}ms"
+        )
+    return "\n".join(lines)

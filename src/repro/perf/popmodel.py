@@ -1,0 +1,163 @@
+"""The POP efficiency model (Tables I and II).
+
+Following Rosas/Giménez/Labarta (the paper's ref. [10]), overall efficiency
+is decomposed multiplicatively:
+
+* **Load balance** = mean over streams of useful compute time / max.
+* **Communication efficiency** = max useful compute time / runtime, split as
+  **serialization (sync) x transfer**, where transfer efficiency is measured
+  by replaying the run on an *ideal network* (zero latency, infinite
+  bandwidth) — the classic Dimemas what-if, which a simulator performs
+  exactly;
+* **Parallel efficiency** = load balance x communication efficiency.
+* **Computation scalability** (vs. the smallest run) = total useful compute
+  time of the base / this run, further split into **IPC scalability** and
+  **instruction scalability**.
+* **Global efficiency** = parallel efficiency x computation scalability.
+
+A *stream* is what the analysis treats as a process: an MPI rank in the
+original version, an (MPI rank, thread) pair in the task versions — exactly
+how the paper's Tables I/II compare "1-16 ranks with 8 FFT task groups /
+8 OmpSs tasks each".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import RunConfig
+from repro.core.driver import RunResult, run_fft_phase
+from repro.machine.knl import KnlParameters
+
+__all__ = ["FactorSet", "BaseMetrics", "factors_from_run", "ideal_network"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BaseMetrics:
+    """Aggregates of the smallest (reference) run."""
+
+    total_compute_time: float
+    total_instructions: float
+    average_ipc: float
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "BaseMetrics":
+        c = result.cpu.counters
+        return cls(
+            total_compute_time=c.total_compute_time(),
+            total_instructions=c.total_instructions(),
+            average_ipc=c.average_ipc(),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FactorSet:
+    """One column of Table I/II (fractions in [0, ~1])."""
+
+    parallel_efficiency: float
+    load_balance: float
+    communication_efficiency: float
+    synchronization_efficiency: float
+    transfer_efficiency: float
+    computation_scalability: float
+    ipc_scalability: float
+    instruction_scalability: float
+    global_efficiency: float
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """Ordered (label, value) rows matching the paper's table layout."""
+        return [
+            ("Parallel efficiency", self.parallel_efficiency),
+            ("-> Load Balance", self.load_balance),
+            ("-> Communication Efficiency", self.communication_efficiency),
+            ("   -> Synchronization", self.synchronization_efficiency),
+            ("   -> Transfer", self.transfer_efficiency),
+            ("Computation Scalability", self.computation_scalability),
+            ("-> IPC Scalability", self.ipc_scalability),
+            ("-> Instructions Scalability", self.instruction_scalability),
+            ("Global Efficiency", self.global_efficiency),
+        ]
+
+
+def ideal_network(knl: KnlParameters | None = None) -> KnlParameters:
+    """The what-if machine: same node, instantaneous MPI transport."""
+    base = knl or KnlParameters()
+    return dataclasses.replace(
+        base,
+        net_latency=0.0,
+        net_injection_bw=1e18,
+        net_capacity=1e18,
+    )
+
+
+def factors_from_run(
+    result: RunResult,
+    ideal_time: float | None = None,
+    base: BaseMetrics | None = None,
+) -> FactorSet:
+    """Compute the factor column for one run.
+
+    Parameters
+    ----------
+    result:
+        The measured run.
+    ideal_time:
+        Runtime of the same configuration on the ideal network; without it
+        the sync/transfer split is not identified (both reported as the
+        square root of communication efficiency would be arbitrary — they
+        are set to ``nan``-free neutral 1.0 and the caller should know).
+    base:
+        Aggregates of the smallest run; defaults to this run itself (i.e.
+        the base column, scalability = 1).
+    """
+    counters = result.cpu.counters
+    runtime = result.phase_time
+    streams = counters.streams
+    if not streams or runtime <= 0.0:
+        raise ValueError("run has no computation to analyse")
+
+    per_stream = [counters.stream_compute_time(s) for s in streams]
+    max_compute = max(per_stream)
+    avg_compute = sum(per_stream) / len(per_stream)
+
+    load_balance = avg_compute / max_compute if max_compute > 0 else 1.0
+    comm_eff = max_compute / runtime
+    parallel_eff = load_balance * comm_eff
+
+    if ideal_time is not None and ideal_time > 0:
+        transfer_eff = min(ideal_time / runtime, 1.0)
+        sync_eff = min(max_compute / ideal_time, 1.0)
+    else:
+        transfer_eff = 1.0
+        sync_eff = comm_eff
+
+    if base is None:
+        base = BaseMetrics.from_run(result)
+    total_compute = counters.total_compute_time()
+    total_instr = counters.total_instructions()
+    comp_scal = base.total_compute_time / total_compute if total_compute > 0 else 1.0
+    ipc_scal = counters.average_ipc() / base.average_ipc if base.average_ipc > 0 else 1.0
+    instr_scal = base.total_instructions / total_instr if total_instr > 0 else 1.0
+
+    return FactorSet(
+        parallel_efficiency=parallel_eff,
+        load_balance=load_balance,
+        communication_efficiency=comm_eff,
+        synchronization_efficiency=sync_eff,
+        transfer_efficiency=transfer_eff,
+        computation_scalability=comp_scal,
+        ipc_scalability=ipc_scal,
+        instruction_scalability=instr_scal,
+        global_efficiency=parallel_eff * comp_scal,
+    )
+
+
+def measure_factors(
+    config: RunConfig,
+    base: BaseMetrics | None = None,
+    knl: KnlParameters | None = None,
+) -> tuple[RunResult, FactorSet]:
+    """Run a configuration twice (real + ideal network) and decompose it."""
+    result = run_fft_phase(config, knl=knl)
+    ideal = run_fft_phase(config, knl=ideal_network(knl))
+    return result, factors_from_run(result, ideal_time=ideal.phase_time, base=base)

@@ -1,0 +1,48 @@
+"""A miniature plane-wave band solver on top of the FFT kernel.
+
+The paper's motivation is that FFTXlib's kernel is *the* inner loop of
+Quantum ESPRESSO: "the FFT kernel needed when an operator diagonal in real
+space should be applied to the wave functions."  This package closes that
+loop — a non-self-consistent band-structure solver (QE's ``nscf`` mode on a
+fixed potential) whose Hamiltonian applications run through the simulated
+distributed pipeline:
+
+* :mod:`~repro.qe.hamiltonian` — ``H = T + V(r)``: the kinetic term is
+  diagonal in G space (``|G|^2`` in Rydberg units); the potential term is
+  exactly the kernel the paper optimizes, executed either densely (fast,
+  for the math) or through :func:`repro.core.run_fft_phase` on any executor
+  (which also yields the simulated time a QE run would spend per
+  iteration);
+* :mod:`~repro.qe.bands` — blocked subspace iteration with Rayleigh–Ritz
+  rotation, orthonormalization, and convergence tracking: the lowest
+  ``n_bands`` eigenpairs of H;
+* :mod:`~repro.qe.dense` — the brute-force ``ngw x ngw`` Hamiltonian matrix
+  (via the convolution structure ``V_{GG'} = Vtilde(G - G')``) used by the
+  tests to verify the solver's eigenvalues.
+"""
+
+from repro.qe.hamiltonian import Hamiltonian, kinetic_spectrum
+from repro.qe.bands import BandSolveResult, solve_bands
+from repro.qe.dense import dense_hamiltonian_matrix
+from repro.qe.scf import ScfResult, density_from_bands, fermi_occupations, run_scf
+from repro.qe.kpath import CUBIC_POINTS, BandStructure, band_structure, k_path
+from repro.qe.dos import DensityOfStates, density_of_states, monkhorst_pack
+
+__all__ = [
+    "k_path",
+    "band_structure",
+    "BandStructure",
+    "CUBIC_POINTS",
+    "density_of_states",
+    "DensityOfStates",
+    "monkhorst_pack",
+    "Hamiltonian",
+    "kinetic_spectrum",
+    "solve_bands",
+    "BandSolveResult",
+    "dense_hamiltonian_matrix",
+    "run_scf",
+    "ScfResult",
+    "density_from_bands",
+    "fermi_occupations",
+]

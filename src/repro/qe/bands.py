@@ -1,0 +1,134 @@
+"""Blocked subspace iteration for the lowest bands (QE's nscf analogue).
+
+The classic Rayleigh–Ritz scheme iterated to convergence:
+
+1. orthonormalize the current block X (QR);
+2. form H X (every application is the FFT kernel — the paper's hot loop);
+3. build the subspace matrices ``S = X^H H X`` and rotate X onto the Ritz
+   vectors;
+4. refine with a preconditioned residual step
+   ``X <- X - R / (T + v0 - eps)`` (the standard kinetic preconditioner:
+   exact where the kinetic term dominates, damped elsewhere);
+5. repeat until the eigenvalue sum stabilises.
+
+Deliberately simple (single-shot Davidson expansion, fixed potential), but
+the numerics are real: the tests check the converged eigenvalues against
+exact diagonalisation of the dense Hamiltonian matrix to ~1e-8 Ry, at the
+Gamma point and along k-paths (see :mod:`repro.qe.kpath`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.qe.hamiltonian import Hamiltonian
+
+__all__ = ["solve_bands", "BandSolveResult"]
+
+
+@dataclasses.dataclass
+class BandSolveResult:
+    """Outcome of a band solve."""
+
+    eigenvalues: np.ndarray  # (n_bands,), ascending (Ry)
+    eigenvectors: np.ndarray  # (n_bands, ngw), orthonormal rows
+    n_iterations: int
+    converged: bool
+    residual_norms: np.ndarray  # (n_bands,)
+    history: list[float]  # eigenvalue-sum per iteration
+    simulated_time: float  # accumulated simulated FFT-phase seconds (if any)
+
+
+def solve_bands(
+    ham: Hamiltonian,
+    n_bands: int,
+    engine: _t.Union[str, RunConfig] = "dense",
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+    seed: int = 11,
+    n_extra: int | None = None,
+) -> BandSolveResult:
+    """Lowest ``n_bands`` eigenpairs of ``ham`` by subspace iteration.
+
+    ``n_extra`` guard vectors (default ``max(4, n_bands // 4)``) are carried
+    in the block but not returned — the standard trick that keeps the
+    *requested* bands from stalling at the block edge; generous enough by
+    default to swallow small degenerate clusters (cubic cells have many).
+    """
+    if n_bands < 1:
+        raise ValueError(f"n_bands must be >= 1, got {n_bands}")
+    ngw = ham.ngw
+    if n_extra is None:
+        n_extra = max(4, n_bands // 4)
+    block = min(n_bands + n_extra, ngw)
+    if n_bands > ngw:
+        raise ValueError(f"n_bands={n_bands} exceeds the basis size {ngw}")
+
+    rng = np.random.default_rng(seed)
+    kinetic = ham.kinetic  # |k + G|^2 of *this* Hamiltonian's k-point
+    # Start from the lowest-kinetic-energy plane waves plus a little noise —
+    # the standard atomic-wfc-free initialisation.
+    order = np.argsort(kinetic)
+    x = np.zeros((block, ngw), dtype=np.complex128)
+    x[np.arange(block), order[:block]] = 1.0
+    x += 0.01 * (rng.standard_normal(x.shape) + 1j * rng.standard_normal(x.shape))
+
+    v0 = float(np.mean(ham.potential))
+    history: list[float] = []
+    eigenvalues = np.zeros(block)
+    residuals = np.full(block, np.inf)
+    converged = False
+    iteration = 0
+    x = _orthonormalize(x)
+
+    for iteration in range(1, max_iterations + 1):
+        hx = ham.apply(x, engine=engine)
+        # Ritz values/residuals of the current block.
+        s = x.conj() @ hx.T
+        s = 0.5 * (s + s.conj().T)
+        eigenvalues, rotation = np.linalg.eigh(s)
+        # Row convention: the k-th Ritz vector is sum_i R[i, k] * x_i, i.e.
+        # R.T @ x (no conjugate — R's columns are the coefficients).
+        x = rotation.T @ x
+        hx = rotation.T @ hx
+        residual = hx - eigenvalues[:, None] * x
+        residuals = np.linalg.norm(residual, axis=1)
+
+        history.append(float(eigenvalues[:n_bands].sum()))
+        if len(history) >= 2 and abs(history[-1] - history[-2]) < tol * max(
+            1.0, abs(history[-1])
+        ):
+            converged = True
+            break
+
+        # Davidson-style expansion: Rayleigh-Ritz over [x, K^-1 residual]
+        # with the kinetic preconditioner, keep the lowest `block` pairs.
+        denom = kinetic[None, :] + v0 - eigenvalues[:, None]
+        denom = np.where(np.abs(denom) < 0.5, 0.5 * np.sign(denom + 1e-30), denom)
+        w = residual / denom
+        basis = _orthonormalize(np.vstack([x, w]))
+        hb = ham.apply(basis, engine=engine)
+        s2 = basis.conj() @ hb.T
+        s2 = 0.5 * (s2 + s2.conj().T)
+        _theta, vectors = np.linalg.eigh(s2)
+        x = vectors[:, :block].T @ basis
+
+    return BandSolveResult(
+        eigenvalues=eigenvalues[:n_bands],
+        eigenvectors=x[:n_bands],
+        n_iterations=iteration,
+        converged=converged,
+        residual_norms=residuals[:n_bands],
+        history=history,
+        simulated_time=ham.simulated_time,
+    )
+
+
+def _orthonormalize(x: np.ndarray) -> np.ndarray:
+    """Row-orthonormalize a coefficient block (thin QR)."""
+    q, _r = np.linalg.qr(x.T)
+    return np.ascontiguousarray(q.T)

@@ -1,0 +1,45 @@
+"""Brute-force Hamiltonian matrix (the band solver's ground truth).
+
+For a local potential, the plane-wave Hamiltonian has the explicit form::
+
+    H_{GG'} = |G|^2 delta_{GG'} + Vtilde(G - G')
+
+where ``Vtilde`` is the potential's (forward, 1/N-scaled) Fourier transform
+evaluated at the Miller-index difference, wrapped onto the FFT grid.  For
+test-sized spheres (ngw of a few hundred) the full ``ngw x ngw`` Hermitian
+matrix is cheap to build and diagonalise exactly — the reference the
+subspace solver is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft import cfft3d
+from repro.grids.descriptor import FftDescriptor
+from repro.qe.hamiltonian import kinetic_spectrum
+
+__all__ = ["dense_hamiltonian_matrix"]
+
+
+def dense_hamiltonian_matrix(
+    desc: FftDescriptor, potential: np.ndarray, k: np.ndarray | None = None
+) -> np.ndarray:
+    """The explicit ``(ngw, ngw)`` Hamiltonian (Ry) for ``V[iz, ix, iy]``.
+
+    ``k`` (cartesian tpiba units) shifts the kinetic diagonal to
+    ``|k + G|^2``; the potential block is k independent.
+    """
+    expected = (desc.nr3, desc.nr1, desc.nr2)
+    if potential.shape != expected:
+        raise ValueError(f"potential shape {potential.shape}; expected {expected}")
+    v_xyz = potential.transpose(1, 2, 0).astype(np.complex128)
+    v_tilde = cfft3d(v_xyz, -1)  # Vtilde[qx, qy, qz], 1/N scaled
+
+    m = desc.sphere.millers
+    nr = np.array([desc.nr1, desc.nr2, desc.nr3])
+    # q = G_i - G_j wrapped onto the grid, per axis.
+    diff = (m[:, None, :] - m[None, :, :]) % nr
+    h = v_tilde[diff[..., 0], diff[..., 1], diff[..., 2]]
+    h[np.arange(desc.ngw), np.arange(desc.ngw)] += kinetic_spectrum(desc, k)
+    return h

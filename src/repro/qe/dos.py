@@ -1,0 +1,86 @@
+"""Density of states from sampled eigenvalues (Gaussian broadening).
+
+The standard post-processing of a band calculation: sample eigenvalues on a
+k-grid (every point another pass of the FFT kernel through the solver) and
+histogram them with Gaussian smearing,
+
+    DOS(E) = (1/N_k) sum_{k,b} g_sigma(E - eps_{k,b}),
+
+normalised so that integrating DOS over energy counts states per k-point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.grids.descriptor import FftDescriptor
+from repro.qe.bands import solve_bands
+from repro.qe.hamiltonian import Hamiltonian
+
+__all__ = ["DensityOfStates", "monkhorst_pack", "density_of_states"]
+
+
+def monkhorst_pack(n1: int, n2: int, n3: int) -> np.ndarray:
+    """A Gamma-centred uniform k-grid in cartesian tpiba units (cubic cell).
+
+    Returns ``(n1*n2*n3, 3)`` points in ``[0, 1)`` per axis.
+    """
+    if min(n1, n2, n3) < 1:
+        raise ValueError(f"grid dimensions must be >= 1, got ({n1}, {n2}, {n3})")
+    axes = [np.arange(n) / n for n in (n1, n2, n3)]
+    k1, k2, k3 = np.meshgrid(*axes, indexing="ij")
+    return np.column_stack([k1.ravel(), k2.ravel(), k3.ravel()])
+
+
+@dataclasses.dataclass
+class DensityOfStates:
+    """A broadened DOS on an energy grid."""
+
+    energies: np.ndarray  # (n_e,) grid (Ry)
+    dos: np.ndarray  # (n_e,) states per Ry per k-point
+    eigenvalues: np.ndarray  # (n_k, n_bands) raw samples
+    simulated_time: float
+
+    def integrated(self) -> float:
+        """Integral of the DOS over the energy window (states per k-point)."""
+        return float(np.trapezoid(self.dos, self.energies))
+
+
+def density_of_states(
+    desc: FftDescriptor,
+    potential: np.ndarray,
+    kpoints: np.ndarray,
+    n_bands: int,
+    sigma: float = 0.1,
+    n_energies: int = 200,
+    engine: _t.Union[str, RunConfig] = "dense",
+    tol: float = 1e-8,
+) -> DensityOfStates:
+    """Solve every k-point and broaden the spectrum into a DOS."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    kpoints = np.atleast_2d(np.asarray(kpoints, dtype=float))
+    eigenvalues = np.empty((len(kpoints), n_bands))
+    simulated_time = 0.0
+    for i, k in enumerate(kpoints):
+        ham = Hamiltonian(desc, potential, k=k)
+        res = solve_bands(ham, n_bands, engine=engine, tol=tol)
+        eigenvalues[i] = res.eigenvalues
+        simulated_time += res.simulated_time
+
+    lo = eigenvalues.min() - 5 * sigma
+    hi = eigenvalues.max() + 5 * sigma
+    grid = np.linspace(lo, hi, n_energies)
+    norm = 1.0 / (sigma * np.sqrt(2 * np.pi) * len(kpoints))
+    diffs = grid[:, None] - eigenvalues.ravel()[None, :]
+    dos = norm * np.exp(-0.5 * (diffs / sigma) ** 2).sum(axis=1)
+    return DensityOfStates(
+        energies=grid,
+        dos=dos,
+        eigenvalues=eigenvalues,
+        simulated_time=simulated_time,
+    )

@@ -1,0 +1,147 @@
+"""The plane-wave Hamiltonian ``H = T + V(r)``.
+
+Rydberg atomic units, QE conventions: a plane wave ``|G>`` has kinetic
+energy ``|G|^2`` with G in Bohr^-1, i.e. ``g2 * tpiba^2`` for the sphere's
+``g2`` (stored in tpiba^2 units).  The local potential is diagonal in real
+space, so ``V|psi>`` is precisely the FFTXlib kernel: backward transform,
+multiply, forward transform.
+
+``apply`` evaluates ``H @ coeffs`` for a block of bands.  Two engines:
+
+* ``engine="dense"`` — single-grid transforms (fast; used inside the
+  eigensolver's inner loop);
+* ``engine=<RunConfig>`` — the full simulated distributed pipeline of
+  :mod:`repro.core`; numerically identical (the integration tests assert
+  it), and each application also reports the simulated FFT-phase time, so
+  the solver doubles as a "what would this cost on the KNL node" model for
+  an actual QE workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.driver import run_fft_phase
+from repro.core.validate import dense_reference
+from repro.grids.descriptor import FftDescriptor
+
+__all__ = ["Hamiltonian", "kinetic_spectrum"]
+
+
+def kinetic_spectrum(desc: FftDescriptor, k: np.ndarray | None = None) -> np.ndarray:
+    """Kinetic energies ``|k + G|^2`` (Ry) of the sphere, in canonical order.
+
+    ``k`` is a crystal-momentum vector in tpiba units (crystal coordinates
+    are ``bg @ k_cryst``; pass the cartesian tpiba vector here).  ``None``
+    or zero is the Gamma point.
+    """
+    if k is None:
+        return desc.sphere.g2 * desc.cell.tpiba2
+    k = np.asarray(k, dtype=float)
+    if k.shape != (3,):
+        raise ValueError(f"k must be a 3-vector, got shape {k.shape}")
+    g = desc.sphere.millers @ desc.cell.bg.T  # cartesian, tpiba units
+    kg = g + k
+    return np.einsum("ij,ij->i", kg, kg) * desc.cell.tpiba2
+
+
+@dataclasses.dataclass
+class Hamiltonian:
+    """``H = T + V(r)`` over a descriptor's G-sphere.
+
+    Attributes
+    ----------
+    desc:
+        FFT geometry (defines the basis).
+    potential:
+        ``V[iz, ix, iy]`` real local potential (Ry).
+    k:
+        Crystal momentum in cartesian tpiba units (``None`` = Gamma).  The
+        kinetic term becomes ``|k + G|^2``; the potential term is k
+        independent, so the same FFT kernel serves every k-point — which is
+        exactly why Quantum ESPRESSO's k-point loop hammers FFTXlib.
+    """
+
+    desc: FftDescriptor
+    potential: np.ndarray
+    k: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        expected = (self.desc.nr3, self.desc.nr1, self.desc.nr2)
+        if self.potential.shape != expected:
+            raise ValueError(
+                f"potential shape {self.potential.shape}; expected {expected}"
+            )
+        self._kinetic = kinetic_spectrum(self.desc, self.k)
+        #: Accumulated simulated FFT-phase seconds (distributed engine only).
+        self.simulated_time = 0.0
+
+    @property
+    def ngw(self) -> int:
+        """Basis size."""
+        return self.desc.ngw
+
+    @property
+    def kinetic(self) -> np.ndarray:
+        """The kinetic diagonal ``|k + G|^2`` (Ry) of this Hamiltonian."""
+        return self._kinetic
+
+    def apply(
+        self, coeffs: np.ndarray, engine: _t.Union[str, RunConfig] = "dense"
+    ) -> np.ndarray:
+        """``H @ coeffs`` for a ``(n_bands, ngw)`` block.
+
+        ``engine="dense"`` uses single-grid transforms; an explicit
+        :class:`RunConfig` routes the potential term through the simulated
+        distributed pipeline (and accumulates :attr:`simulated_time`).
+        """
+        coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.complex128))
+        if coeffs.shape[1] != self.ngw:
+            raise ValueError(f"coefficient blocks need {self.ngw} columns, got {coeffs.shape[1]}")
+        v_psi = self._apply_potential(coeffs, engine)
+        return self._kinetic[None, :] * coeffs + v_psi
+
+    def _apply_potential(
+        self, coeffs: np.ndarray, engine: _t.Union[str, RunConfig]
+    ) -> np.ndarray:
+        if isinstance(engine, str):
+            if engine != "dense":
+                raise ValueError(f"unknown engine {engine!r}; use 'dense' or a RunConfig")
+            return dense_reference(self.desc, coeffs, self.potential)
+        config = self._pipeline_config(engine, coeffs.shape[0])
+        result = run_fft_phase(
+            config, input_coeffs=coeffs, potential=self.potential
+        )
+        self.simulated_time += result.phase_time
+        return result.output_coefficients()
+
+    def _pipeline_config(self, engine: RunConfig, n_bands: int) -> RunConfig:
+        """Adapt the engine config to this Hamiltonian's workload."""
+        if engine.n_complex_bands != n_bands or not engine.data_mode:
+            engine = dataclasses.replace(
+                engine, nbnd=2 * n_bands, data_mode=True
+            )
+        if (engine.ecutwfc, engine.alat, engine.dual) != (
+            self.desc.ecutwfc,
+            self.desc.cell.alat,
+            self.desc.dual,
+        ):
+            engine = dataclasses.replace(
+                engine,
+                ecutwfc=self.desc.ecutwfc,
+                alat=self.desc.cell.alat,
+                dual=self.desc.dual,
+            )
+        return engine
+
+    def expectation(self, coeffs: np.ndarray, engine: _t.Union[str, RunConfig] = "dense") -> np.ndarray:
+        """Per-band ``<psi|H|psi> / <psi|psi>`` (Ry)."""
+        coeffs = np.atleast_2d(coeffs)
+        h_psi = self.apply(coeffs, engine)
+        num = np.einsum("bg,bg->b", np.conj(coeffs), h_psi)
+        den = np.einsum("bg,bg->b", np.conj(coeffs), coeffs)
+        return (num / den).real

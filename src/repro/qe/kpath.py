@@ -1,0 +1,112 @@
+"""Band structure along a k-path (the nscf band-plot workflow).
+
+Quantum ESPRESSO's band-structure runs solve ``H(k) = |k+G|^2 + V(r)`` on a
+polyline through the Brillouin zone; only the kinetic diagonal changes with
+k, so the FFT kernel (the V*psi application the paper optimizes) is hit
+identically at every point — a production workload's worth of kernel
+invocations per plot.
+
+:func:`k_path` samples a polyline between named points;
+:func:`band_structure` solves every point with the subspace solver and
+returns the ``(n_k, n_bands)`` energy array plus path distances for
+plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.grids.descriptor import FftDescriptor
+from repro.qe.bands import solve_bands
+from repro.qe.hamiltonian import Hamiltonian
+
+__all__ = ["k_path", "band_structure", "BandStructure", "CUBIC_POINTS"]
+
+#: High-symmetry points of the simple-cubic Brillouin zone (tpiba units).
+CUBIC_POINTS: dict[str, tuple[float, float, float]] = {
+    "G": (0.0, 0.0, 0.0),
+    "X": (0.5, 0.0, 0.0),
+    "M": (0.5, 0.5, 0.0),
+    "R": (0.5, 0.5, 0.5),
+}
+
+
+def k_path(
+    points: _t.Sequence[_t.Sequence[float] | str],
+    n_per_segment: int = 8,
+    labels: _t.Mapping[str, _t.Sequence[float]] | None = None,
+) -> np.ndarray:
+    """Sample a polyline through the given k-points (tpiba units).
+
+    Entries may be explicit 3-vectors or names resolved via ``labels``
+    (default :data:`CUBIC_POINTS`).  Returns ``(n_k, 3)`` including both
+    endpoints of every segment (shared corners deduplicated).
+    """
+    if n_per_segment < 2:
+        raise ValueError(f"n_per_segment must be >= 2, got {n_per_segment}")
+    table = dict(CUBIC_POINTS if labels is None else labels)
+    resolved = []
+    for p in points:
+        if isinstance(p, str):
+            try:
+                resolved.append(np.asarray(table[p], dtype=float))
+            except KeyError:
+                raise ValueError(f"unknown k-point label {p!r}; known: {sorted(table)}") from None
+        else:
+            vec = np.asarray(p, dtype=float)
+            if vec.shape != (3,):
+                raise ValueError(f"k-points must be 3-vectors, got shape {vec.shape}")
+            resolved.append(vec)
+    if len(resolved) < 2:
+        raise ValueError("a path needs at least two points")
+    samples = [resolved[0]]
+    for a, b in zip(resolved, resolved[1:]):
+        for i in range(1, n_per_segment):
+            samples.append(a + (b - a) * i / (n_per_segment - 1))
+    return np.array(samples)
+
+
+@dataclasses.dataclass
+class BandStructure:
+    """Energies along a k-path."""
+
+    kpoints: np.ndarray  # (n_k, 3) tpiba units
+    energies: np.ndarray  # (n_k, n_bands) Ry, ascending per row
+    distances: np.ndarray  # (n_k,) cumulative path length (tpiba units)
+    simulated_time: float
+
+    @property
+    def band_width(self) -> np.ndarray:
+        """max - min of each band across the path (dispersion)."""
+        return self.energies.max(axis=0) - self.energies.min(axis=0)
+
+
+def band_structure(
+    desc: FftDescriptor,
+    potential: np.ndarray,
+    kpoints: np.ndarray,
+    n_bands: int,
+    engine: _t.Union[str, RunConfig] = "dense",
+    tol: float = 1e-9,
+) -> BandStructure:
+    """Solve the lowest bands at every k-point of a path."""
+    kpoints = np.atleast_2d(np.asarray(kpoints, dtype=float))
+    energies = np.empty((len(kpoints), n_bands))
+    simulated_time = 0.0
+    for i, k in enumerate(kpoints):
+        ham = Hamiltonian(desc, potential, k=k)
+        res = solve_bands(ham, n_bands, engine=engine, tol=tol)
+        energies[i] = res.eigenvalues
+        simulated_time += res.simulated_time
+    steps = np.linalg.norm(np.diff(kpoints, axis=0), axis=1)
+    distances = np.concatenate([[0.0], np.cumsum(steps)])
+    return BandStructure(
+        kpoints=kpoints,
+        energies=energies,
+        distances=distances,
+        simulated_time=simulated_time,
+    )

@@ -1,0 +1,51 @@
+"""Discrete-event simulation engine.
+
+``simkit`` is the foundation of the whole reproduction: simulated MPI ranks,
+OmpSs worker threads and hardware resources are all coroutine *processes*
+driven by a single event queue.  The design follows the classic
+process-interaction style (generators yield *events*; the simulator resumes
+them when the event triggers) with one addition that the KNL contention model
+needs: :class:`~repro.simkit.fluid.FluidResource`, a processor-sharing
+resource whose per-task progress rates are recomputed every time the set of
+active tasks changes.  This is what lets a compute phase's effective IPC
+depend on *what else* is running on the node at the same instant.
+
+Public API
+----------
+Simulator
+    The event loop: ``now``, ``schedule``, ``process``, ``run``.
+Event, Timeout, Process, AllOf, AnyOf
+    Awaitable primitives for coroutine processes.
+Resource, PriorityResource, Mutex
+    Counting resources with FIFO queues.
+FluidResource, FluidTask, RateAllocator
+    Processor-sharing resources with state-dependent rates.
+"""
+
+from repro.simkit.events import Event, Timeout, EventCancelled, Interrupt
+from repro.simkit.process import Process, AllOf, AnyOf, ConditionValue
+from repro.simkit.resources import Mutex, Resource
+from repro.simkit.stores import Store
+from repro.simkit.fluid import FluidResource, FluidTask, RateAllocator, EqualShareAllocator
+from repro.simkit.simulator import Simulator, SimulationError, DeadlockError
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+    "Event",
+    "Timeout",
+    "EventCancelled",
+    "Interrupt",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Resource",
+    "Mutex",
+    "Store",
+    "FluidResource",
+    "FluidTask",
+    "RateAllocator",
+    "EqualShareAllocator",
+]

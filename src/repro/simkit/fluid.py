@@ -1,0 +1,273 @@
+"""Fluid (processor-sharing) resources with state-dependent rates.
+
+A :class:`FluidResource` executes *fluid tasks*: each task carries an amount
+of abstract ``work`` and progresses continuously at a rate chosen by a
+:class:`RateAllocator`.  Whenever the set of active tasks changes (a task is
+submitted or completes), the resource
+
+1. advances every active task's progress at its previous rate,
+2. asks the allocator for fresh rates given the *new* active set, and
+3. re-arms a single completion timer for the earliest finisher.
+
+This is the standard fluid-flow approximation used by network/host simulators
+(SimGrid-style): it is what allows the KNL model to make a compute phase's
+effective IPC depend on the concurrently executing phases — the mechanism
+behind the paper's resource-contention analysis (Tables I/II, Fig. 7).
+
+The engine is exact for piecewise-constant rates: between change points every
+task progresses linearly, and change points are processed in order.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.simkit.events import Event, Timeout
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = ["FluidTask", "RateAllocator", "EqualShareAllocator", "FluidResource"]
+
+#: Relative tolerance used to decide a task's work is exhausted.
+_REL_EPS = 1e-12
+#: Absolute floor so zero-work tasks terminate immediately.
+_ABS_EPS = 1e-15
+
+
+class FluidTask:
+    """A unit of continuously progressing work on a :class:`FluidResource`.
+
+    Attributes
+    ----------
+    work:
+        Total work (engine-agnostic units; the machine layer uses
+        *instructions*, the network layer uses *bytes*).
+    remaining:
+        Work still to do.
+    meta:
+        Arbitrary metadata the rate allocator may inspect (e.g. the phase
+        profile and hardware-thread binding).
+    done:
+        Event that fires (with the task) on completion.
+    rate:
+        Current progress rate (work units per simulated second).
+    active_time:
+        Simulated time this task spent with a non-zero rate.
+    """
+
+    __slots__ = ("work", "remaining", "meta", "done", "rate", "active_time", "start_time", "finish_time")
+
+    def __init__(self, sim: "Simulator", work: float, meta: dict | None = None):
+        if work < 0:
+            raise ValueError(f"negative work {work!r}")
+        self.work = float(work)
+        self.remaining = float(work)
+        self.meta: dict = meta or {}
+        self.done: Event = Event(sim, name="fluid-done")
+        self.rate = 0.0
+        self.active_time = 0.0
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+
+    @property
+    def progress(self) -> float:
+        """Fraction of work completed in [0, 1]."""
+        if self.work <= 0.0:
+            return 1.0
+        return 1.0 - self.remaining / self.work
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FluidTask work={self.work:.3g} remaining={self.remaining:.3g} rate={self.rate:.3g}>"
+
+
+class RateAllocator(_t.Protocol):
+    """Strategy assigning progress rates to the active tasks of a resource."""
+
+    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
+        """Return one non-negative rate per task (same order as ``tasks``)."""
+        ...  # pragma: no cover
+
+
+class EqualShareAllocator:
+    """Classic processor sharing: ``capacity`` split equally, capped per task.
+
+    Parameters
+    ----------
+    capacity:
+        Total work-units per second the resource can sustain.
+    per_task_cap:
+        Optional ceiling for a single task (e.g. a single link cannot exceed
+        its own bandwidth even when alone).
+    """
+
+    def __init__(self, capacity: float, per_task_cap: float | None = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if per_task_cap is not None and per_task_cap <= 0:
+            raise ValueError(f"per_task_cap must be positive, got {per_task_cap}")
+        self.capacity = float(capacity)
+        self.per_task_cap = per_task_cap
+
+    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
+        n = len(tasks)
+        if n == 0:
+            return []
+        share = self.capacity / n
+        if self.per_task_cap is not None:
+            # Progressive filling: capped tasks return their slack to the rest.
+            rates = [0.0] * n
+            unsat = list(range(n))
+            budget = self.capacity
+            while unsat:
+                fair = budget / len(unsat)
+                if fair < self.per_task_cap - _ABS_EPS:
+                    for i in unsat:
+                        rates[i] = fair
+                    break
+                for i in unsat:
+                    rates[i] = self.per_task_cap
+                budget -= self.per_task_cap * len(unsat)
+                # All remaining tasks saturated at the cap; nothing left to do.
+                break
+            return rates
+        return [share] * n
+
+
+class FluidResource:
+    """A shared facility executing fluid tasks under a rate allocator.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    allocator:
+        Rate strategy; consulted on every change of the active set.
+    name:
+        Label for diagnostics and tracing.
+    observer:
+        Optional callback ``observer(resource, now)`` invoked after every
+        rebalance — used by the tracer to record rate/IPC changes.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        allocator: RateAllocator,
+        name: str = "fluid",
+        observer: _t.Callable[["FluidResource", float], None] | None = None,
+    ):
+        self.sim = sim
+        self.allocator = allocator
+        self.name = name
+        self.observer = observer
+        self._active: list[FluidTask] = []
+        self._last_update = sim.now
+        self._timer_version = 0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def active_tasks(self) -> tuple[FluidTask, ...]:
+        """Snapshot of the currently executing tasks."""
+        return tuple(self._active)
+
+    def submit(self, work: float, meta: dict | None = None) -> FluidTask:
+        """Start ``work`` units of fluid work; returns the task.
+
+        Yield ``task.done`` from a process to wait for completion.  Zero-work
+        tasks complete at the current time without entering the active set.
+        """
+        task = FluidTask(self.sim, work, meta)
+        task.start_time = self.sim.now
+        if task.work <= _ABS_EPS:
+            task.finish_time = self.sim.now
+            task.done.succeed(task)
+            return task
+        self._advance()
+        self._active.append(task)
+        self._rebalance()
+        return task
+
+    def cancel(self, task: FluidTask) -> None:
+        """Abort an active task; its ``done`` event is cancelled."""
+        if task not in self._active:
+            raise ValueError(f"{task!r} is not active on {self.name!r}")
+        self._advance()
+        self._active.remove(task)
+        task.done.cancel()
+        self._rebalance()
+
+    def throughput(self) -> float:
+        """Aggregate current rate over all active tasks."""
+        return sum(t.rate for t in self._active)
+
+    # -- engine internals -------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Integrate progress from the last change point to ``sim.now``."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0.0:
+            for task in self._active:
+                if task.rate > 0.0:
+                    task.remaining -= task.rate * dt
+                    task.active_time += dt
+        self._last_update = now
+
+    def _rebalance(self) -> None:
+        """Recompute rates for the active set and re-arm the completion timer."""
+        # A task is done when its residual work is below numerical noise.  The
+        # third term matters at non-dyadic clock values: integration over a dt
+        # that is off by one ulp of `now` leaves a residual of ~rate * ulp —
+        # without forgiving it, the resource would re-arm ever-shorter timers
+        # that no longer advance the clock (an infinite loop in finite time).
+        time_ulp = math.ulp(self.sim.now)
+        finished = [
+            t
+            for t in self._active
+            if t.remaining <= max(_ABS_EPS, _REL_EPS * t.work, t.rate * time_ulp * 8.0)
+        ]
+        if finished:
+            for task in finished:
+                self._active.remove(task)
+                task.remaining = 0.0
+                task.finish_time = self.sim.now
+                task.done.succeed(task)
+
+        if self._active:
+            rates = self.allocator.allocate(self._active)
+            if len(rates) != len(self._active):
+                raise RuntimeError(
+                    f"allocator returned {len(rates)} rates for {len(self._active)} tasks"
+                )
+            eta = float("inf")
+            for task, rate in zip(self._active, rates):
+                if rate < 0:
+                    raise RuntimeError(f"allocator produced a negative rate {rate!r}")
+                task.rate = rate
+                if rate > 0.0:
+                    eta = min(eta, task.remaining / rate)
+            self._arm_timer(eta)
+        else:
+            self._timer_version += 1  # disarm any outstanding timer
+
+        if self.observer is not None:
+            self.observer(self, self.sim.now)
+
+    def _arm_timer(self, eta: float) -> None:
+        self._timer_version += 1
+        if eta == float("inf"):
+            return
+        version = self._timer_version
+        # Never arm a timer that cannot advance the float clock.
+        eta = max(eta, math.ulp(self.sim.now))
+        timer = Timeout(self.sim, eta, name=f"{self.name}-completion")
+        timer.add_callback(lambda ev: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # stale timer; rates changed since it was armed
+        self._advance()
+        self._rebalance()

@@ -1,0 +1,117 @@
+"""Counting resources and mutexes.
+
+These model exclusive or limited-capacity facilities (e.g. a hardware thread
+executing at most one OmpSs task at a time, or a bounded injection queue in
+the network model).  Requests are granted in FIFO order.
+
+Usage from a process::
+
+    req = resource.request()
+    yield req              # granted when capacity is available
+    ...                    # critical section
+    resource.release(req)
+
+or with the context-manager helper::
+
+    with resource.request() as req:
+        yield req
+        ...
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.simkit.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = ["Resource", "Request", "Mutex"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> bool:
+        """Withdraw a not-yet-granted request."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+        return super().cancel()
+
+
+class Resource:
+    """A counting resource with ``capacity`` concurrent users.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum number of simultaneously granted requests (>= 1).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque[Request] = deque()
+        self._users: set[Request] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of currently granted requests."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Create a request; yield it from a process to wait for the grant."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a granted request and wake the next waiter (if any)."""
+        if request not in self._users:
+            raise ValueError(f"{request!r} does not hold {self.name!r}")
+        self._users.discard(request)
+        self._grant_waiters()
+
+    # -- internal -----------------------------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Mutex(Resource):
+    """A capacity-1 resource (convenience subclass)."""
+
+    def __init__(self, sim: "Simulator", name: str = "mutex"):
+        super().__init__(sim, capacity=1, name=name)

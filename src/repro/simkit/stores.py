@@ -1,0 +1,92 @@
+"""Bounded FIFO channels between processes.
+
+A :class:`Store` is the classic DES producer/consumer primitive: ``put``
+blocks while the buffer is full, ``get`` blocks while it is empty, both in
+FIFO order.  The FFTXlib pipeline itself communicates through MPI events,
+but the engine would be an incomplete simulation toolkit without channels —
+and they make writing new rank programs (e.g. streaming post-processing of
+trace records) straightforward.
+
+Usage::
+
+    store = Store(sim, capacity=4)
+    yield store.put(item)       # blocks while full
+    item = yield store.get()    # blocks while empty
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.simkit.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = ["Store"]
+
+
+class Store:
+    """A bounded FIFO buffer with blocking put/get.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum buffered items (``float('inf')`` for unbounded).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "store"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+        self._getters: deque[Event] = deque()
+
+    @property
+    def level(self) -> int:
+        """Items currently buffered."""
+        return len(self._items)
+
+    def put(self, item: object) -> Event:
+        """Deposit ``item``; the event fires once it entered the buffer."""
+        ev = Event(self.sim, name=f"put:{self.name}")
+        self._putters.append((ev, item))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; the event fires with it."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self._items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed(item)
+                progressed = True
+            # Serve pending gets while items exist.
+            while self._getters and self._items:
+                ev = self._getters.popleft()
+                ev.succeed(self._items.popleft())
+                progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Store {self.name!r} level={self.level}/{self.capacity} "
+            f"waiting_put={len(self._putters)} waiting_get={len(self._getters)}>"
+        )

@@ -1,0 +1,113 @@
+"""Tests for the Gamma-point two-real-bands-per-FFT trick."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gamma import (
+    hermitian_coefficients,
+    is_hermitian,
+    pack_real_bands,
+    unpack_real_bands,
+)
+from repro.core.validate import dense_reference
+from repro.core.wave import make_potential
+from repro.fft import invfft
+from repro.grids import Cell, FftDescriptor
+
+
+@pytest.fixture(scope="module")
+def desc():
+    return FftDescriptor(Cell(alat=5.0), ecutwfc=12.0)
+
+
+@pytest.fixture(scope="module")
+def minus_idx(desc):
+    return desc.sphere.minus_index()
+
+
+class TestMinusIndex:
+    def test_is_involution(self, desc, minus_idx):
+        np.testing.assert_array_equal(minus_idx[minus_idx], np.arange(desc.ngw))
+
+    def test_maps_to_negated_millers(self, desc, minus_idx):
+        np.testing.assert_array_equal(
+            desc.sphere.millers[minus_idx], -desc.sphere.millers
+        )
+
+    def test_gamma_is_fixed_point(self, desc, minus_idx):
+        g0 = int(np.flatnonzero((desc.sphere.millers == 0).all(axis=1))[0])
+        assert minus_idx[g0] == g0
+
+
+class TestHermitianCoefficients:
+    def test_generated_sets_are_hermitian(self, desc, minus_idx):
+        c = hermitian_coefficients(desc.ngw, minus_idx, 4, seed=3)
+        assert c.shape == (4, desc.ngw)
+        assert is_hermitian(c, minus_idx)
+
+    def test_hermitian_means_real_in_real_space(self, desc, minus_idx):
+        """The defining property: the band's real-space field is real."""
+        c = hermitian_coefficients(desc.ngw, minus_idx, 1, seed=5)[0]
+        field = np.zeros(desc.grid_shape, dtype=np.complex128)
+        idx = desc.grid_idx
+        field[idx[:, 0], idx[:, 1], idx[:, 2]] = c
+        for axis in range(3):
+            field = invfft(field, axis=axis)
+        assert np.abs(field.imag).max() < 1e-10 * np.abs(field.real).max()
+
+    def test_shape_validation(self, minus_idx):
+        with pytest.raises(ValueError, match="minus_index"):
+            hermitian_coefficients(3, minus_idx, 1, seed=0)
+
+    def test_is_hermitian_detects_violation(self, desc, minus_idx):
+        c = hermitian_coefficients(desc.ngw, minus_idx, 1, seed=1)
+        c[0, 1] += 1.0  # break the symmetry
+        assert not is_hermitian(c, minus_idx)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, desc, minus_idx):
+        bands = hermitian_coefficients(desc.ngw, minus_idx, 2, seed=9)
+        psi = pack_real_bands(bands[0], bands[1])
+        r1, r2 = unpack_real_bands(psi, minus_idx)
+        np.testing.assert_allclose(r1, bands[0], atol=1e-14)
+        np.testing.assert_allclose(r2, bands[1], atol=1e-14)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            pack_real_bands(np.zeros(3, complex), np.zeros(4, complex))
+        with pytest.raises(ValueError, match="coefficients"):
+            unpack_real_bands(np.zeros(3, complex), np.arange(4))
+
+    def test_unpack_commutes_with_vofr_operator(self, desc, minus_idx):
+        """The paper's actual usage: pack two real bands, run the full
+        forward-V(r)-backward kernel once, unpack — and get exactly what two
+        separate per-band applications give."""
+        bands = hermitian_coefficients(desc.ngw, minus_idx, 2, seed=11)
+        potential = make_potential(desc.grid_shape, seed=11)
+        psi = pack_real_bands(bands[0], bands[1])
+
+        packed_out = dense_reference(desc, psi[None, :], potential)[0]
+        out1, out2 = unpack_real_bands(packed_out, minus_idx)
+
+        separate = dense_reference(desc, bands, potential)
+        np.testing.assert_allclose(out1, separate[0], atol=1e-12)
+        np.testing.assert_allclose(out2, separate[1], atol=1e-12)
+
+    def test_operator_preserves_hermitian_symmetry(self, desc, minus_idx):
+        """V real in real space -> the output bands remain real bands."""
+        bands = hermitian_coefficients(desc.ngw, minus_idx, 2, seed=13)
+        potential = make_potential(desc.grid_shape, seed=13)
+        out = dense_reference(desc, bands, potential)
+        assert is_hermitian(out, minus_idx, tol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_pack_unpack_property(self, desc, minus_idx, seed):
+        bands = hermitian_coefficients(desc.ngw, minus_idx, 2, seed=seed)
+        psi = pack_real_bands(bands[0], bands[1])
+        r1, r2 = unpack_real_bands(psi, minus_idx)
+        np.testing.assert_allclose(r1, bands[0], atol=1e-12)
+        np.testing.assert_allclose(r2, bands[1], atol=1e-12)

@@ -1,0 +1,75 @@
+"""Property tests: the distributed kernel is correct for arbitrary shapes.
+
+Hypothesis drives workload geometry (cutoff, cell), process grids, and
+executors; every combination must reproduce the dense reference.  This is
+the strongest statement the suite makes about the pipeline's index
+bookkeeping (sticks, group segments, plane slabs, scatter coordinates).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RunConfig, run_fft_phase
+
+
+@st.composite
+def workload_and_grid(draw):
+    ecut = draw(st.sampled_from([8.0, 12.0, 18.0]))
+    alat = draw(st.sampled_from([4.0, 5.0, 6.5]))
+    ranks = draw(st.integers(min_value=1, max_value=3))
+    taskgroups = draw(st.sampled_from([1, 2, 4]))
+    version = draw(
+        st.sampled_from(["original", "ompss_perfft", "ompss_steps", "ompss_combined"])
+    )
+    # nbnd/2 complex bands must split evenly into groups of `taskgroups`.
+    nbnd = 2 * taskgroups * draw(st.integers(min_value=1, max_value=2))
+    return dict(
+        ecutwfc=ecut,
+        alat=alat,
+        ranks=ranks,
+        taskgroups=taskgroups,
+        version=version,
+        nbnd=nbnd,
+    )
+
+
+class TestPipelineProperties:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(params=workload_and_grid())
+    def test_any_shape_matches_dense_reference(self, params):
+        cfg = RunConfig(data_mode=True, **params)
+        res = run_fft_phase(cfg)
+        assert res.validate() < 1e-11, params
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=99),
+        ranks=st.integers(min_value=1, max_value=3),
+    )
+    def test_runtime_independent_of_data_content(self, seed, ranks):
+        """The cost model must not depend on the data values: different
+        seeds, identical phase time (data mode)."""
+        times = set()
+        for s in (seed, seed + 1000):
+            cfg = RunConfig(
+                ecutwfc=12.0, alat=5.0, nbnd=8, ranks=ranks, taskgroups=2,
+                data_mode=True, seed=s,
+            )
+            times.add(round(run_fft_phase(cfg).phase_time, 15))
+        assert len(times) == 1
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(taskgroups=st.sampled_from([1, 2, 4, 8]))
+    def test_result_independent_of_taskgroup_count(self, taskgroups):
+        """ntg is a performance knob; it must never change the numerics."""
+        cfg = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=16, ranks=1, taskgroups=taskgroups,
+            data_mode=True,
+        )
+        res = run_fft_phase(cfg)
+        assert res.validate() < 1e-12

@@ -1,0 +1,116 @@
+"""Tests for the experiment runners (reduced workloads; the full-workload
+claims are asserted by the benchmark harness)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER,
+    run_ablation_grainsize,
+    run_ablation_ntg,
+    run_ablation_scheduler,
+    run_ablation_versions,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.common import paper_config
+
+QUICK = dict(ecutwfc=20.0, alat=8.0, nbnd=16)
+
+
+class TestPaperData:
+    def test_tables_have_all_rows_and_columns(self):
+        for table in (PAPER["table1"], PAPER["table2"]):
+            assert len(table) == 9
+            for row in table.values():
+                assert len(row) == len(PAPER["config_labels"])
+
+    def test_factor_identities_hold_in_paper_data(self):
+        """The published numbers satisfy the model's multiplicative structure."""
+        t1 = PAPER["table1"]
+        for i in range(5):
+            pe = t1["-> Load Balance"][i] * t1["-> Communication Efficiency"][i] / 100
+            assert pe == pytest.approx(t1["Parallel efficiency"][i], abs=1.5)
+            ge = t1["Parallel efficiency"][i] * t1["Computation Scalability"][i] / 100
+            assert ge == pytest.approx(t1["Global Efficiency"][i], abs=1.5)
+
+
+class TestPaperConfig:
+    def test_defaults_are_the_paper_workload(self):
+        cfg = paper_config(8)
+        assert (cfg.ecutwfc, cfg.alat, cfg.nbnd, cfg.taskgroups) == (80.0, 20.0, 128, 8)
+
+    def test_overrides(self):
+        cfg = paper_config(2, "ompss_perfft", nbnd=16)
+        assert cfg.nbnd == 16
+        assert cfg.version == "ompss_perfft"
+
+
+class TestRunners:
+    def test_fig2_series(self):
+        report = run_fig2(ranks=(1, 2), **QUICK)
+        assert set(report.data["runtime_s"]) == {"1x8", "2x8"}
+        assert "Fig. 2" in report.text
+        assert report.data["runtime_s"]["1x8"] > 0
+
+    def test_table1_columns(self):
+        report = run_table1(ranks=(1, 2), **QUICK)
+        cols = report.data["columns"]
+        assert set(cols) == {"1x8", "2x8"}
+        base = cols["1x8"]
+        assert base["Computation Scalability"] == pytest.approx(1.0)
+        for label, col in cols.items():
+            for row, value in col.items():
+                assert 0 < value <= 1.05, (label, row)
+
+    def test_table2_columns(self):
+        report = run_table2(ranks=(1, 2), **QUICK)
+        assert set(report.data["columns"]) == {"1x8", "2x8"}
+        assert "OmpSs" in report.text
+
+    def test_fig3_structure(self):
+        report = run_fig3(ranks=2, **QUICK)
+        assert report.data["repeating_phases"] == 1  # nbnd/2 / ntg = 8/8
+        assert len(report.data["pack_comms"]) == 2
+        assert len(report.data["scatter_comms"]) == 8
+
+    def test_fig6_speedups(self):
+        report = run_fig6(ranks=(1, 2), **QUICK)
+        assert set(report.data["speedups"]) == {"1x8", "2x8"}
+        assert report.data["best_original"] in ("1x8", "2x8")
+
+    def test_fig7_metrics(self):
+        report = run_fig7(ranks=2, **QUICK)
+        for version in ("original", "ompss_perfft"):
+            stats = report.data[version]
+            assert 0 < stats["mean_ipc"] < 2.0
+            assert 0 <= stats["synchrony"] <= 1.0
+
+
+class TestAblations:
+    def test_ntg_sweep(self):
+        report = run_ablation_ntg(total_procs=8, ntgs=(1, 2, 4, 8), **QUICK)
+        split = report.data["comm_split"]
+        assert split["ntg=1"]["pack_s"] == 0.0
+        assert split["ntg=8"]["pack_s"] > 0.0
+
+    def test_grainsize_sweep(self):
+        report = run_ablation_grainsize(ranks=2, grains=((1, 5), (10, 200)), **QUICK)
+        assert len(report.data["runtime_s"]) == 2
+
+    def test_scheduler_sweep(self):
+        report = run_ablation_scheduler(ranks=2, policies=("fifo", "lifo"), **QUICK)
+        assert set(report.data["runtime_s"]) == {"fifo", "lifo"}
+
+    def test_versions_sweep(self):
+        report = run_ablation_versions(ranks=2, **QUICK)
+        assert set(report.data["runtime_s"]) == {
+            "original",
+            "pipelined",
+            "ompss_steps",
+            "ompss_perfft",
+            "ompss_combined",
+        }

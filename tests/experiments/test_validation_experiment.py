@@ -1,0 +1,18 @@
+"""Tests for the certification-matrix experiment."""
+
+from repro.experiments import run_validation
+
+
+class TestValidationExperiment:
+    def test_quick_matrix_passes(self):
+        report = run_validation(ecutwfc=12.0, alat=5.0, nbnd=8)
+        assert report.data["passed"]
+        assert len(report.data["cases"]) == 10
+        assert "PASS" in report.text
+
+    def test_case_labels_cover_all_executors(self):
+        report = run_validation(ecutwfc=12.0, alat=5.0, nbnd=8)
+        labels = set(report.data["cases"])
+        for version in ("original", "pipelined", "ompss_perfft", "ompss_steps", "ompss_combined"):
+            assert any(label.startswith(version.split("_")[0]) or version in label for label in labels)
+        assert any("nodes" in label for label in labels)

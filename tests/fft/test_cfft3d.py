@@ -1,0 +1,38 @@
+"""Tests for the full 3D transform convenience."""
+
+import numpy as np
+import pytest
+
+from repro.fft import cfft3d
+
+RNG = np.random.default_rng(31)
+
+
+def random_grid(*shape):
+    return RNG.standard_normal(shape) + 1j * RNG.standard_normal(shape)
+
+
+class TestCfft3d:
+    def test_matches_numpy(self):
+        x = random_grid(12, 10, 15)
+        np.testing.assert_allclose(cfft3d(x, +1), np.fft.ifftn(x) * x.size, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(cfft3d(x, -1), np.fft.fftn(x) / x.size, rtol=1e-9, atol=1e-9)
+
+    def test_roundtrip(self):
+        x = random_grid(8, 9, 10)
+        np.testing.assert_allclose(cfft3d(cfft3d(x, +1), -1), x, rtol=1e-9, atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="3D"):
+            cfft3d(random_grid(4, 4), +1)
+
+    def test_sign_validation(self):
+        with pytest.raises(ValueError, match="sign"):
+            cfft3d(random_grid(4, 4, 4), 0)
+
+    def test_paper_grid_dimension(self):
+        """One 120^3 transform (the paper workload's grid) stays accurate."""
+        x = random_grid(120, 30, 4)  # anisotropic stand-in keeps it quick
+        np.testing.assert_allclose(
+            cfft3d(x, +1), np.fft.ifftn(x) * x.size, rtol=1e-8, atol=1e-8
+        )

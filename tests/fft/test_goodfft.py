@@ -1,0 +1,79 @@
+"""Tests for QE-style good FFT orders and factorization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fft import allowed_fft_order, good_fft_order
+from repro.fft.goodfft import factorize
+
+
+class TestFactorize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, {}),
+            (2, {2: 1}),
+            (12, {2: 2, 3: 1}),
+            (60, {2: 2, 3: 1, 5: 1}),
+            (97, {97: 1}),
+            (2 * 3 * 5 * 7 * 11, {2: 1, 3: 1, 5: 1, 7: 1, 11: 1}),
+        ],
+    )
+    def test_known_factorizations(self, n, expected):
+        assert factorize(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @given(st.integers(min_value=1, max_value=100000))
+    def test_product_reconstructs(self, n):
+        factors = factorize(n)
+        product = 1
+        for p, m in factors.items():
+            product *= p**m
+        assert product == n
+
+
+class TestAllowedOrder:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 60, 72, 96, 120, 7, 11, 14, 33])
+    def test_allowed(self, n):
+        assert allowed_fft_order(n)
+
+    @pytest.mark.parametrize("n", [13, 17, 49, 77, 121, 23, 97, 0, -4])
+    def test_disallowed(self, n):
+        assert not allowed_fft_order(n)
+
+    def test_single_factor_7_or_11_only(self):
+        assert allowed_fft_order(7 * 12)
+        assert not allowed_fft_order(7 * 7 * 12)
+        assert not allowed_fft_order(7 * 11)
+
+
+class TestGoodOrder:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (2, 2), (58, 60), (61, 63), (97, 99), (115, 120), (121, 125), (13, 14), (23, 24)],
+    )
+    def test_rounding(self, n, expected):
+        assert good_fft_order(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            good_fft_order(0)
+
+    def test_search_bound(self):
+        with pytest.raises(ValueError):
+            good_fft_order(101, max_order=101)  # 101 is prime
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_result_is_allowed_and_ge_n(self, n):
+        m = good_fft_order(n)
+        assert m >= n
+        assert allowed_fft_order(m)
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_minimality(self, n):
+        m = good_fft_order(n)
+        assert all(not allowed_fft_order(k) for k in range(n, m))

@@ -1,0 +1,84 @@
+"""Tests for the real-input transforms (packed complex trick)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.realfft import irfft, rfft
+
+RNG = np.random.default_rng(5)
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10, 12, 20, 30, 60, 64, 100, 128])
+    def test_matches_numpy(self, n):
+        x = RNG.standard_normal((4, n))
+        np.testing.assert_allclose(
+            rfft(x), np.fft.rfft(x, axis=-1), rtol=1e-10, atol=1e-10
+        )
+
+    def test_axis_argument(self):
+        x = RNG.standard_normal((6, 8, 5))
+        np.testing.assert_allclose(
+            rfft(x, axis=1), np.fft.rfft(x, axis=1), rtol=1e-10, atol=1e-10
+        )
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            rfft(np.zeros(7))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            rfft(np.zeros(1))
+
+    def test_nyquist_and_dc_are_real(self):
+        x = RNG.standard_normal(16)
+        spec = rfft(x)
+        assert abs(spec[0].imag) < 1e-12
+        assert abs(spec[-1].imag) < 1e-12
+
+    def test_output_length(self):
+        assert rfft(np.zeros(10)).shape == (6,)
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [2, 4, 8, 12, 30, 64])
+    def test_roundtrip(self, n):
+        x = RNG.standard_normal((3, n))
+        np.testing.assert_allclose(irfft(rfft(x)), x, rtol=1e-10, atol=1e-10)
+
+    def test_matches_numpy(self):
+        spec = np.fft.rfft(RNG.standard_normal(24))
+        np.testing.assert_allclose(irfft(spec), np.fft.irfft(spec), rtol=1e-10, atol=1e-10)
+
+    def test_axis_argument(self):
+        x = RNG.standard_normal((12, 5))  # transform axis 0, length 12 (even)
+        spec = rfft(x, axis=0)
+        np.testing.assert_allclose(irfft(spec, axis=0), x, rtol=1e-10, atol=1e-10)
+
+    def test_too_few_coefficients_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            irfft(np.zeros(1, dtype=complex))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_half=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_roundtrip_property(self, n_half, seed):
+        x = np.random.default_rng(seed).standard_normal(2 * n_half)
+        np.testing.assert_allclose(irfft(rfft(x)), x, rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_parseval_property(self, seed):
+        x = np.random.default_rng(seed).standard_normal(32)
+        spec = rfft(x)
+        # Real-FFT Parseval: interior bins count twice (conjugate partners).
+        energy = (
+            np.abs(spec[0]) ** 2
+            + np.abs(spec[-1]) ** 2
+            + 2 * np.sum(np.abs(spec[1:-1]) ** 2)
+        ) / 32
+        np.testing.assert_allclose(energy, np.sum(x**2), rtol=1e-9)

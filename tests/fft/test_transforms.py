@@ -1,0 +1,202 @@
+"""Correctness of the from-scratch FFTs against numpy.fft, plus properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import cft_1z, cft_2xy, fft, fft2, fwfft, get_plan, ifft, ifft2, invfft
+
+RNG = np.random.default_rng(20170710)
+
+
+def random_complex(*shape):
+    return RNG.standard_normal(shape) + 1j * RNG.standard_normal(shape)
+
+
+# Sizes covering every code path: tiny direct, pure radix-2, mixed 2/3/5,
+# single 7 and 11 factors, primes (Bluestein), and paper-like grid sizes.
+SIZES = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 20, 24, 25, 27,
+         30, 32, 36, 45, 48, 49, 60, 64, 72, 97, 100, 101, 120, 128]
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_forward_matches_numpy(self, n):
+        x = random_complex(n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inverse_matches_numpy(self, n):
+        x = random_complex(n)
+        np.testing.assert_allclose(ifft(x), np.fft.ifft(x), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [8, 60, 97])
+    def test_batched_matches_numpy(self, n):
+        x = random_complex(5, 3, n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x, axis=-1), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, -2])
+    def test_axis_argument(self, axis):
+        x = random_complex(6, 10, 12)
+        np.testing.assert_allclose(
+            fft(x, axis=axis), np.fft.fft(x, axis=axis), rtol=1e-9, atol=1e-9
+        )
+
+    def test_fft2_matches_numpy(self):
+        x = random_complex(4, 12, 15)
+        np.testing.assert_allclose(fft2(x), np.fft.fft2(x), rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(ifft2(x), np.fft.ifft2(x), rtol=1e-9, atol=1e-9)
+
+    def test_real_input_promoted(self):
+        x = RNG.standard_normal(24)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), rtol=1e-9, atol=1e-9)
+
+    def test_large_paper_grid(self):
+        """A full 60-point dimension as in the ecut=80/alat=20 workload."""
+        x = random_complex(100, 60)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x, axis=-1), rtol=1e-8, atol=1e-8)
+
+
+class TestQEConvention:
+    def test_invfft_is_unscaled_backward(self):
+        x = random_complex(30)
+        np.testing.assert_allclose(invfft(x), np.fft.ifft(x) * 30, rtol=1e-9, atol=1e-9)
+
+    def test_fwfft_is_scaled_forward(self):
+        x = random_complex(30)
+        np.testing.assert_allclose(fwfft(x), np.fft.fft(x) / 30, rtol=1e-9, atol=1e-9)
+
+    def test_qe_roundtrip_identity(self):
+        """fwfft(invfft(x)) == x: the pipeline's forward+backward convention."""
+        x = random_complex(45)
+        np.testing.assert_allclose(fwfft(invfft(x)), x, rtol=1e-9, atol=1e-9)
+
+
+class TestKernels:
+    def test_cft_1z_shape_check(self):
+        with pytest.raises(ValueError, match="nsticks, nz"):
+            cft_1z(random_complex(4, 5, 6), +1)
+
+    def test_cft_2xy_shape_check(self):
+        with pytest.raises(ValueError, match="nplanes, nx, ny"):
+            cft_2xy(random_complex(4, 5), +1)
+
+    def test_bad_sign_rejected(self):
+        with pytest.raises(ValueError, match="sign"):
+            cft_1z(random_complex(3, 8), 2)
+
+    def test_cft_1z_roundtrip(self):
+        sticks = random_complex(50, 36)
+        back = cft_1z(cft_1z(sticks, +1), -1)
+        np.testing.assert_allclose(back, sticks, rtol=1e-9, atol=1e-9)
+
+    def test_cft_1z_matches_numpy(self):
+        sticks = random_complex(20, 60)
+        np.testing.assert_allclose(
+            cft_1z(sticks, +1), np.fft.ifft(sticks, axis=-1) * 60, rtol=1e-9, atol=1e-9
+        )
+
+    def test_cft_2xy_matches_numpy(self):
+        planes = random_complex(6, 12, 10)
+        got = cft_2xy(planes, +1)
+        want = np.fft.ifft2(planes, axes=(-2, -1)) * (12 * 10)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_cft_2xy_roundtrip(self):
+        planes = random_complex(4, 15, 18)
+        np.testing.assert_allclose(
+            cft_2xy(cft_2xy(planes, +1), -1), planes, rtol=1e-9, atol=1e-9
+        )
+
+
+class TestPlans:
+    def test_plan_decomposition_small_radices(self):
+        plan = get_plan(60, -1)
+        assert not plan.uses_bluestein
+        radices = [lvl.r for lvl in plan.levels]
+        product = plan.base_n
+        for r in radices:
+            product *= r
+        assert product == 60
+
+    def test_prime_plan_uses_bluestein(self):
+        assert get_plan(101, -1).uses_bluestein
+        assert not get_plan(128, -1).uses_bluestein
+
+    def test_plan_cache_returns_same_object(self):
+        assert get_plan(48, -1) is get_plan(48, -1)
+        assert get_plan(48, -1) is not get_plan(48, 1)
+
+    def test_flops_accounting(self):
+        assert get_plan(64, -1).flops == pytest.approx(5 * 64 * 6)
+
+    def test_describe(self):
+        assert "=" in get_plan(60, -1).describe()
+
+    def test_invalid_plan_args(self):
+        with pytest.raises(ValueError):
+            get_plan(0, -1)
+        with pytest.raises(ValueError):
+            get_plan(8, 3)
+
+
+@st.composite
+def complex_arrays(draw, max_n=64):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    batch = draw(st.integers(min_value=1, max_value=4))
+    re = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=batch * n,
+            max_size=batch * n,
+        )
+    )
+    im = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=batch * n,
+            max_size=batch * n,
+        )
+    )
+    return (np.array(re) + 1j * np.array(im)).reshape(batch, n)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(complex_arrays())
+    def test_roundtrip(self, x):
+        np.testing.assert_allclose(ifft(fft(x)), x, rtol=1e-8, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(complex_arrays(max_n=32))
+    def test_linearity(self, x):
+        a, b = 2.5 - 1j, -0.75 + 3j
+        y = x[::-1] if x.shape[0] > 1 else x * 1.5
+        lhs = fft(a * x + b * y)
+        rhs = a * fft(x) + b * fft(y)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-8, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(complex_arrays())
+    def test_parseval(self, x):
+        n = x.shape[-1]
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft(x)) ** 2) / n
+        np.testing.assert_allclose(energy_freq, energy_time, rtol=1e-8, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=48))
+    def test_impulse_response_is_flat(self, n):
+        x = np.zeros(n, dtype=np.complex128)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft(x), np.ones(n), rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=48))
+    def test_shift_theorem(self, n):
+        x = random_complex(n)
+        shifted = np.roll(x, 1)
+        k = np.arange(n)
+        phase = np.exp(-2j * np.pi * k / n)
+        np.testing.assert_allclose(fft(shifted), fft(x) * phase, rtol=1e-8, atol=1e-6)

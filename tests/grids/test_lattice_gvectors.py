@@ -1,0 +1,132 @@
+"""Tests for the cell, G-sphere generation, and grid sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import allowed_fft_order
+from repro.grids import Cell, build_sphere, grid_dimensions
+
+
+class TestCell:
+    def test_cubic_defaults(self):
+        cell = Cell(alat=20.0)
+        assert cell.tpiba == pytest.approx(2 * np.pi / 20.0)
+        assert cell.volume == pytest.approx(8000.0)
+        np.testing.assert_allclose(cell.bg, np.eye(3))
+
+    def test_invalid_alat(self):
+        with pytest.raises(ValueError):
+            Cell(alat=0.0)
+
+    def test_singular_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(alat=1.0, at=np.zeros((3, 3)))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(alat=1.0, at=np.eye(2))
+
+    def test_reciprocal_duality(self):
+        at = np.array([[1.0, 0.5, 0.0], [0.0, 1.0, 0.0], [0.0, 0.2, 2.0]])
+        cell = Cell(alat=5.0, at=at)
+        np.testing.assert_allclose(cell.bg.T @ cell.at, np.eye(3), atol=1e-12)
+
+    def test_g_norm2_cubic(self):
+        cell = Cell(alat=10.0)
+        np.testing.assert_allclose(
+            cell.g_norm2(np.array([[1, 2, 2], [0, 0, 0]])), [9.0, 0.0]
+        )
+
+    def test_gcut_from_ecut(self):
+        cell = Cell(alat=20.0)
+        assert cell.gcut_from_ecut(80.0) == pytest.approx(80.0 / cell.tpiba2)
+        with pytest.raises(ValueError):
+            cell.gcut_from_ecut(-1.0)
+
+
+class TestSphere:
+    def test_small_sphere_exact(self):
+        """gcut=1.001 on a unit cubic cell: origin + 6 unit vectors."""
+        cell = Cell(alat=2 * np.pi)  # tpiba = 1
+        sphere = build_sphere(cell, 1.001)
+        assert sphere.ngm == 7
+        assert tuple(sphere.millers[0]) == (0, 0, 0)
+
+    def test_sphere_is_inversion_symmetric(self):
+        cell = Cell(alat=8.0)
+        sphere = build_sphere(cell, cell.gcut_from_ecut(20.0))
+        mset = {tuple(m) for m in sphere.millers}
+        assert all((-i, -j, -k) in mset for (i, j, k) in mset)
+
+    def test_sorted_by_norm(self):
+        cell = Cell(alat=8.0)
+        sphere = build_sphere(cell, cell.gcut_from_ecut(30.0))
+        assert np.all(np.diff(sphere.g2) >= -1e-9)
+
+    def test_count_approximates_sphere_volume(self):
+        """ngm ~ (4/3) pi r^3 for a cubic lattice."""
+        cell = Cell(alat=2 * np.pi)
+        r2 = 12.0**2
+        sphere = build_sphere(cell, r2)
+        expected = 4.0 / 3.0 * np.pi * 12.0**3
+        assert sphere.ngm == pytest.approx(expected, rel=0.05)
+
+    def test_bad_gcut(self):
+        with pytest.raises(ValueError):
+            build_sphere(Cell(alat=1.0), 0.0)
+
+    def test_grid_indices_wrap_negative_millers(self):
+        cell = Cell(alat=2 * np.pi)
+        sphere = build_sphere(cell, 1.001)
+        dims = (4, 4, 4)
+        idx = sphere.grid_indices(dims)
+        assert idx.min() >= 0
+        assert idx.max() < 4
+        m = {tuple(mi) for mi in sphere.millers}
+        assert (-1, 0, 0) in m
+        # -1 wraps to 3
+        wrapped = {tuple(i) for i in idx}
+        assert (3, 0, 0) in wrapped
+
+    def test_grid_too_small_raises(self):
+        cell = Cell(alat=2 * np.pi)
+        sphere = build_sphere(cell, 16.001)  # extends to |m|=4
+        with pytest.raises(ValueError, match="too small"):
+            sphere.grid_indices((4, 4, 4))
+
+    @settings(max_examples=20, deadline=None)
+    @given(ecut=st.floats(min_value=5.0, max_value=60.0), alat=st.floats(min_value=4.0, max_value=15.0))
+    def test_all_members_inside_cutoff(self, ecut, alat):
+        cell = Cell(alat=alat)
+        gcut = cell.gcut_from_ecut(ecut)
+        sphere = build_sphere(cell, gcut)
+        assert np.all(sphere.g2 <= gcut + 1e-9)
+        # And the nearest outside shell is indeed excluded: max norm <= gcut.
+        assert sphere.ngm >= 1
+
+
+class TestGridDimensions:
+    def test_paper_workload_grid(self):
+        """ecutwfc=80, alat=20, dual 4 -> 120^3 (good order above 2*57+1)."""
+        cell = Cell(alat=20.0)
+        desc_gcut = cell.gcut_from_ecut(4 * 80.0)
+        dims = grid_dimensions(cell, desc_gcut)
+        assert dims == (120, 120, 120)
+
+    def test_dims_are_good_orders(self):
+        cell = Cell(alat=7.3)
+        for n in grid_dimensions(cell, cell.gcut_from_ecut(45.0)):
+            assert allowed_fft_order(n)
+
+    def test_grid_holds_sphere(self):
+        cell = Cell(alat=9.0)
+        gcut = cell.gcut_from_ecut(25.0)
+        dims = grid_dimensions(cell, gcut)
+        sphere = build_sphere(cell, gcut)
+        sphere.grid_indices(dims)  # must not raise
+
+    def test_bad_gcut(self):
+        with pytest.raises(ValueError):
+            grid_dimensions(Cell(alat=1.0), -2.0)

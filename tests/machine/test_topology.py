@@ -1,0 +1,86 @@
+"""Unit tests for node topology and thread placement."""
+
+import pytest
+
+from repro.machine import NodeTopology, knl_topology
+
+
+class TestNodeTopology:
+    def test_knl_defaults(self):
+        topo = knl_topology()
+        assert topo.n_cores == 68
+        assert topo.threads_per_core == 4
+        assert topo.frequency_hz == pytest.approx(1.4e9)
+        assert topo.n_hw_threads == 272
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"threads_per_core": 0},
+            {"frequency_hz": 0.0},
+            {"frequency_hz": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeTopology(**kwargs)
+
+    def test_tile_mapping(self):
+        topo = NodeTopology(n_cores=8, cores_per_tile=2)
+        assert [topo.tile_of(c) for c in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_hw_thread_bounds(self):
+        topo = NodeTopology(n_cores=4, threads_per_core=2)
+        with pytest.raises(ValueError):
+            topo.hw_thread(4, 0)
+        with pytest.raises(ValueError):
+            topo.hw_thread(0, 2)
+
+    def test_hw_thread_indices_unique(self):
+        topo = NodeTopology(n_cores=4, threads_per_core=2)
+        indices = {
+            topo.hw_thread(c, s).index
+            for c in range(4)
+            for s in range(2)
+        }
+        assert len(indices) == 8
+
+
+class TestPlacement:
+    def test_spread_across_cores_first(self):
+        topo = NodeTopology(n_cores=4, threads_per_core=2)
+        placement = topo.place(4)
+        assert [t.core for t in placement] == [0, 1, 2, 3]
+        assert all(t.slot == 0 for t in placement)
+        assert placement.max_threads_per_core == 1
+
+    def test_wraps_onto_second_hyperthread(self):
+        topo = NodeTopology(n_cores=4, threads_per_core=2)
+        placement = topo.place(6)
+        assert [(t.core, t.slot) for t in placement] == [
+            (0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1),
+        ]
+        assert placement.max_threads_per_core == 2
+
+    def test_paper_configurations(self):
+        """8x8=64 streams: 1/core.  16x8=128: 2 HT on most cores.  32x8=256: 4 HT."""
+        topo = knl_topology()
+        assert topo.place(64).max_threads_per_core == 1
+        assert topo.place(128).max_threads_per_core == 2
+        assert topo.place(256).max_threads_per_core == 4
+
+    def test_oversubscription_rejected(self):
+        topo = NodeTopology(n_cores=2, threads_per_core=2)
+        with pytest.raises(ValueError):
+            topo.place(5)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            knl_topology().place(0)
+
+    def test_streams_on_core(self):
+        topo = NodeTopology(n_cores=2, threads_per_core=2)
+        placement = topo.place(4)
+        assert placement.streams_on_core(0) == [0, 2]
+        assert placement.streams_on_core(1) == [1, 3]

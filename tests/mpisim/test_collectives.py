@@ -1,0 +1,294 @@
+"""Semantics tests for simulated MPI collectives (data movement + matching)."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import MetaPayload, MpiSimError
+from repro.simkit import DeadlockError
+
+
+class TestAlltoall:
+    def test_personalized_exchange_with_arrays(self, world):
+        """recv[j] on rank i must be what rank j addressed to i."""
+        results = {}
+
+        def program(rank):
+            parts = [
+                np.full(4, 100 * rank.rank + j, dtype=np.float64)
+                for j in range(world.comm_world.size)
+            ]
+            recv = yield rank.alltoall(world.comm_world, parts)
+            results[rank.rank] = recv
+
+        world.launch(program)
+        world.run()
+        for i in range(8):
+            for j in range(8):
+                np.testing.assert_allclose(results[i][j], 100 * j + i)
+
+    def test_received_arrays_are_copies(self, world):
+        """Mutating a sender's buffer after the exchange must not corrupt receivers."""
+        results = {}
+        buffers = {}
+
+        def program(rank):
+            parts = [np.full(2, float(rank.rank)) for _ in range(world.comm_world.size)]
+            buffers[rank.rank] = parts
+            recv = yield rank.alltoall(world.comm_world, parts)
+            results[rank.rank] = recv
+            for p in parts:
+                p[:] = -1.0
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[0][3], 3.0)
+
+    def test_ragged_parts_alltoallv(self, world):
+        """Varying part sizes (the Alltoallv of pack/unpack) are preserved."""
+        results = {}
+
+        def program(rank):
+            parts = [
+                np.arange(rank.rank + j, dtype=np.float64)
+                for j in range(world.comm_world.size)
+            ]
+            recv = yield rank.alltoall(world.comm_world, parts)
+            results[rank.rank] = [len(r) for r in recv]
+
+        world.launch(program)
+        world.run()
+        assert results[2] == [j + 2 for j in range(8)]
+
+    def test_meta_payloads_move_no_data(self, world):
+        results = {}
+
+        def program(rank):
+            parts = [MetaPayload(1024.0) for _ in range(world.comm_world.size)]
+            recv = yield rank.alltoall(world.comm_world, parts)
+            results[rank.rank] = recv
+
+        world.launch(program)
+        world.run()
+        assert all(isinstance(p, MetaPayload) for p in results[0])
+
+    def test_wrong_part_count_raises(self, world):
+        def program(rank):
+            yield rank.alltoall(world.comm_world, [MetaPayload(1.0)] * 3)
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError, match="needs 8 parts"):
+            world.run()
+
+    def test_takes_time_proportional_to_bytes(self, world):
+        """8 ranks x 7 MB off-diagonal at 8 GB/s aggregate: ~7 ms + latency."""
+        times = {}
+
+        def program(rank):
+            parts = [MetaPayload(1.0e6) for _ in range(world.comm_world.size)]
+            yield rank.alltoall(world.comm_world, parts)
+            times[rank.rank] = rank.sim.now
+
+        world.launch(program)
+        world.run()
+        # total off-diagonal bytes = 8 ranks * 7e6 B = 5.6e7 B at 8e9 B/s
+        # = 7.0 ms, + 7 messages * 1 us latency.
+        assert times[0] == pytest.approx(5.6e7 / 8.0e9 + 7e-6, rel=1e-6)
+
+    def test_missing_participant_deadlocks(self, world):
+        def program(rank):
+            parts = [MetaPayload(1.0)] * world.comm_world.size
+            yield rank.alltoall(world.comm_world, parts)
+
+        world.launch(program, ranks=range(7))  # rank 7 never joins
+        with pytest.raises(DeadlockError):
+            world.run()
+
+
+class TestMatching:
+    def test_collective_type_mismatch_detected(self, world):
+        def a2a(rank):
+            yield rank.alltoall(world.comm_world, [MetaPayload(1.0)] * 8)
+
+        def bar(rank):
+            yield rank.barrier(world.comm_world)
+
+        world.launch(a2a, ranks=[0])
+        world.launch(bar, ranks=range(1, 8))
+        with pytest.raises(MpiSimError, match="mismatch"):
+            world.run()
+
+    def test_explicit_keys_match_out_of_order(self, world):
+        """Concurrent keyed collectives pair by key, not call order."""
+        results = {}
+
+        def program(rank):
+            # Each rank issues two barriers in rank-dependent order.
+            keys = ["x", "y"] if rank.rank % 2 == 0 else ["y", "x"]
+            ev1 = rank.barrier(world.comm_world, key=keys[0])
+            ev2 = rank.barrier(world.comm_world, key=keys[1])
+            yield rank.sim.all_of([ev1, ev2])
+            results[rank.rank] = True
+
+        world.launch(program)
+        world.run()
+        assert len(results) == 8
+
+    def test_double_join_same_key_raises(self, world):
+        def program(rank):
+            rank.barrier(world.comm_world, key="k")
+            yield rank.barrier(world.comm_world, key="k")
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError, match="twice"):
+            world.run()
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, world):
+        times = {}
+
+        def program(rank):
+            yield rank.sim.timeout(rank.rank * 1.0e-3)
+            yield rank.barrier(world.comm_world)
+            times[rank.rank] = rank.sim.now
+
+        world.launch(program)
+        world.run()
+        latest = max(times.values())
+        assert all(t == pytest.approx(latest) for t in times.values())
+        assert latest >= 7.0e-3  # slowest arrival dominates
+
+
+class TestBcast:
+    def test_bcast_delivers_root_payload(self, world):
+        results = {}
+
+        def program(rank):
+            payload = np.arange(5, dtype=np.float64) if rank.rank == 3 else None
+            got = yield rank.bcast(world.comm_world, root=3, payload=payload)
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        for r in range(8):
+            np.testing.assert_allclose(results[r], np.arange(5))
+
+    def test_bcast_root_mismatch_raises(self, world):
+        def program(rank):
+            root = 0 if rank.rank < 4 else 1
+            yield rank.bcast(world.comm_world, root=root, payload=MetaPayload(8.0))
+
+        world.launch(program)
+        with pytest.raises(MpiSimError, match="root mismatch"):
+            world.run()
+
+    def test_bad_root_rejected(self, world):
+        def program(rank):
+            yield rank.bcast(world.comm_world, root=99, payload=None)
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError, match="out of range"):
+            world.run()
+
+
+class TestAllreduce:
+    def test_sum_reduction(self, world):
+        results = {}
+
+        def program(rank):
+            arr = np.full(3, float(rank.rank))
+            got = yield rank.allreduce(world.comm_world, arr, op="sum")
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[5], np.full(3, sum(range(8))))
+
+    def test_max_reduction(self, world):
+        results = {}
+
+        def program(rank):
+            got = yield rank.allreduce(world.comm_world, np.array([float(rank.rank)]), op="max")
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[0], [7.0])
+
+    def test_unsupported_op_rejected(self, world):
+        def program(rank):
+            yield rank.allreduce(world.comm_world, np.zeros(1), op="prod")
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError, match="unsupported"):
+            world.run()
+
+
+class TestGather:
+    def test_gather_collects_in_rank_order(self, world):
+        results = {}
+
+        def program(rank):
+            got = yield rank.gather(world.comm_world, root=0, payload=np.array([float(rank.rank)]))
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        assert results[1] is None
+        np.testing.assert_allclose(np.concatenate(results[0]), np.arange(8.0))
+
+
+class TestSplit:
+    def test_split_into_task_groups(self, world):
+        """The FFTXlib layout: 2 groups of 4 by color = rank % 2."""
+        comms = {}
+
+        def program(rank):
+            sub = yield rank.split(world.comm_world, color=rank.rank % 2, order_key=rank.rank)
+            comms[rank.rank] = sub
+
+        world.launch(program)
+        world.run()
+        assert comms[0].ranks == (0, 2, 4, 6)
+        assert comms[1].ranks == (1, 3, 5, 7)
+        assert comms[0] is comms[2]
+        assert comms[0].size == 4
+
+    def test_negative_color_excluded(self, world):
+        comms = {}
+
+        def program(rank):
+            color = 0 if rank.rank < 4 else -1
+            sub = yield rank.split(world.comm_world, color=color, order_key=rank.rank)
+            comms[rank.rank] = sub
+
+        world.launch(program)
+        world.run()
+        assert comms[7] is None
+        assert comms[0].ranks == (0, 1, 2, 3)
+
+    def test_subcommunicator_collectives_work(self, world):
+        results = {}
+
+        def program(rank):
+            sub = yield rank.split(world.comm_world, color=rank.rank // 4, order_key=rank.rank)
+            got = yield rank.allreduce(sub, np.array([1.0]), op="sum")
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[0], [4.0])
+        np.testing.assert_allclose(results[7], [4.0])
+
+    def test_local_rank_mapping(self, world):
+        comms = {}
+
+        def program(rank):
+            sub = yield rank.split(world.comm_world, color=rank.rank % 2, order_key=rank.rank)
+            comms[rank.rank] = sub
+
+        world.launch(program)
+        world.run()
+        assert comms[4].local_rank(4) == 2
+        with pytest.raises(MpiSimError, match="not a member"):
+            comms[0].local_rank(1)

@@ -1,0 +1,51 @@
+"""Tests for communicator duplication."""
+
+import numpy as np
+
+
+class TestDup:
+    def test_dup_has_same_group_new_identity(self, world):
+        seen = {}
+
+        def program(rank):
+            fresh = yield rank.dup(world.comm_world)
+            seen[rank.rank] = fresh
+
+        world.launch(program)
+        world.run()
+        fresh = seen[0]
+        assert fresh.ranks == world.comm_world.ranks
+        assert fresh.id != world.comm_world.id
+        assert all(c is fresh for c in seen.values())
+
+    def test_dup_gives_independent_matching_context(self, world):
+        """A collective on the dup never matches one on the parent."""
+        results = {}
+
+        def program(rank):
+            fresh = yield rank.dup(world.comm_world)
+            # Same op type, issued on different communicators by different
+            # halves in different orders — keys are per communicator, so
+            # everything pairs up correctly.
+            if rank.rank % 2 == 0:
+                a = rank.allreduce(world.comm_world, np.array([1.0]), key="k")
+                b = rank.allreduce(fresh, np.array([10.0]), key="k")
+            else:
+                b = rank.allreduce(fresh, np.array([10.0]), key="k")
+                a = rank.allreduce(world.comm_world, np.array([1.0]), key="k")
+            got_a = yield a
+            got_b = yield b
+            results[rank.rank] = (float(got_a[0]), float(got_b[0]))
+
+        world.launch(program)
+        world.run()
+        assert results[0] == (8.0, 80.0)
+
+    def test_dup_registered_with_world(self, world):
+        def program(rank):
+            yield rank.dup(world.comm_world)
+
+        world.launch(program)
+        world.run()
+        names = [c.name for c in world.communicators.values()]
+        assert any(name.endswith("+dup") for name in names)

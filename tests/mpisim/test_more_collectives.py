@@ -1,0 +1,142 @@
+"""Tests for allgather, rooted reduce, and root-scatter."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import MetaPayload, MpiSimError
+
+
+class TestAllgather:
+    def test_everyone_gets_everything_in_order(self, world):
+        results = {}
+
+        def program(rank):
+            got = yield rank.allgather(world.comm_world, np.array([float(rank.rank)]))
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        for r in range(8):
+            np.testing.assert_allclose(np.concatenate(results[r]), np.arange(8.0))
+
+    def test_received_are_copies(self, world):
+        results = {}
+        mine = {}
+
+        def program(rank):
+            payload = np.array([float(rank.rank)])
+            mine[rank.rank] = payload
+            got = yield rank.allgather(world.comm_world, payload)
+            results[rank.rank] = got
+            payload[0] = -99.0
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[0][3], [3.0])
+
+    def test_meta_mode(self, world):
+        results = {}
+
+        def program(rank):
+            got = yield rank.allgather(world.comm_world, MetaPayload(256.0))
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        assert all(isinstance(p, MetaPayload) for p in results[2])
+
+    def test_ring_cost_accounting(self, world):
+        records = []
+        world.add_mpi_observer(records.append)
+
+        def program(rank):
+            yield rank.allgather(world.comm_world, MetaPayload(100.0))
+
+        world.launch(program)
+        world.run()
+        ag = [r for r in records if r.call == "allgather"]
+        assert len(ag) == 8
+        assert all(r.bytes_sent == pytest.approx(700.0) for r in ag)
+
+
+class TestReduce:
+    def test_only_root_receives(self, world):
+        results = {}
+
+        def program(rank):
+            got = yield rank.reduce(world.comm_world, root=2, array=np.full(3, 1.0))
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[2], np.full(3, 8.0))
+        assert all(results[r] is None for r in range(8) if r != 2)
+
+    @pytest.mark.parametrize("op,expected", [("max", 7.0), ("min", 0.0)])
+    def test_min_max(self, world, op, expected):
+        results = {}
+
+        def program(rank):
+            got = yield rank.reduce(
+                world.comm_world, root=0, array=np.array([float(rank.rank)]), op=op
+            )
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        np.testing.assert_allclose(results[0], [expected])
+
+    def test_root_mismatch(self, world):
+        def program(rank):
+            yield rank.reduce(world.comm_world, root=rank.rank % 2, array=np.zeros(1))
+
+        world.launch(program)
+        with pytest.raises(MpiSimError, match="root mismatch"):
+            world.run()
+
+    def test_bad_op(self, world):
+        def program(rank):
+            yield rank.reduce(world.comm_world, root=0, array=np.zeros(1), op="xor")
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError, match="unsupported"):
+            world.run()
+
+
+class TestRootScatter:
+    def test_parts_distributed(self, world):
+        results = {}
+
+        def program(rank):
+            parts = None
+            if rank.rank == 0:
+                parts = [np.full(2, float(j)) for j in range(8)]
+            got = yield rank.scatter_from_root(world.comm_world, root=0, parts=parts)
+            results[rank.rank] = got
+
+        world.launch(program)
+        world.run()
+        for r in range(8):
+            np.testing.assert_allclose(results[r], float(r))
+
+    def test_missing_parts_at_root_rejected(self, world):
+        def program(rank):
+            yield rank.scatter_from_root(world.comm_world, root=0, parts=None)
+
+        world.launch(program)
+        with pytest.raises(MpiSimError, match="needs 8 parts"):
+            world.run()
+
+    def test_only_root_pays_injection(self, world):
+        records = []
+        world.add_mpi_observer(records.append)
+
+        def program(rank):
+            parts = [MetaPayload(64.0)] * 8 if rank.rank == 3 else None
+            yield rank.scatter_from_root(world.comm_world, root=3, parts=parts)
+
+        world.launch(program)
+        world.run()
+        by_stream = {r.stream: r for r in records if r.call == "rscatter"}
+        assert by_stream[(3, 0)].bytes_sent == pytest.approx(7 * 64.0)
+        assert by_stream[(0, 0)].bytes_sent == 0.0

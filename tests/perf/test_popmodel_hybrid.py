@@ -1,0 +1,40 @@
+"""POP factors for the hybrid (multi-threaded) executors."""
+
+import pytest
+
+from repro.core import RunConfig, run_fft_phase
+from repro.perf.popmodel import BaseMetrics, factors_from_run, ideal_network
+
+SMALL = dict(ecutwfc=12.0, alat=5.0, nbnd=8)
+
+
+class TestHybridFactors:
+    @pytest.mark.parametrize("version", ["ompss_perfft", "ompss_steps", "ompss_combined", "pipelined"])
+    def test_factors_well_formed_for_every_executor(self, version):
+        cfg = RunConfig(**SMALL, ranks=2, taskgroups=2, version=version)
+        result = run_fft_phase(cfg)
+        ideal = run_fft_phase(cfg, knl=ideal_network())
+        fs = factors_from_run(result, ideal_time=ideal.phase_time)
+        for label, value in fs.as_rows():
+            assert 0.0 < value <= 1.05, (version, label)
+        assert fs.parallel_efficiency == pytest.approx(
+            fs.load_balance * fs.communication_efficiency, rel=1e-9
+        )
+
+    def test_streams_are_threads_for_task_versions(self):
+        """Table II's columns treat each (rank, thread) as a process."""
+        cfg = RunConfig(**SMALL, ranks=2, taskgroups=4, version="ompss_perfft")
+        result = run_fft_phase(cfg)
+        assert len(result.cpu.counters.streams) == 2 * 4
+
+    def test_cross_version_base_comparison(self):
+        """Using the original's 1-rank run as the base for a task version's
+        scalability is meaningful: identical workload, same instruction
+        accounting up to the per-message MPI-stack terms."""
+        base_res = run_fft_phase(RunConfig(**SMALL, ranks=1, taskgroups=2))
+        base = BaseMetrics.from_run(base_res)
+        task_res = run_fft_phase(
+            RunConfig(**SMALL, ranks=2, taskgroups=2, version="ompss_perfft")
+        )
+        fs = factors_from_run(task_res, base=base)
+        assert 0.5 < fs.instruction_scalability <= 1.1

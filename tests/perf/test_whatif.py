@@ -1,0 +1,64 @@
+"""Tests for the Dimemas-style what-if replays."""
+
+import pytest
+
+from repro.core import RunConfig
+from repro.perf.whatif import SWEEPABLE_PARAMETERS, runtime_attribution, whatif_sweep
+
+SMALL = dict(ecutwfc=12.0, alat=5.0, nbnd=8)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(**SMALL, ranks=2, taskgroups=2, version="original")
+
+
+class TestSweep:
+    def test_latency_sweep_is_monotone(self, config):
+        points = whatif_sweep(config, "net_latency", [0.0, 1e-5, 1e-4])
+        times = [t for _v, t in points]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_frequency_sweep_speeds_up(self, config):
+        points = whatif_sweep(config, "frequency_hz", [0.7e9, 1.4e9, 2.8e9])
+        times = [t for _v, t in points]
+        assert times[0] > times[1] > times[2]
+
+    def test_bandwidth_sweep(self, config):
+        points = whatif_sweep(config, "mem_bandwidth", [1e9, 6.9e10, 1e15])
+        times = [t for _v, t in points]
+        assert times[0] > times[2]
+
+    def test_unknown_parameter_rejected(self, config):
+        with pytest.raises(ValueError, match="cannot sweep"):
+            whatif_sweep(config, "magic", [1.0])
+
+    def test_all_listed_parameters_sweepable(self, config):
+        for parameter in SWEEPABLE_PARAMETERS:
+            if parameter == "compute_jitter":
+                values = [0.0]
+            elif parameter == "net_latency":
+                values = [1e-6]
+            else:
+                values = [1e10]
+            points = whatif_sweep(config, parameter, values)
+            assert len(points) == 1 and points[0][1] > 0
+
+
+class TestAttribution:
+    def test_every_whatif_is_no_slower(self, config):
+        attr = runtime_attribution(config)
+        assert attr["ideal_network"] <= attr["measured"] * 1.001
+        assert attr["infinite_bandwidth"] <= attr["measured"] * 1.02
+        # Jitter changes the noise, not systematically the mean — allow 10%.
+        assert attr["no_jitter"] <= attr["measured"] * 1.1
+
+    def test_contention_matters_at_high_occupancy(self):
+        """On a node-filling run, lifting the bandwidth cap must help more
+        than at low occupancy."""
+        low = runtime_attribution(RunConfig(**SMALL, ranks=1, taskgroups=2))
+        high = runtime_attribution(RunConfig(**SMALL, ranks=8, taskgroups=2))
+        gain_low = 1 - low["infinite_bandwidth"] / low["measured"]
+        gain_high = 1 - high["infinite_bandwidth"] / high["measured"]
+        assert gain_high > gain_low

@@ -1,0 +1,61 @@
+"""Tests for the density-of-states post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe.dos import density_of_states, monkhorst_pack
+
+
+@pytest.fixture(scope="module")
+def desc():
+    return FftDescriptor(Cell(alat=5.0), ecutwfc=10.0)
+
+
+@pytest.fixture(scope="module")
+def potential(desc):
+    return make_potential(desc.grid_shape, seed=4)
+
+
+class TestMonkhorstPack:
+    def test_grid_shape_and_range(self):
+        grid = monkhorst_pack(2, 2, 2)
+        assert grid.shape == (8, 3)
+        assert grid.min() >= 0.0 and grid.max() < 1.0
+        # Gamma included.
+        assert (grid == 0).all(axis=1).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monkhorst_pack(0, 1, 1)
+
+
+class TestDensityOfStates:
+    @pytest.fixture(scope="class")
+    def dos(self, desc, potential):
+        kgrid = monkhorst_pack(2, 2, 1)
+        return density_of_states(desc, potential, kgrid, n_bands=3, sigma=0.15)
+
+    def test_integrates_to_band_count(self, dos):
+        """With the window covering all samples, the integral counts the
+        bands (states per k-point)."""
+        assert dos.integrated() == pytest.approx(3.0, rel=0.02)
+
+    def test_nonnegative_and_peaked_near_eigenvalues(self, dos):
+        assert dos.dos.min() >= 0.0
+        peak_e = dos.energies[np.argmax(dos.dos)]
+        assert dos.eigenvalues.min() - 0.3 <= peak_e <= dos.eigenvalues.max() + 0.3
+
+    def test_eigenvalue_samples_shape(self, dos):
+        assert dos.eigenvalues.shape == (4, 3)
+
+    def test_sigma_validation(self, desc, potential):
+        with pytest.raises(ValueError, match="sigma"):
+            density_of_states(desc, potential, np.zeros((1, 3)), 1, sigma=0.0)
+
+    def test_wider_sigma_smooths(self, desc, potential):
+        kgrid = monkhorst_pack(1, 1, 1)
+        sharp = density_of_states(desc, potential, kgrid, 2, sigma=0.05)
+        smooth = density_of_states(desc, potential, kgrid, 2, sigma=0.4)
+        assert sharp.dos.max() > smooth.dos.max()

@@ -1,0 +1,105 @@
+"""Tests for k-point Hamiltonians and the band-path workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe import (
+    CUBIC_POINTS,
+    Hamiltonian,
+    band_structure,
+    dense_hamiltonian_matrix,
+    k_path,
+    kinetic_spectrum,
+    solve_bands,
+)
+
+
+@pytest.fixture(scope="module")
+def desc():
+    return FftDescriptor(Cell(alat=5.0), ecutwfc=10.0)
+
+
+@pytest.fixture(scope="module")
+def potential(desc):
+    return make_potential(desc.grid_shape, seed=4)
+
+
+class TestKineticAtK:
+    def test_gamma_matches_default(self, desc):
+        np.testing.assert_allclose(
+            kinetic_spectrum(desc, np.zeros(3)), kinetic_spectrum(desc)
+        )
+
+    def test_k_shift_formula(self, desc):
+        k = np.array([0.5, 0.0, 0.0])
+        kin = kinetic_spectrum(desc, k)
+        g = desc.sphere.millers @ desc.cell.bg.T
+        expected = np.sum((g + k) ** 2, axis=1) * desc.cell.tpiba2
+        np.testing.assert_allclose(kin, expected)
+
+    def test_bad_k_shape(self, desc):
+        with pytest.raises(ValueError, match="3-vector"):
+            kinetic_spectrum(desc, np.zeros(2))
+
+
+class TestKPath:
+    def test_named_points(self):
+        path = k_path(["G", "X"], n_per_segment=5)
+        assert path.shape == (5, 3)
+        np.testing.assert_allclose(path[0], CUBIC_POINTS["G"])
+        np.testing.assert_allclose(path[-1], CUBIC_POINTS["X"])
+
+    def test_corners_not_duplicated(self):
+        path = k_path(["G", "X", "M"], n_per_segment=4)
+        assert path.shape == (7, 3)  # 4 + 3 (shared X counted once)
+
+    def test_explicit_vectors(self):
+        path = k_path([(0, 0, 0), (0.25, 0, 0)], n_per_segment=3)
+        np.testing.assert_allclose(path[1], [0.125, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown k-point"):
+            k_path(["G", "Z"])
+        with pytest.raises(ValueError, match="at least two"):
+            k_path(["G"])
+        with pytest.raises(ValueError, match="n_per_segment"):
+            k_path(["G", "X"], n_per_segment=1)
+        with pytest.raises(ValueError, match="3-vectors"):
+            k_path([(0, 0), (1, 1)])
+
+
+class TestBandsAtK:
+    def test_solver_matches_dense_at_x(self, desc, potential):
+        k = np.asarray(CUBIC_POINTS["X"], dtype=float)
+        exact = np.linalg.eigvalsh(dense_hamiltonian_matrix(desc, potential, k=k))[:3]
+        ham = Hamiltonian(desc, potential, k=k)
+        res = solve_bands(ham, 3, tol=1e-11, max_iterations=120)
+        np.testing.assert_allclose(res.eigenvalues, exact, atol=1e-7)
+
+    def test_free_particle_dispersion(self, desc):
+        """Constant V: the lowest band at k is min_G |k+G|^2 + V0 exactly."""
+        v0 = 2.0
+        v = np.full((desc.nr3, desc.nr1, desc.nr2), v0)
+        for k in (np.zeros(3), np.array([0.25, 0.0, 0.0])):
+            ham = Hamiltonian(desc, v, k=k)
+            res = solve_bands(ham, 1, tol=1e-12, max_iterations=80)
+            expected = kinetic_spectrum(desc, k).min() + v0
+            assert res.eigenvalues[0] == pytest.approx(expected, abs=1e-8)
+
+    def test_band_structure_shape_and_continuity(self, desc, potential):
+        path = k_path(["G", "X"], n_per_segment=4)
+        bs = band_structure(desc, potential, path, n_bands=2, tol=1e-9)
+        assert bs.energies.shape == (4, 2)
+        assert bs.distances[0] == 0.0
+        assert np.all(np.diff(bs.distances) > 0)
+        # Bands vary smoothly: adjacent samples within a modest step.
+        steps = np.abs(np.diff(bs.energies, axis=0))
+        assert steps.max() < 2.0
+
+    def test_band_width_positive(self, desc, potential):
+        path = k_path(["G", "X"], n_per_segment=3)
+        bs = band_structure(desc, potential, path, n_bands=2, tol=1e-9)
+        assert np.all(bs.band_width >= 0)
+        assert bs.band_width.max() > 0.01  # a free-ish band disperses

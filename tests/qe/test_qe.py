@@ -1,0 +1,128 @@
+"""Tests for the mini plane-wave band solver built on the FFT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe import Hamiltonian, dense_hamiltonian_matrix, kinetic_spectrum, solve_bands
+
+
+@pytest.fixture(scope="module")
+def desc():
+    return FftDescriptor(Cell(alat=5.0), ecutwfc=12.0)
+
+
+@pytest.fixture(scope="module")
+def potential(desc):
+    return make_potential(desc.grid_shape, seed=4)
+
+
+@pytest.fixture(scope="module")
+def ham(desc, potential):
+    return Hamiltonian(desc, potential)
+
+
+@pytest.fixture(scope="module")
+def h_matrix(desc, potential):
+    return dense_hamiltonian_matrix(desc, potential)
+
+
+class TestHamiltonian:
+    def test_kinetic_spectrum_units(self, desc):
+        """|G|^2 in Ry: the G=0 entry is 0, ordering follows the sphere."""
+        kin = kinetic_spectrum(desc)
+        assert kin[0] == 0.0
+        np.testing.assert_allclose(kin, desc.sphere.g2 * desc.cell.tpiba2)
+
+    def test_apply_matches_dense_matrix(self, ham, h_matrix, desc):
+        rng = np.random.default_rng(1)
+        c = rng.standard_normal((3, desc.ngw)) + 1j * rng.standard_normal((3, desc.ngw))
+        np.testing.assert_allclose(ham.apply(c), c @ h_matrix.T, atol=1e-10)
+
+    def test_matrix_is_hermitian(self, h_matrix):
+        np.testing.assert_allclose(h_matrix, h_matrix.conj().T, atol=1e-12)
+
+    def test_distributed_engine_matches_dense_engine(self, ham, desc):
+        rng = np.random.default_rng(2)
+        c = rng.standard_normal((2, desc.ngw)) + 1j * rng.standard_normal((2, desc.ngw))
+        engine = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=4, ranks=2, taskgroups=2,
+            version="original", data_mode=True,
+        )
+        dense = ham.apply(c, engine="dense")
+        distributed = ham.apply(c, engine=engine)
+        np.testing.assert_allclose(distributed, dense, atol=1e-10)
+        assert ham.simulated_time > 0.0
+
+    def test_shape_validation(self, ham, desc, potential):
+        with pytest.raises(ValueError, match="columns"):
+            ham.apply(np.zeros((2, 3), dtype=complex))
+        with pytest.raises(ValueError, match="potential shape"):
+            Hamiltonian(ham.desc, potential[:2])
+        with pytest.raises(ValueError, match="engine"):
+            ham.apply(np.zeros((1, desc.ngw), dtype=complex), engine="gpu")
+
+    def test_expectation_bounds(self, ham, desc):
+        """Rayleigh quotients lie within the spectrum's range."""
+        rng = np.random.default_rng(3)
+        c = rng.standard_normal((4, desc.ngw)) + 1j * rng.standard_normal((4, desc.ngw))
+        e = ham.expectation(c)
+        kin_max = kinetic_spectrum(desc).max()
+        vmax = ham.potential.max()
+        assert np.all(e > 0)
+        assert np.all(e < kin_max + vmax)
+
+
+class TestBandSolver:
+    def test_matches_exact_diagonalization(self, ham, h_matrix):
+        exact = np.linalg.eigvalsh(h_matrix)[:4]
+        res = solve_bands(ham, 4, tol=1e-11, max_iterations=100)
+        assert res.converged
+        np.testing.assert_allclose(res.eigenvalues, exact, atol=1e-8)
+
+    def test_eigenvectors_are_orthonormal_eigenpairs(self, ham, h_matrix):
+        res = solve_bands(ham, 3, tol=1e-11, max_iterations=100)
+        x = res.eigenvectors
+        np.testing.assert_allclose(x @ x.conj().T, np.eye(3), atol=1e-8)
+        hx = x @ h_matrix.T
+        np.testing.assert_allclose(
+            hx, res.eigenvalues[:, None] * x, atol=1e-6
+        )
+
+    def test_history_monotone_decreasing(self, ham):
+        res = solve_bands(ham, 4, tol=1e-11, max_iterations=100)
+        sums = res.history
+        assert all(a >= b - 1e-10 for a, b in zip(sums, sums[1:]))
+
+    def test_lowest_eigenvalue_above_potential_floor(self, ham):
+        """V >= 1 everywhere -> every eigenvalue > 1 Ry (kinetic >= 0)."""
+        res = solve_bands(ham, 2, tol=1e-10)
+        assert res.eigenvalues.min() > 1.0
+
+    def test_distributed_engine_gives_same_bands(self, ham, desc, h_matrix):
+        exact = np.linalg.eigvalsh(h_matrix)[:2]
+        engine = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=1,
+            version="ompss_perfft", data_mode=True,
+        )
+        fresh = Hamiltonian(desc, ham.potential)
+        res = solve_bands(fresh, 2, engine=engine, tol=1e-10, max_iterations=40, n_extra=4)
+        np.testing.assert_allclose(res.eigenvalues, exact, atol=1e-7)
+        assert res.simulated_time > 0.0
+
+    def test_validation(self, ham, desc):
+        with pytest.raises(ValueError, match="n_bands"):
+            solve_bands(ham, 0)
+        with pytest.raises(ValueError, match="basis"):
+            solve_bands(ham, desc.ngw + 1)
+
+    def test_free_particle_limit(self):
+        """With a constant potential the eigenvalues are |G|^2 + V0 exactly."""
+        desc = FftDescriptor(Cell(alat=5.0), ecutwfc=10.0)
+        v = np.full((desc.nr3, desc.nr1, desc.nr2), 2.5)
+        ham = Hamiltonian(desc, v)
+        res = solve_bands(ham, 5, tol=1e-12, max_iterations=60)
+        expected = np.sort(kinetic_spectrum(desc))[:5] + 2.5
+        np.testing.assert_allclose(res.eigenvalues, expected, atol=1e-8)

@@ -1,0 +1,136 @@
+"""Tests for the self-consistent field loop (smearing, mixing, fixed point)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig
+from repro.core.wave import make_potential
+from repro.grids import Cell, FftDescriptor
+from repro.qe import (
+    Hamiltonian,
+    density_from_bands,
+    fermi_occupations,
+    run_scf,
+    solve_bands,
+)
+
+
+@pytest.fixture(scope="module")
+def desc():
+    return FftDescriptor(Cell(alat=5.0), ecutwfc=12.0)
+
+
+@pytest.fixture(scope="module")
+def v_ext(desc):
+    return make_potential(desc.grid_shape, seed=4)
+
+
+class TestFermiOccupations:
+    def test_sum_equals_electron_count(self):
+        eps = np.array([1.0, 2.0, 2.001, 2.002, 5.0])
+        for ne in (1, 2, 3.5):
+            f = fermi_occupations(eps, ne, sigma=0.05)
+            assert f.sum() == pytest.approx(ne, abs=1e-9)
+            assert np.all((0 <= f) & (f <= 1))
+
+    def test_degenerate_states_share_occupation(self):
+        eps = np.array([1.0, 2.0, 2.0, 3.0])
+        f = fermi_occupations(eps, 2, sigma=0.05)
+        assert f[1] == pytest.approx(f[2], abs=1e-12)
+
+    def test_cold_limit_is_step_function(self):
+        eps = np.array([1.0, 2.0, 3.0, 4.0])
+        f = fermi_occupations(eps, 2, sigma=1e-4)
+        np.testing.assert_allclose(f, [1, 1, 0, 0], atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sigma"):
+            fermi_occupations(np.array([1.0]), 1, sigma=0.0)
+        with pytest.raises(ValueError, match="n_electrons"):
+            fermi_occupations(np.array([1.0]), 2, sigma=0.1)
+
+
+class TestDensity:
+    def test_integrates_to_electron_count(self, desc, v_ext):
+        ham = Hamiltonian(desc, v_ext)
+        res = solve_bands(ham, 2, tol=1e-10)
+        rho = density_from_bands(desc, res.eigenvectors)
+        assert rho.mean() * desc.cell.volume == pytest.approx(2.0, rel=1e-9)
+
+    def test_nonnegative(self, desc, v_ext):
+        ham = Hamiltonian(desc, v_ext)
+        res = solve_bands(ham, 3, tol=1e-10)
+        rho = density_from_bands(desc, res.eigenvectors)
+        assert rho.min() >= -1e-14
+
+    def test_occupation_weights(self, desc, v_ext):
+        ham = Hamiltonian(desc, v_ext)
+        res = solve_bands(ham, 2, tol=1e-10)
+        rho = density_from_bands(desc, res.eigenvectors, np.array([0.5, 0.25]))
+        assert rho.mean() * desc.cell.volume == pytest.approx(0.75, rel=1e-9)
+
+
+class TestScf:
+    def test_converges_through_degenerate_shell(self, desc, v_ext):
+        """The near-degenerate trio of this spectrum breaks integer-occupation
+        SCF; smearing must carry it to a fixed point."""
+        res = run_scf(desc, v_ext, n_electrons=2, coupling=2.0, tol=1e-8, max_iterations=80)
+        assert res.converged
+        assert res.residual_history[-1] < 1e-8
+
+    def test_fixed_point_is_self_consistent(self, desc, v_ext):
+        """Re-solving at the converged potential reproduces the density."""
+        res = run_scf(desc, v_ext, n_electrons=1, coupling=2.0, tol=1e-10, max_iterations=80)
+        assert res.converged
+        ham = Hamiltonian(desc, res.potential)
+        bands = solve_bands(ham, len(res.occupations), tol=1e-11)
+        occ = fermi_occupations(bands.eigenvalues, 1, sigma=0.05)
+        rho = density_from_bands(desc, bands.eigenvectors, occ)
+        np.testing.assert_allclose(rho, res.density, atol=1e-7)
+
+    def test_zero_coupling_matches_plain_band_solve(self, desc, v_ext):
+        # With no feedback the density is right after one solve; full mixing
+        # makes the residual hit zero on the second iteration.
+        res = run_scf(desc, v_ext, n_electrons=1, coupling=0.0, tol=1e-9,
+                      max_iterations=5, mixing=1.0)
+        assert res.converged
+        ham = Hamiltonian(desc, v_ext)
+        bands = solve_bands(ham, 1, tol=1e-11)
+        assert res.bands.eigenvalues[0] == pytest.approx(bands.eigenvalues[0], abs=1e-7)
+
+    def test_interaction_raises_energy(self, desc, v_ext):
+        """A repulsive coupling must raise the ground-state energy."""
+        free = run_scf(desc, v_ext, n_electrons=1, coupling=0.0, tol=1e-9)
+        coupled = run_scf(desc, v_ext, n_electrons=1, coupling=3.0, tol=1e-8, max_iterations=80)
+        assert coupled.total_energy > free.total_energy
+
+    def test_charge_conserved(self, desc, v_ext):
+        res = run_scf(desc, v_ext, n_electrons=2, coupling=1.0, tol=1e-8, max_iterations=80)
+        assert res.density.mean() * desc.cell.volume == pytest.approx(2.0, rel=1e-6)
+
+    def test_validation(self, desc, v_ext):
+        with pytest.raises(ValueError, match="mixing"):
+            run_scf(desc, v_ext, 1, mixing=0.0)
+        with pytest.raises(ValueError, match="coupling"):
+            run_scf(desc, v_ext, 1, coupling=-1.0)
+        with pytest.raises(ValueError, match="n_electrons"):
+            run_scf(desc, v_ext, 0)
+        with pytest.raises(ValueError, match="v_ext"):
+            run_scf(desc, v_ext[:2], 1)
+
+    def test_distributed_engine_scf(self, desc, v_ext):
+        """A short SCF whose H applications run on the simulated machine."""
+        engine = RunConfig(
+            ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=1,
+            version="ompss_perfft", data_mode=True,
+        )
+        res = run_scf(
+            desc, v_ext, n_electrons=1, coupling=1.0, tol=1e-5,
+            max_iterations=8, engine=engine, band_tol=1e-8,
+        )
+        assert res.simulated_time > 0
+        reference = run_scf(
+            desc, v_ext, n_electrons=1, coupling=1.0, tol=1e-5,
+            max_iterations=8, band_tol=1e-8,
+        )
+        assert res.total_energy == pytest.approx(reference.total_energy, abs=1e-6)

@@ -1,0 +1,229 @@
+"""Unit tests for simkit processes and condition events."""
+
+import pytest
+
+from repro.simkit import AllOf, AnyOf, DeadlockError, Interrupt, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestProcessBasics:
+    def test_process_return_value(self, sim):
+        def body():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run(sim.process(body())) == "done"
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_processes_interleave_by_time(self, sim):
+        log = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+        sim.process(worker("slow", 3))
+        sim.process(worker("fast", 1))
+        sim.run()
+        assert log == [("fast", 1), ("slow", 3)]
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield sim.timeout(2)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        assert sim.run(sim.process(parent())) == 8
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return str(exc)
+
+        assert sim.run(sim.process(parent())) == "child died"
+
+    def test_unwaited_process_failure_raises_from_run(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("unobserved")
+
+        sim.process(child())
+        with pytest.raises(ValueError, match="unobserved"):
+            sim.run()
+
+    def test_yield_non_event_fails_process(self, sim):
+        def body():
+            yield 42  # type: ignore[misc]
+
+        proc = sim.process(body())
+        with pytest.raises(RuntimeError, match="non-event"):
+            sim.run(proc)
+        assert proc.triggered
+
+    def test_immediate_return_process(self, sim):
+        def body():
+            return "instant"
+            yield  # pragma: no cover
+
+        proc = sim.process(body())
+        assert sim.run(proc) == "instant"
+
+    def test_active_process_visible_during_execution(self, sim):
+        seen = []
+
+        def body():
+            seen.append(sim.active_process)
+            yield sim.timeout(0)
+
+        proc = sim.process(body())
+        sim.run()
+        assert seen == [proc]
+        assert sim.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+
+        def attacker(target):
+            yield sim.timeout(5)
+            target.interrupt("reason")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(v) == ("interrupted", "reason", 5)
+
+    def test_interrupt_dead_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_victim_can_continue_after_interrupt(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(1)
+            return sim.now
+
+        def attacker(target):
+            yield sim.timeout(2)
+            target.interrupt()
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(v) == 3
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        def body():
+            t1 = sim.timeout(1, value="a")
+            t2 = sim.timeout(3, value="b")
+            result = yield AllOf(sim, [t1, t2])
+            return (sim.now, result.values())
+
+        assert sim.run(sim.process(body())) == (3, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, sim):
+        def body():
+            t1 = sim.timeout(1, value="first")
+            t2 = sim.timeout(3, value="second")
+            result = yield AnyOf(sim, [t1, t2])
+            return (sim.now, result.values())
+
+        assert sim.run(sim.process(body())) == (1, ["first"])
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def body():
+            result = yield AllOf(sim, [])
+            return len(result)
+
+        assert sim.run(sim.process(body())) == 0
+
+    def test_all_of_propagates_failure(self, sim):
+        def failing():
+            yield sim.timeout(1)
+            raise RuntimeError("member failed")
+
+        def body():
+            yield AllOf(sim, [sim.process(failing()), sim.timeout(5)])
+
+        with pytest.raises(RuntimeError, match="member failed"):
+            sim.run(sim.process(body()))
+
+    def test_condition_value_mapping(self, sim):
+        def body():
+            t1 = sim.timeout(1, value="x")
+            cond = yield AllOf(sim, [t1])
+            assert t1 in cond
+            return cond[t1]
+
+        assert sim.run(sim.process(body())) == "x"
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            AllOf(sim, [sim.timeout(1), other.timeout(1)])
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_raises_deadlock(self, sim):
+        ev = sim.event("never")
+
+        def body():
+            yield ev
+
+        sim.process(body())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_deadlock_message_names_processes(self, sim):
+        ev = sim.event("never")
+
+        def body():
+            yield ev
+
+        sim.process(body(), name="stuck-rank")
+        with pytest.raises(DeadlockError, match="stuck-rank"):
+            sim.run()
+
+    def test_run_until_event_never_fired_is_deadlock(self, sim):
+        ev = sim.event("never")
+        with pytest.raises(DeadlockError):
+            sim.run(ev)
+
+    def test_run_until_time_with_blocked_process_is_fine(self, sim):
+        ev = sim.event("never")
+
+        def body():
+            yield ev
+
+        sim.process(body())
+        sim.run(until=10.0)
+        assert sim.now == 10.0

@@ -1,0 +1,148 @@
+"""Unit tests for counting resources and mutexes."""
+
+import pytest
+
+from repro.simkit import Mutex, Resource, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def body():
+            r1 = res.request()
+            yield r1
+            r2 = res.request()
+            yield r2
+            return sim.now
+
+        assert sim.run(sim.process(body())) == 0
+
+    def test_fifo_ordering(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            order.append((name, sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(worker("a", 2))
+        sim.process(worker("b", 1))
+        sim.process(worker("c", 1))
+        sim.run()
+        assert order == [("a", 0), ("b", 2), ("c", 3)]
+
+    def test_release_unowned_raises(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def body():
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)
+
+        with pytest.raises(ValueError):
+            sim.run(sim.process(body()))
+
+    def test_counts(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5)
+            res.release(req)
+
+        def waiter():
+            yield sim.timeout(1)
+            req = res.request()
+            yield req
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=2)
+        assert res.count == 1
+        assert res.queue_length == 1
+        sim.run()
+        assert res.count == 0
+
+    def test_context_manager_releases(self, sim):
+        res = Resource(sim, capacity=1)
+        times = []
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1)
+            times.append(sim.now)
+
+        def second():
+            req = res.request()
+            yield req
+            times.append(sim.now)
+            res.release(req)
+
+        sim.process(worker())
+        sim.process(second())
+        sim.run()
+        assert times == [1, 1]
+
+    def test_cancel_waiting_request(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10)
+            res.release(req)
+
+        cancelled = []
+
+        def impatient():
+            yield sim.timeout(1)
+            req = res.request()
+            req.cancel()
+            cancelled.append(res.queue_length)
+            yield sim.timeout(0)
+
+        sim.process(holder())
+        sim.process(impatient())
+        sim.run()
+        assert cancelled == [0]
+
+
+class TestMutex:
+    def test_mutex_is_exclusive(self, sim):
+        m = Mutex(sim)
+        assert m.capacity == 1
+
+    def test_mutual_exclusion_in_time(self, sim):
+        m = Mutex(sim)
+        spans = []
+
+        def worker(name):
+            req = m.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(3)
+            spans.append((name, start, sim.now))
+            m.release(req)
+
+        sim.process(worker("x"))
+        sim.process(worker("y"))
+        sim.run()
+        (n1, s1, e1), (n2, s2, e2) = spans
+        assert e1 <= s2  # no overlap

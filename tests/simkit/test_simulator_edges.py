@@ -1,0 +1,80 @@
+"""Edge-case tests for the simulator facade."""
+
+import pytest
+
+from repro.simkit import SimulationError, Simulator
+
+
+class TestSimulatorEdges:
+    def test_peek_empty_is_inf(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_time(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.timeout(2.0)
+        assert sim.peek() == 2.0
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            Simulator().step()
+
+    def test_run_until_past_time_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.run(until=5.0)
+
+    def test_run_until_time_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_until_already_processed_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        assert sim.run(ev) == "x"
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        done = []
+
+        def body():
+            yield sim.timeout(1.0)
+            done.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert done == [101.0]
+
+    def test_independent_simulators_do_not_interact(self):
+        a, b = Simulator(), Simulator()
+
+        def body(sim, log):
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        log_a, log_b = [], []
+        a.process(body(a, log_a))
+        b.process(body(b, log_b))
+        a.run()
+        assert log_a == [1.0] and log_b == []
+        b.run()
+        assert log_b == [1.0]
+
+    def test_run_until_time_then_continue(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            for _ in range(3):
+                yield sim.timeout(1.0)
+                log.append(sim.now)
+
+        sim.process(body())
+        sim.run(until=1.5)
+        assert log == [1.0]
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]

@@ -1,0 +1,127 @@
+"""Tests for the bounded FIFO channel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import Simulator
+from repro.simkit.stores import Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        times = {}
+
+        def consumer():
+            item = yield store.get()
+            times["got"] = (item, sim.now)
+
+        def producer():
+            yield sim.timeout(3.0)
+            yield store.put(42)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times["got"] == (42, 3.0)
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            log.append(("p1", sim.now))
+            yield store.put(2)  # blocks until the consumer drains
+            log.append(("p2", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            yield store.get()
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log == [("p1", 0.0), ("p2", 5.0)]
+
+    def test_fifo_order_among_getters(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.process(producer())
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_level_tracking(self, sim):
+        store = Store(sim, capacity=3)
+
+        def body():
+            yield store.put(1)
+            yield store.put(2)
+            assert store.level == 2
+            yield store.get()
+            assert store.level == 1
+
+        sim.run(sim.process(body()))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=20),
+        capacity=st.integers(min_value=1, max_value=5),
+    )
+    def test_everything_arrives_in_order(self, items, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                received.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == items

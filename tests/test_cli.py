@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "table1" in out
+        assert "ablation-versions" in out
+
+    def test_run_quick_validate(self, capsys):
+        code = main(["run", "--ranks", "1", "--taskgroups", "2", "--quick", "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max relative error" in out
+
+    def test_run_task_version(self, capsys):
+        code = main(["run", "--ranks", "2", "--taskgroups", "2", "--quick",
+                     "--version", "ompss_perfft"])
+        assert code == 0
+        assert "ompss_perfft" in capsys.readouterr().out
+
+    def test_experiment_dispatch_quick(self, capsys):
+        code = main(["fig3", "--quick"])
+        assert code == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
