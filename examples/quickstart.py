@@ -4,15 +4,32 @@
 This is the smallest end-to-end use of the library: configure a workload,
 execute the distributed forward-V(r)-backward kernel on the simulated KNL
 node with real data, check the result against the dense single-grid
-reference, and look at the basic performance outputs.
+reference, and write the run manifest — the JSON artifact the ``perf diff``
+and ``perf check`` commands consume.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--manifest PATH]
+
+Without ``--manifest`` the manifest goes to a temporary directory (the
+script never litters the working directory).
 """
 
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
 from repro.core import RunConfig, run_fft_phase
+from repro.telemetry.manifest import build_manifest, write_manifest
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="where to write the run manifest (default: a temp directory)",
+    )
+    args = parser.parse_args(argv)
+
     # A small workload (the paper's is ecutwfc=80, alat=20, nbnd=128): a
     # 12 Ry cutoff in a 5 Bohr cell gives a 15^3-ish grid that validates in
     # under a second.  Two first-layer ranks x two FFT task groups = 4
@@ -25,11 +42,14 @@ def main() -> None:
         taskgroups=2,
         version="original",
         data_mode=True,  # move real numpy payloads so we can validate
+        telemetry=True,  # record metrics/spans/trace for the manifest
     )
     print(f"workload: {config.label()}, {config.n_mpi_ranks} MPI processes, "
           f"{config.n_complex_bands} complex band FFTs")
 
+    t0 = time.perf_counter()
     result = run_fft_phase(config)
+    wall = time.perf_counter() - t0
 
     print(f"grid:            {result.desc.grid_shape}, "
           f"{result.desc.ngw} G-vectors, {result.desc.sticks.nsticks} sticks")
@@ -39,6 +59,13 @@ def main() -> None:
     error = result.validate()
     print(f"max relative error vs dense reference: {error:.2e}")
     assert error < 1e-12, "distributed result diverged from the reference"
+
+    if args.manifest is not None:
+        manifest_path = Path(args.manifest)
+    else:
+        manifest_path = Path(tempfile.mkdtemp(prefix="repro-")) / "quickstart.json"
+    written = write_manifest(manifest_path, build_manifest(result, wall_time_s=wall))
+    print(f"run manifest:    {written}")
 
     # The same workload with the paper's per-FFT OmpSs tasks — different
     # schedule, identical numerics.

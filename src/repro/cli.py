@@ -7,10 +7,17 @@
     fftxlib-repro table1
     fftxlib-repro all --quick
     fftxlib-repro run --ranks 8 --version ompss_perfft --validate
+    fftxlib-repro run --quick --manifest run.json --chrome trace.json --pop
+    fftxlib-repro perf diff baseline.json candidate.json
+    fftxlib-repro perf check --baseline baseline.json candidate.json
 
 ``--quick`` shrinks the workload (30 Ry / 10 Bohr / 32 bands and a reduced
 rank sweep) so every experiment finishes in seconds; the full workload is
-the paper's (80 Ry / 20 Bohr / 128 bands / ntg 8).
+the paper's (80 Ry / 20 Bohr / 128 bands / ntg 8).  The ``perf`` group
+works offline on run-manifest JSON files (see
+:mod:`repro.telemetry.manifest`): ``diff`` prints the runtime/IPC report,
+``check`` exits non-zero on a regression beyond the threshold, ``validate``
+checks a manifest against the schema.
 """
 
 from __future__ import annotations
@@ -110,6 +117,49 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--prv", metavar="PATH", default=None,
         help="write a Paraver-style trace (.prv/.pcf/.row) of the run",
     )
+    p_run.add_argument(
+        "--telemetry", action="store_true",
+        help="record metrics/spans/trace even without an export flag",
+    )
+    p_run.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the run manifest JSON (implies telemetry)",
+    )
+    p_run.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="write a Perfetto/Chrome-trace JSON (implies telemetry)",
+    )
+    p_run.add_argument(
+        "--prometheus", metavar="PATH", default=None,
+        help="write the metrics registry in Prometheus text format",
+    )
+    p_run.add_argument(
+        "--pop", action="store_true",
+        help="replay on an ideal network and add POP factors to the manifest",
+    )
+
+    p_perf = sub.add_parser(
+        "perf", help="offline analysis of run-manifest JSON files"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_diff = perf_sub.add_parser(
+        "diff", help="compare two manifests (runtime, per-phase time/IPC, POP)"
+    )
+    p_diff.add_argument("manifest_a")
+    p_diff.add_argument("manifest_b")
+    p_check = perf_sub.add_parser(
+        "check", help="fail (exit 1) when the candidate regresses vs the baseline"
+    )
+    p_check.add_argument("--baseline", required=True, metavar="PATH")
+    p_check.add_argument("candidate")
+    p_check.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative slowdown tolerated before failing (default 0.05)",
+    )
+    p_validate = perf_sub.add_parser(
+        "validate", help="check a manifest file against the schema"
+    )
+    p_validate.add_argument("manifest")
 
     p_cmp = sub.add_parser(
         "compare", help="trace two versions and print the phase-delta table"
@@ -128,31 +178,118 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        import dataclasses
+        import time
+
         workload = dict(QUICK_WORKLOAD) if args.quick else {}
+        want_telemetry = bool(
+            args.telemetry
+            or args.manifest
+            or args.chrome
+            or args.prometheus
+            or args.prv
+            or args.pop
+        )
         config = RunConfig(
             ranks=args.ranks,
             taskgroups=args.taskgroups,
             version=args.version,
             data_mode=args.validate,
             n_nodes=args.nodes,
+            telemetry=want_telemetry,
             **workload,
         )
-        if args.prv:
-            from repro.perf import trace_run, write_prv
-
-            result, trace = trace_run(config)
-            prv = write_prv(args.prv, trace)
-            print(f"trace written: {prv} (+ .pcf, .row)")
-        else:
-            result = run_fft_phase(config)
+        t0 = time.perf_counter()
+        result = run_fft_phase(config)
+        wall = time.perf_counter() - t0
         print(f"{config.label()}: FFT phase {result.phase_time * 1e3:.2f} ms "
               f"(simulated), avg IPC {result.average_ipc:.3f}")
+
+        factors = None
+        ideal_time = None
+        if args.pop:
+            from repro.perf import factors_from_run, ideal_network
+
+            ideal = run_fft_phase(
+                dataclasses.replace(config, telemetry=False),
+                knl=ideal_network(),
+            )
+            ideal_time = ideal.phase_time
+            factors = factors_from_run(result, ideal_time=ideal_time)
+        if args.manifest:
+            from repro.telemetry.manifest import build_manifest, write_manifest
+
+            path = write_manifest(
+                args.manifest,
+                build_manifest(
+                    result,
+                    wall_time_s=wall,
+                    factors=factors,
+                    ideal_time_s=ideal_time,
+                ),
+            )
+            print(f"manifest written: {path}")
+        if args.chrome or args.prometheus or args.prv:
+            from repro.telemetry.exporters import export_run
+
+            if args.chrome:
+                print(f"chrome trace written: {export_run(result, 'chrome', args.chrome)}")
+            if args.prometheus:
+                print(f"metrics written: {export_run(result, 'prometheus', args.prometheus)}")
+            if args.prv:
+                prv = export_run(result, "prv", args.prv)
+                print(f"trace written: {prv} (+ .pcf, .row)")
         if args.validate:
             err = result.validate()
             print(f"max relative error vs dense reference: {err:.2e}")
             if err > 1e-10:
                 print("VALIDATION FAILED", file=sys.stderr)
                 return 1
+        return 0
+
+    if args.command == "perf":
+        import json
+
+        from repro.telemetry.manifest import ManifestError, load_manifest
+
+        def _load(path):
+            try:
+                return load_manifest(path)
+            except FileNotFoundError:
+                raise SystemExit(f"error: no such manifest: {path}")
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"error: {path} is not JSON: {exc}")
+
+        if args.perf_command == "validate":
+            try:
+                _load(args.manifest)
+            except ManifestError as exc:
+                print(f"INVALID: {exc}", file=sys.stderr)
+                return 1
+            print(f"{args.manifest}: valid run manifest")
+            return 0
+        if args.perf_command == "diff":
+            from repro.perf import diff_manifests, format_manifest_diff
+
+            diff = diff_manifests(_load(args.manifest_a), _load(args.manifest_b))
+            print(format_manifest_diff(diff))
+            return 0
+        # perf check
+        from repro.perf import manifest_regressions
+
+        violations = manifest_regressions(
+            _load(args.baseline),
+            _load(args.candidate),
+            threshold=args.threshold,
+        )
+        if violations:
+            for v in violations:
+                print(f"REGRESSION: {v}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.candidate}: no regression vs {args.baseline} "
+            f"(threshold {args.threshold * 100:.1f}%)"
+        )
         return 0
 
     if args.command == "compare":

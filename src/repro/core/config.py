@@ -86,6 +86,10 @@ class RunConfig:
     #: executors (without it their blocking collectives can strand every
     #: worker), off for per-FFT tasks (the paper lists it as future work).
     task_switching: bool | None = None
+    #: Record telemetry (metrics, spans, compute/MPI/task trace) during the
+    #: run.  Off by default: instrumented call sites then cost a single
+    #: attribute check — see :mod:`repro.telemetry`.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.version not in VERSIONS:

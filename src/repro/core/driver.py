@@ -24,6 +24,7 @@ import typing as _t
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.core.config import RunConfig
 from repro.core.exec_combined import make_combined_program
 from repro.core.exec_original import make_original_program
@@ -62,6 +63,10 @@ class RunResult:
     contexts: list[FftPhaseContext]
     input_coeffs: np.ndarray | None
     potential: np.ndarray | None
+    #: Machine calibration the run used (exported into the run manifest).
+    knl: KnlParameters | None = None
+    #: The run's telemetry session, or ``None`` when telemetry was off.
+    telemetry: _telemetry.Telemetry | None = None
 
     def output_coefficients(self) -> np.ndarray:
         """Gather the distributed outputs (data mode only)."""
@@ -95,6 +100,7 @@ def run_fft_phase(
     task_observer: _t.Callable | None = None,
     input_coeffs: np.ndarray | None = None,
     potential: np.ndarray | None = None,
+    telemetry: _telemetry.Telemetry | None = None,
 ) -> RunResult:
     """Run one configuration to completion on a fresh simulated node.
 
@@ -102,10 +108,17 @@ def run_fft_phase(
     (``V[iz, ix, iy]``) override the generated data — this is how a caller
     (e.g. the :mod:`repro.qe` band solver) applies the kernel's operator to
     its *own* wavefunctions; both require ``config.data_mode``.
+
+    ``telemetry`` installs the given session for the duration of the run;
+    with ``config.telemetry`` set a fresh enabled session is created.  The
+    session used (if any) is returned on ``RunResult.telemetry``.
     """
     knl = knl or KnlParameters()
     if (input_coeffs is not None or potential is not None) and not config.data_mode:
         raise ValueError("caller-provided data requires data_mode=True")
+    tel = telemetry
+    if tel is None and config.telemetry:
+        tel = _telemetry.Telemetry(enabled=True)
 
     # 1. Geometry and costs.
     cell = Cell(alat=config.alat)
@@ -167,6 +180,13 @@ def run_fft_phase(
         world.add_mpi_observer(mpi_observer)
     if compute_observer is not None:
         cpu.add_observer(compute_observer)
+    if tel is not None and tel.enabled:
+        world.add_mpi_observer(tel.tracer.on_mpi)
+        cpu.add_observer(tel.tracer.on_compute)
+        if task_observer is None:
+            task_observer = tel.tracer.on_task
+        else:
+            task_observer = _fanout_task_observer(tel.tracer.on_task, task_observer)
 
     # 3. Communicator layers (setup time, unmeasured — like FFTXlib init).
     pack_comms = (
@@ -266,8 +286,16 @@ def run_fft_phase(
             mpi_task_switching=config.effective_task_switching,
         )
 
-    world.launch(program)
-    phase_time = world.run()
+    previous = _telemetry.install(tel) if tel is not None else None
+    try:
+        world.launch(program)
+        phase_time = world.run()
+    finally:
+        if tel is not None:
+            _telemetry.install(previous)
+
+    if tel is not None and tel.enabled:
+        _record_run_summary(tel, config, cpu, sim, phase_time)
 
     return RunResult(
         config=config,
@@ -280,4 +308,42 @@ def run_fft_phase(
         contexts=[contexts[p] for p in sorted(contexts)],
         input_coeffs=input_coeffs,
         potential=potential,
+        knl=knl,
+        telemetry=tel,
     )
+
+
+def _fanout_task_observer(first: _t.Callable, second: _t.Callable) -> _t.Callable:
+    def observer(rank: int, record: object) -> None:
+        first(rank, record)
+        second(rank, record)
+
+    return observer
+
+
+def _record_run_summary(
+    tel: _telemetry.Telemetry,
+    config: RunConfig,
+    cpu: CpuModel,
+    sim: Simulator,
+    phase_time: float,
+) -> None:
+    """Close out a telemetry session: the run span and derived gauges."""
+    tel.spans.add(
+        "driver",
+        "run",
+        "run",
+        0.0,
+        phase_time,
+        label=config.label(),
+        version=config.version,
+    )
+    counters = cpu.counters
+    phases = sorted({p for s in counters.streams for p in counters.phases(s)})
+    for phase in phases:
+        tel.metrics.set_gauge(
+            "machine.effective_ipc", counters.phase_ipc(phase), phase=phase
+        )
+    tel.metrics.set_gauge("machine.average_ipc", counters.average_ipc())
+    tel.metrics.set_gauge("sim.events_dispatched", float(sim.n_dispatched))
+    tel.metrics.set_gauge("run.phase_seconds", phase_time)

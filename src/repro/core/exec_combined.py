@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.core.exec_steps import submit_unit_tasks
 from repro.core.pipeline import FftPhaseContext
 from repro.ompss import TaskRuntime
@@ -46,12 +47,23 @@ def make_combined_program(
         if task_observer is not None:
             rt.add_observer(lambda rec, _r=rank.rank: task_observer(_r, rec))
         rt.start()
-        for band in range(n_complex_bands):
-            submit_unit_tasks(
-                ctx, rt, ("band", band), [band], grainsize_xy, grainsize_z
-            )
-        yield rt.taskwait()
-        yield rt.shutdown()
+        tel = _telemetry.current()
+        track = (rank.rank, 0)
+
+        def clock():
+            return rank.sim.now
+
+        with tel.spans.span(track, "exec_combined", "executor", clock):
+            with tel.spans.span(
+                track, "submit", "sub-phase", clock, n_tasks=n_complex_bands
+            ):
+                for band in range(n_complex_bands):
+                    submit_unit_tasks(
+                        ctx, rt, ("band", band), [band], grainsize_xy, grainsize_z
+                    )
+            with tel.spans.span(track, "taskwait", "sub-phase", clock):
+                yield rt.taskwait()
+            yield rt.shutdown()
         return ctx
 
     return program

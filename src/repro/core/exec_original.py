@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.core.pipeline import FftPhaseContext, band_chain_steps
 
 __all__ = ["make_original_program"]
@@ -26,9 +27,19 @@ def make_original_program(
     def program(rank):
         ctx = ctx_of(rank)
         T = ctx.layout.T
-        for it in range(n_iterations):
-            bands = [it * T + t for t in range(T)]
-            yield from band_chain_steps(ctx, bands, key_prefix=("it", it))
+        tel = _telemetry.current()
+        track = (rank.rank, 0)
+
+        def clock():
+            return rank.sim.now
+
+        with tel.spans.span(track, "exec_original", "executor", clock):
+            for it in range(n_iterations):
+                bands = [it * T + t for t in range(T)]
+                with tel.spans.span(
+                    track, f"iteration {it}", "iteration", clock, bands=bands
+                ):
+                    yield from band_chain_steps(ctx, bands, key_prefix=("it", it))
         return ctx
 
     return program

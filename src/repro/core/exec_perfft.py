@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.core.pipeline import FftPhaseContext, band_chain_steps
 from repro.ompss import TaskRuntime
 
@@ -52,16 +53,30 @@ def make_perfft_program(
         if task_observer is not None:
             rt.add_observer(lambda rec, _r=rank.rank: task_observer(_r, rec))
         rt.start()
-        for band in range(n_complex_bands):
+        tel = _telemetry.current()
+        track = (rank.rank, 0)
 
-            def body(worker, band=band):
-                yield from band_chain_steps(
-                    ctx, [band], key_prefix=("band", band), thread=worker.thread_index
-                )
+        def clock():
+            return rank.sim.now
 
-            rt.submit(f"fft_band{band}", body, inouts=[("psis", band)])
-        yield rt.taskwait()
-        yield rt.shutdown()
+        with tel.spans.span(track, "exec_perfft", "executor", clock):
+            with tel.spans.span(
+                track, "submit", "sub-phase", clock, n_tasks=n_complex_bands
+            ):
+                for band in range(n_complex_bands):
+
+                    def body(worker, band=band):
+                        yield from band_chain_steps(
+                            ctx,
+                            [band],
+                            key_prefix=("band", band),
+                            thread=worker.thread_index,
+                        )
+
+                    rt.submit(f"fft_band{band}", body, inouts=[("psis", band)])
+            with tel.spans.span(track, "taskwait", "sub-phase", clock):
+                yield rt.taskwait()
+            yield rt.shutdown()
         return ctx
 
     return program

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.core import pack as pack_mod
 from repro.core import scatter as scatter_mod
 from repro.core.pipeline import (
@@ -72,6 +73,11 @@ def make_pipelined_program(
         ctx = ctx_of(rank)
         T = ctx.layout.T
         cost = ctx.cost
+        tel = _telemetry.current()
+        track = (rank.rank, 0)
+
+        def clock():
+            return rank.sim.now
 
         def bands_of(it):
             return [it * T + t for t in range(T)]
@@ -79,40 +85,51 @@ def make_pipelined_program(
         def key(it):
             return ("it", it)
 
-        # Prologue: stage A and forward-scatter issue for iteration 0.
-        group = yield from _stage_a(ctx, bands_of(0), key(0))
-        yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-        ev_fw = _issue_scatter_fw(ctx, group, (key(0), "sfw", bands_of(0)[ctx.t]))
-
-        next_group = None
-        for it in range(n_iterations):
-            my_band = bands_of(it)[ctx.t]
-            # Overlap: compute the next iteration's G-space stages while the
-            # current forward scatter is in flight.
-            if it + 1 < n_iterations:
-                next_group = yield from _stage_a(ctx, bands_of(it + 1), key(it + 1))
-
-            received = yield ev_fw
-            yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-            planes = scatter_mod.assemble_planes(ctx.layout, ctx.r, received)
-
-            planes = yield from step_fft_xy(ctx, planes, +1)
-            planes = yield from step_vofr(ctx, planes)
-            planes = yield from step_fft_xy(ctx, planes, -1)
-
-            yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-            ev_bw = _issue_scatter_bw(ctx, planes, (key(it), "sbw", my_band))
-            if it + 1 < n_iterations:
+        with tel.spans.span(track, "exec_pipelined", "executor", clock):
+            # Prologue: stage A and forward-scatter issue for iteration 0.
+            with tel.spans.span(track, "prologue", "pipeline-step", clock):
+                group = yield from _stage_a(ctx, bands_of(0), key(0))
                 yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-                ev_fw = _issue_scatter_fw(
-                    ctx, next_group, (key(it + 1), "sfw", bands_of(it + 1)[ctx.t])
-                )
+            ev_fw = _issue_scatter_fw(ctx, group, (key(0), "sfw", bands_of(0)[ctx.t]))
 
-            received = yield ev_bw
-            yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-            group_back = _assemble_bw(ctx, received)
-            group_back = yield from step_fft_z(ctx, group_back, -1)
-            yield from step_unpack(ctx, group_back, bands_of(it), key=(key(it), "unpack"))
+            next_group = None
+            for it in range(n_iterations):
+                my_band = bands_of(it)[ctx.t]
+                with tel.spans.span(
+                    track, f"iteration {it}", "iteration", clock, bands=bands_of(it)
+                ):
+                    # Overlap: compute the next iteration's G-space stages
+                    # while the current forward scatter is in flight.
+                    if it + 1 < n_iterations:
+                        next_group = yield from _stage_a(
+                            ctx, bands_of(it + 1), key(it + 1)
+                        )
+
+                    received = yield ev_fw
+                    yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
+                    planes = scatter_mod.assemble_planes(ctx.layout, ctx.r, received)
+
+                    planes = yield from step_fft_xy(ctx, planes, +1)
+                    planes = yield from step_vofr(ctx, planes)
+                    planes = yield from step_fft_xy(ctx, planes, -1)
+
+                    yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
+                    ev_bw = _issue_scatter_bw(ctx, planes, (key(it), "sbw", my_band))
+                    if it + 1 < n_iterations:
+                        yield rank.compute(
+                            "scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r)
+                        )
+                        ev_fw = _issue_scatter_fw(
+                            ctx, next_group, (key(it + 1), "sfw", bands_of(it + 1)[ctx.t])
+                        )
+
+                    received = yield ev_bw
+                    yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
+                    group_back = _assemble_bw(ctx, received)
+                    group_back = yield from step_fft_z(ctx, group_back, -1)
+                    yield from step_unpack(
+                        ctx, group_back, bands_of(it), key=(key(it), "unpack")
+                    )
         return ctx
 
     return program

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.core.pipeline import (
     FftPhaseContext,
     step_fft_xy,
@@ -192,11 +193,24 @@ def make_steps_program(
         if task_observer is not None:
             rt.add_observer(lambda rec, _r=rank.rank: task_observer(_r, rec))
         rt.start()
-        for it in range(n_iterations):
-            bands = [it * T + t for t in range(T)]
-            submit_unit_tasks(ctx, rt, ("it", it), bands, grainsize_xy, grainsize_z)
-        yield rt.taskwait()
-        yield rt.shutdown()
+        tel = _telemetry.current()
+        track = (rank.rank, 0)
+
+        def clock():
+            return rank.sim.now
+
+        with tel.spans.span(track, "exec_steps", "executor", clock):
+            with tel.spans.span(
+                track, "submit", "sub-phase", clock, n_iterations=n_iterations
+            ):
+                for it in range(n_iterations):
+                    bands = [it * T + t for t in range(T)]
+                    submit_unit_tasks(
+                        ctx, rt, ("it", it), bands, grainsize_xy, grainsize_z
+                    )
+            with tel.spans.span(track, "taskwait", "sub-phase", clock):
+                yield rt.taskwait()
+            yield rt.shutdown()
         return ctx
 
     return program

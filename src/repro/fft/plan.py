@@ -15,6 +15,7 @@ import functools
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.fft.goodfft import factorize
 from repro.fft.twiddle import dft_matrix, twiddle_block
 
@@ -117,9 +118,27 @@ class Plan:
 
 
 @functools.lru_cache(maxsize=512)
-def get_plan(n: int, sign: int) -> Plan:
-    """Cached plan lookup (the public entry point)."""
+def _cached_plan(n: int, sign: int) -> Plan:
     return Plan(n, sign)
+
+
+def get_plan(n: int, sign: int) -> Plan:
+    """Cached plan lookup (the public entry point).
+
+    Hit/miss counts feed the ``fft.plan_cache_hits`` / ``fft.plan_cache_misses``
+    telemetry metrics — the simulated analogue of FFTW wisdom reuse, and the
+    witness that a run amortises planning across its 64 band FFTs.
+    """
+    tel = _telemetry.current()
+    if not tel.enabled:
+        return _cached_plan(n, sign)
+    misses_before = _cached_plan.cache_info().misses
+    plan = _cached_plan(n, sign)
+    if _cached_plan.cache_info().misses > misses_before:
+        tel.metrics.count("fft.plan_cache_misses")
+    else:
+        tel.metrics.count("fft.plan_cache_hits")
+    return plan
 
 
 def largest_prime_factor(n: int) -> int:

@@ -19,6 +19,7 @@ import typing as _t
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.machine.contention import BandwidthContentionAllocator
 from repro.machine.counters import CounterSet
 from repro.machine.phases import PhaseTable
@@ -153,6 +154,11 @@ class CpuModel:
             self.counters.record(stream, phase, instructions, end - start)
             for observer in self._observers:
                 observer(record)
+            tel = _telemetry.current()
+            if tel.enabled:
+                tel.metrics.count("machine.compute_seconds", end - start, phase=phase)
+                tel.metrics.count("machine.instructions", instructions, phase=phase)
+                tel.metrics.observe("machine.phase_seconds", end - start, phase=phase)
             done.succeed(record)
 
         task.done.add_callback(_finish)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro import telemetry as _telemetry
 from repro.machine.cpu import CpuModel
 from repro.machine.topology import HwThread, Placement
 from repro.mpisim.communicator import CollectiveResult, Communicator, MpiSimError
@@ -46,6 +47,12 @@ class MpiRecord:
     t_end: float
     bytes_sent: float
     sync_time: float
+    #: Point-to-point endpoints (world ranks) and tag; ``None`` for
+    #: collectives.  These let the exporters pair sends with receives
+    #: (Paraver communication records, Chrome-trace flow arrows).
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
 
     @property
     def duration(self) -> float:
@@ -133,6 +140,21 @@ class MpiWorld:
     def _notify(self, record: MpiRecord) -> None:
         for obs in self._mpi_observers:
             obs(record)
+        tel = _telemetry.current()
+        if tel.enabled:
+            layer = record.comm_name.rstrip("0123456789")  # pack3 -> pack
+            metrics = tel.metrics
+            metrics.count("mpi.calls", 1.0, call=record.call, comm=layer)
+            metrics.count(
+                "mpi.bytes_sent", record.bytes_sent, call=record.call, comm=layer
+            )
+            metrics.count(
+                "mpi.time_seconds", record.duration, call=record.call, comm=layer
+            )
+            metrics.count(
+                "mpi.sync_seconds", record.sync_time, call=record.call, comm=layer
+            )
+            metrics.observe("mpi.call_seconds", record.duration, call=record.call)
 
     # -- program launch ------------------------------------------------------------
 
@@ -240,13 +262,15 @@ class RankContext:
         """Post a send to a local rank of ``comm``."""
         t0 = self.sim.now
         inner = self.world.p2p.send(comm, self.rank, dst_local, payload, tag)
-        return self._wrap_p2p("send", comm, inner, t0, thread)
+        dst = comm.world_rank(dst_local)
+        return self._wrap_p2p("send", comm, inner, t0, thread, self.rank, dst, tag)
 
     def recv(self, comm: Communicator, src_local: int, tag: int = 0, thread: int = 0) -> Event:
         """Post a receive; resolves to the received payload."""
         t0 = self.sim.now
         inner = self.world.p2p.recv(comm, self.rank, src_local, tag)
-        return self._wrap_p2p("recv", comm, inner, t0, thread)
+        src = comm.world_rank(src_local)
+        return self._wrap_p2p("recv", comm, inner, t0, thread, src, self.rank, tag)
 
     # -- internal: trace wrapping -----------------------------------------------
 
@@ -278,7 +302,17 @@ class RankContext:
         inner.add_callback(_complete)
         return outer
 
-    def _wrap_p2p(self, call: str, comm: Communicator, inner: Event, t0: float, thread: int) -> Event:
+    def _wrap_p2p(
+        self,
+        call: str,
+        comm: Communicator,
+        inner: Event,
+        t0: float,
+        thread: int,
+        src: int | None,
+        dst: int | None,
+        tag: int,
+    ) -> Event:
         outer = Event(self.sim, name=f"mpi:{call}")
         stream = self.stream(thread)
 
@@ -298,6 +332,9 @@ class RankContext:
                     t_end=self.sim.now,
                     bytes_sent=float(nbytes),  # type: ignore[arg-type]
                     sync_time=0.0,
+                    src=src,
+                    dst=dst,
+                    tag=tag,
                 )
             )
             outer.succeed(ev.value)

@@ -27,6 +27,7 @@ import math
 import typing as _t
 from collections import deque
 
+from repro import telemetry as _telemetry
 from repro.ompss.deps import AccessMode
 from repro.ompss.graph import TaskGraph
 from repro.ompss.scheduler import make_queue
@@ -39,6 +40,11 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TaskRuntime", "Worker"]
 
 _WAKE = "wake"
+
+
+def _task_kind(name: str) -> str:
+    """Low-cardinality metric label from a task name (``fft_z[0:10]`` -> ``fft_z``)."""
+    return name.split("[", 1)[0].rstrip("0123456789")
 
 
 class Worker:
@@ -169,6 +175,9 @@ class TaskRuntime:
             created_at=self.rank.sim.now,
         )
         self._next_tid += 1
+        tel = _telemetry.current()
+        if tel.enabled:
+            tel.metrics.count("ompss.tasks_submitted", 1.0, name=_task_kind(name))
         self.graph.add(task)
         return task
 
@@ -220,7 +229,17 @@ class TaskRuntime:
 
     def _on_ready(self, task: Task) -> None:
         self.queue.push(task)
+        self._sample_queue_depth()
         self._wake_one()
+
+    def _sample_queue_depth(self) -> None:
+        tel = _telemetry.current()
+        if tel.enabled:
+            depth = len(self.queue)
+            rank = self.rank.rank
+            tel.metrics.set_gauge("ompss.task_queue_depth", depth, rank=rank)
+            tel.metrics.max_gauge("ompss.task_queue_depth_max", depth, rank=rank)
+            tel.queue_samples.append((self.rank.sim.now, rank, depth))
 
     def _wake_one(self) -> None:
         if self._idle:
@@ -248,6 +267,8 @@ class TaskRuntime:
                 yield from self._drive(worker, task, gen, resume_from=mpi_event)
                 continue
             task = self.queue.pop(worker.index)
+            if task is not None:
+                self._sample_queue_depth()
             if task is None:
                 if (
                     self._stopping
@@ -307,6 +328,7 @@ class TaskRuntime:
                 event.add_callback(
                     lambda ev, t=task, g=gen, w=worker.index: self._park_resume(w, t, g, ev)
                 )
+                self._count_switch()
                 return  # worker freed; the continuation is queued on completion
             try:
                 to_send = yield event
@@ -317,12 +339,22 @@ class TaskRuntime:
         self._resume_qs[worker_index].append((task, gen, event))
         self._wake_worker(worker_index)
 
+    def _count_switch(self) -> None:
+        tel = _telemetry.current()
+        if tel.enabled:
+            tel.metrics.count("ompss.task_switches")
+
     def _complete_task(self, task: Task, result: object) -> None:
         task.finished_at = self.rank.sim.now
         self.graph.complete(task)
         record = task.record()
         for obs in self._observers:
             obs(record)
+        tel = _telemetry.current()
+        if tel.enabled:
+            kind = _task_kind(task.name)
+            tel.metrics.count("ompss.tasks_completed", 1.0, name=kind)
+            tel.metrics.observe("ompss.task_seconds", record.duration, name=kind)
         task.done.succeed(result)
         self._after_completion()
 

@@ -20,6 +20,7 @@ import heapq
 import typing as _t
 from collections import deque
 
+from repro import telemetry as _telemetry
 from repro.ompss.task import Task
 
 __all__ = [
@@ -173,6 +174,7 @@ class WorkStealingQueue:
         )
         if victim is None:
             return None
+        _telemetry.current().metrics.count("ompss.steals")
         return victim.popleft()  # FIFO steal
 
     def __len__(self) -> int:

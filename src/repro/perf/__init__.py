@@ -33,7 +33,13 @@ from repro.perf.timeline import (
 from repro.perf.paraver import read_prv, write_prv
 from repro.perf.report import format_factor_table, format_series
 from repro.perf.whatif import runtime_attribution, whatif_sweep
-from repro.perf.compare import compare_runs, format_run_comparison
+from repro.perf.compare import (
+    compare_runs,
+    diff_manifests,
+    format_manifest_diff,
+    format_run_comparison,
+    manifest_regressions,
+)
 
 __all__ = [
     "Trace",
@@ -56,4 +62,7 @@ __all__ = [
     "runtime_attribution",
     "compare_runs",
     "format_run_comparison",
+    "diff_manifests",
+    "format_manifest_diff",
+    "manifest_regressions",
 ]

@@ -8,6 +8,13 @@ version of the paper's side-by-side Fig. 7 reading.
 :func:`compare_runs` aggregates each trace into per-phase compute time/IPC
 and per-communicator-layer MPI time, then reports absolute and relative
 deltas; :func:`format_run_comparison` renders the table.
+
+The same comparison also works *offline* on run manifests
+(:mod:`repro.telemetry.manifest`): :func:`diff_manifests` aligns two saved
+artifacts, :func:`format_manifest_diff` renders the report the
+``perf diff`` CLI prints, and :func:`manifest_regressions` is the
+``perf check`` gate — a list of human-readable violations when the
+candidate run is slower than the baseline beyond a threshold.
 """
 
 from __future__ import annotations
@@ -18,7 +25,16 @@ import typing as _t
 from repro.perf.timeline import phase_summary
 from repro.perf.tracer import Trace
 
-__all__ = ["PhaseDelta", "RunComparison", "compare_runs", "format_run_comparison"]
+__all__ = [
+    "PhaseDelta",
+    "RunComparison",
+    "compare_runs",
+    "format_run_comparison",
+    "ManifestDiff",
+    "diff_manifests",
+    "format_manifest_diff",
+    "manifest_regressions",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,3 +146,149 @@ def format_run_comparison(
             f"{'MPI ' + layer:<18}{a * 1e3:>10.2f}ms{b * 1e3:>10.2f}ms"
         )
     return "\n".join(lines)
+
+
+# -- manifest diffing (the perf diff / perf check CLI) -----------------------
+
+
+@dataclasses.dataclass
+class ManifestDiff:
+    """Aligned view of two run manifests (A = baseline, B = candidate)."""
+
+    label_a: str
+    label_b: str
+    phase_time_a: float
+    phase_time_b: float
+    average_ipc_a: float
+    average_ipc_b: float
+    phases: list[PhaseDelta]
+    mpi_a: dict[str, float]
+    mpi_b: dict[str, float]
+    pop_a: dict[str, float]
+    pop_b: dict[str, float]
+
+    @property
+    def runtime_relative(self) -> float:
+        """Relative phase-runtime change (B vs A; negative = faster)."""
+        if self.phase_time_a <= 0:
+            return float("inf") if self.phase_time_b > 0 else 0.0
+        return self.phase_time_b / self.phase_time_a - 1.0
+
+
+def _manifest_phases(manifest: dict) -> dict[str, dict]:
+    return {
+        name: entry
+        for name, entry in manifest.get("phases", {}).items()
+        if isinstance(entry, dict)
+    }
+
+
+def diff_manifests(manifest_a: dict, manifest_b: dict) -> ManifestDiff:
+    """Align two run manifests phase by phase (union of phase names)."""
+    phases_a = _manifest_phases(manifest_a)
+    phases_b = _manifest_phases(manifest_b)
+    phases = []
+    for name in sorted(set(phases_a) | set(phases_b)):
+        a = phases_a.get(name, {})
+        b = phases_b.get(name, {})
+        phases.append(
+            PhaseDelta(
+                name=name,
+                time_a=float(a.get("time_s", 0.0)),
+                time_b=float(b.get("time_s", 0.0)),
+                ipc_a=float(a.get("ipc", 0.0)),
+                ipc_b=float(b.get("ipc", 0.0)),
+            )
+        )
+    return ManifestDiff(
+        label_a=manifest_a["config"]["label"],
+        label_b=manifest_b["config"]["label"],
+        phase_time_a=float(manifest_a["timing"]["phase_time_s"]),
+        phase_time_b=float(manifest_b["timing"]["phase_time_s"]),
+        average_ipc_a=float(manifest_a.get("average_ipc", 0.0)),
+        average_ipc_b=float(manifest_b.get("average_ipc", 0.0)),
+        phases=phases,
+        mpi_a={
+            layer: float(entry.get("time_s", 0.0))
+            for layer, entry in manifest_a.get("mpi", {}).items()
+        },
+        mpi_b={
+            layer: float(entry.get("time_s", 0.0))
+            for layer, entry in manifest_b.get("mpi", {}).items()
+        },
+        pop_a=dict(manifest_a.get("pop", {})),
+        pop_b=dict(manifest_b.get("pop", {})),
+    )
+
+
+def format_manifest_diff(diff: ManifestDiff) -> str:
+    """Render a manifest diff: runtime, per-phase time/IPC, MPI, POP."""
+    la, lb = diff.label_a[:16], diff.label_b[:16]
+    rel = diff.runtime_relative
+    rel_str = f"{rel * 100:+.1f}%" if rel != float("inf") else "new"
+    lines = [
+        f"A: {diff.label_a}",
+        f"B: {diff.label_b}",
+        f"phase runtime: {diff.phase_time_a * 1e3:.3f} ms -> "
+        f"{diff.phase_time_b * 1e3:.3f} ms ({rel_str})",
+        f"average IPC:   {diff.average_ipc_a:.3f} -> {diff.average_ipc_b:.3f}",
+        "",
+        f"{'phase':<18}{'A time':>12}{'B time':>12}{'delta':>9}"
+        f"{'A IPC':>9}{'B IPC':>9}",
+        "-" * 69,
+    ]
+    for p in diff.phases:
+        prel = p.relative
+        prel_str = f"{prel * 100:+6.1f}%" if prel != float("inf") else "   new"
+        lines.append(
+            f"{p.name:<18}{p.time_a * 1e3:>10.2f}ms{p.time_b * 1e3:>10.2f}ms"
+            f"{prel_str:>9}{p.ipc_a:>9.3f}{p.ipc_b:>9.3f}"
+        )
+    for layer in sorted(set(diff.mpi_a) | set(diff.mpi_b)):
+        a = diff.mpi_a.get(layer, 0.0)
+        b = diff.mpi_b.get(layer, 0.0)
+        lines.append(f"{'MPI ' + layer:<18}{a * 1e3:>10.2f}ms{b * 1e3:>10.2f}ms")
+    pop_keys = sorted(
+        k
+        for k in set(diff.pop_a) | set(diff.pop_b)
+        if isinstance(diff.pop_a.get(k, diff.pop_b.get(k)), (int, float))
+        and k != "ideal_time_s"
+    )
+    if pop_keys:
+        lines.append("")
+        lines.append(f"{'POP factor':<28}{'A':>8}{'B':>8}")
+        for k in pop_keys:
+            a = diff.pop_a.get(k)
+            b = diff.pop_b.get(k)
+            fa = f"{a:.3f}" if isinstance(a, (int, float)) else "-"
+            fb = f"{b:.3f}" if isinstance(b, (int, float)) else "-"
+            lines.append(f"{k:<28}{fa:>8}{fb:>8}")
+    return "\n".join(lines)
+
+
+def manifest_regressions(
+    baseline: dict, candidate: dict, threshold: float = 0.05
+) -> list[str]:
+    """Regression-gate check: violations of ``candidate`` vs ``baseline``.
+
+    Flags the simulated phase runtime and any per-phase compute time that
+    grew by more than ``threshold`` (relative).  An empty list means the
+    candidate passes.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    diff = diff_manifests(baseline, candidate)
+    violations = []
+    if diff.runtime_relative > threshold:
+        violations.append(
+            f"phase runtime regressed {diff.runtime_relative * 100:+.1f}% "
+            f"({diff.phase_time_a * 1e3:.3f} ms -> {diff.phase_time_b * 1e3:.3f} ms), "
+            f"threshold {threshold * 100:.1f}%"
+        )
+    for p in diff.phases:
+        if p.time_a > 0 and p.relative > threshold:
+            violations.append(
+                f"phase {p.name!r} compute time regressed {p.relative * 100:+.1f}% "
+                f"({p.time_a * 1e3:.3f} ms -> {p.time_b * 1e3:.3f} ms)"
+            )
+    return violations

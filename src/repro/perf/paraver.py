@@ -7,12 +7,13 @@ subset the reproduction needs and reads it back:
 * state records — ``1:cpu:appl:task:thread:begin:end:state`` (compute
   phases and MPI calls, coded via the tables below);
 * event records — ``2:cpu:appl:task:thread:time:type:value`` (instruction
-  counts at phase end, MPI call ids at call begin/end).
+  counts at phase end, MPI call ids at call begin/end);
+* communication records — ``3:cpu:appl:task:thread:lsend:psend:<recv side>:
+  size:tag`` for every matched point-to-point send/recv pair (collectives
+  are not decomposed into messages; they stay state records only).
 
 The ``.pcf`` sidecar carries the state/event legends (as Paraver expects)
-and the ``.row`` sidecar the stream labels.  Pairwise communication records
-(type 3) are not emitted: the simulator's collectives are not decomposed
-into point-to-point messages.
+and the ``.row`` sidecar the stream labels.
 
 Times are written in integer nanoseconds.
 """
@@ -22,7 +23,10 @@ from __future__ import annotations
 import pathlib
 import typing as _t
 
-from repro.perf.tracer import Trace
+from repro.telemetry.trace import Trace
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.world import MpiRecord
 
 __all__ = ["write_prv", "read_prv", "STATE_CODES", "MPI_CALL_CODES"]
 
@@ -71,6 +75,22 @@ def _stream_ids(streams: _t.Sequence) -> dict:
     return ids
 
 
+def _match_p2p(mpi: _t.Sequence["MpiRecord"]) -> list[tuple["MpiRecord", "MpiRecord"]]:
+    """Pair send records with recv records by (comm, src, dst, tag) in order."""
+    sends: dict[tuple, list] = {}
+    for r in mpi:
+        if r.call == "send" and r.src is not None and r.dst is not None:
+            sends.setdefault((r.comm_id, r.src, r.dst, r.tag), []).append(r)
+    pairs = []
+    for r in mpi:
+        if r.call != "recv":
+            continue
+        queue = sends.get((r.comm_id, r.src, r.dst, r.tag))
+        if queue:
+            pairs.append((queue.pop(0), r))
+    return pairs
+
+
 def write_prv(path: str | pathlib.Path, trace: Trace, label: str = "fftxlib") -> pathlib.Path:
     """Write ``<path>.prv`` (+ ``.pcf``, ``.row``); returns the .prv path."""
     path = pathlib.Path(path)
@@ -105,6 +125,20 @@ def write_prv(path: str | pathlib.Path, trace: Trace, label: str = "fftxlib") ->
         records.append((r.t_begin, f"1:{cpu}:1:{task}:{thread}:{b}:{e}:{code}"))
         records.append((r.t_begin, f"2:{cpu}:1:{task}:{thread}:{b}:{EV_MPI_CALL}:{code}"))
         records.append((r.t_end, f"2:{cpu}:1:{task}:{thread}:{e}:{EV_MPI_CALL}:0"))
+    for send, recv in _match_p2p(trace.mpi):
+        cpu_s, task_s, thread_s = ids[send.stream]
+        cpu_r, task_r, thread_r = ids[recv.stream]
+        lsend, psend = int(round(send.t_begin * _NS)), int(round(send.t_end * _NS))
+        lrecv, precv = int(round(recv.t_begin * _NS)), int(round(recv.t_end * _NS))
+        tag = send.tag if send.tag is not None else 0
+        records.append(
+            (
+                send.t_begin,
+                f"3:{cpu_s}:1:{task_s}:{thread_s}:{lsend}:{psend}"
+                f":{cpu_r}:1:{task_r}:{thread_r}:{lrecv}:{precv}"
+                f":{int(send.bytes_sent)}:{tag}",
+            )
+        )
     records.sort(key=lambda t: t[0])
     lines.extend(rec for _t0, rec in records)
     prv.write_text("\n".join(lines) + "\n")
@@ -131,12 +165,14 @@ def write_prv(path: str | pathlib.Path, trace: Trace, label: str = "fftxlib") ->
 def read_prv(path: str | pathlib.Path) -> dict:
     """Parse a ``.prv`` written by :func:`write_prv`.
 
-    Returns ``{"duration_ns": int, "states": [...], "events": [...]}``
-    where states are ``(cpu, task, thread, begin_ns, end_ns, state)`` and
-    events ``(cpu, task, thread, time_ns, type, value)`` (all ints).
+    Returns ``{"duration_ns": int, "states": [...], "events": [...],
+    "comms": [...]}`` where states are ``(cpu, task, thread, begin_ns,
+    end_ns, state)``, events ``(cpu, task, thread, time_ns, type, value)``
+    and comms ``(cpu_s, task_s, thread_s, lsend_ns, psend_ns, cpu_r,
+    task_r, thread_r, lrecv_ns, precv_ns, size, tag)`` (all ints).
     """
     path = pathlib.Path(path)
-    states, events = [], []
+    states, events, comms = [], [], []
     duration_ns = 0
     with path.open() as fh:
         header = fh.readline().strip()
@@ -161,6 +197,25 @@ def read_prv(path: str | pathlib.Path) -> dict:
                 events.append(
                     (int(cpu), int(task), int(thread), int(time), int(etype), int(value))
                 )
+            elif kind == "3":
+                (
+                    _k,
+                    cpu_s, _appl_s, task_s, thread_s, lsend, psend,
+                    cpu_r, _appl_r, task_r, thread_r, lrecv, precv,
+                    size, tag,
+                ) = fields
+                comms.append(
+                    (
+                        int(cpu_s), int(task_s), int(thread_s), int(lsend), int(psend),
+                        int(cpu_r), int(task_r), int(thread_r), int(lrecv), int(precv),
+                        int(size), int(tag),
+                    )
+                )
             else:
                 raise ValueError(f"unsupported record kind {kind!r} in {path}")
-    return {"duration_ns": duration_ns, "states": states, "events": events}
+    return {
+        "duration_ns": duration_ns,
+        "states": states,
+        "events": events,
+        "comms": comms,
+    }

@@ -5,78 +5,34 @@ every compute-phase record, MPI record and task record of a run into a
 :class:`Trace` — the raw material for the POP model, the timeline views and
 the Paraver export.  Unlike real instrumentation it is exact and overhead
 free (the paper quotes 0.6-2.2 % monitor overhead; a simulator pays none).
+
+The record classes themselves live in :mod:`repro.telemetry.trace` (shared
+with the unified telemetry layer); this module re-exports them and keeps the
+one-call :func:`trace_run` entry point.  Tracing is opt-in: a plain
+``run_fft_phase`` attaches no observers and records nothing — use
+``trace_run``, ``RunConfig(telemetry=True)`` or an explicit telemetry
+session to observe a run.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import typing as _t
 
 from repro.core.config import RunConfig
 from repro.core.driver import RunResult, run_fft_phase
-from repro.machine.cpu import ComputeRecord
-from repro.mpisim.world import MpiRecord
-from repro.ompss.task import TaskRecord
+from repro.telemetry.trace import Trace, Tracer
 
 __all__ = ["Trace", "Tracer", "trace_run"]
 
 
-@dataclasses.dataclass
-class Trace:
-    """All records of one run, in completion order."""
-
-    compute: list[ComputeRecord] = dataclasses.field(default_factory=list)
-    mpi: list[MpiRecord] = dataclasses.field(default_factory=list)
-    tasks: list[tuple[int, TaskRecord]] = dataclasses.field(default_factory=list)
-
-    @property
-    def streams(self) -> list:
-        """All streams that appear in compute or MPI records, sorted."""
-        seen = {r.stream for r in self.compute} | {r.stream for r in self.mpi}
-        return sorted(seen)
-
-    @property
-    def span(self) -> float:
-        """Last record end time (the traced horizon)."""
-        ends = [r.end for r in self.compute] + [r.t_end for r in self.mpi]
-        return max(ends) if ends else 0.0
-
-    def compute_of(self, stream) -> list[ComputeRecord]:
-        """Compute records of one stream, by start time."""
-        return sorted(
-            (r for r in self.compute if r.stream == stream), key=lambda r: r.start
-        )
-
-    def mpi_of(self, stream) -> list[MpiRecord]:
-        """MPI records of one stream, by begin time."""
-        return sorted(
-            (r for r in self.mpi if r.stream == stream), key=lambda r: r.t_begin
-        )
-
-
-class Tracer:
-    """Observer bundle feeding a :class:`Trace`."""
-
-    def __init__(self) -> None:
-        self.trace = Trace()
-
-    # The three hooks the driver accepts:
-
-    def on_compute(self, record: ComputeRecord) -> None:
-        """Compute-phase completion hook."""
-        self.trace.compute.append(record)
-
-    def on_mpi(self, record: MpiRecord) -> None:
-        """MPI call completion hook."""
-        self.trace.mpi.append(record)
-
-    def on_task(self, rank: int, record: TaskRecord) -> None:
-        """OmpSs task completion hook."""
-        self.trace.tasks.append((rank, record))
-
-
 def trace_run(config: RunConfig, **run_kwargs: _t.Any) -> tuple[RunResult, Trace]:
-    """Run a configuration with tracing attached; returns (result, trace)."""
+    """Run a configuration with tracing attached; returns (result, trace).
+
+    When the run is telemetry-enabled (``config.telemetry`` or a
+    ``telemetry=`` keyword), the driver's own tracer already collects the
+    records and this returns its trace; otherwise a standalone
+    :class:`Tracer` is attached through the observer hooks.
+    """
     tracer = Tracer()
     result = run_fft_phase(
         config,
@@ -85,4 +41,6 @@ def trace_run(config: RunConfig, **run_kwargs: _t.Any) -> tuple[RunResult, Trace
         task_observer=tracer.on_task,
         **run_kwargs,
     )
+    if result.telemetry is not None and result.telemetry.enabled:
+        return result, result.telemetry.trace
     return result, tracer.trace

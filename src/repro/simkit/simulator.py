@@ -56,6 +56,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Process | None = None
         self._alive_processes: set[Process] = set()
+        #: Events processed so far — a plain int so the hot loop pays one
+        #: increment; the telemetry layer snapshots it into the run manifest
+        #: (``sim.events_dispatched``) after :meth:`run` returns.
+        self.n_dispatched = 0
 
     # -- clock ----------------------------------------------------------------
 
@@ -113,6 +117,7 @@ class Simulator:
             raise SimulationError("step() on an empty schedule")
         when, _prio, _seq, event = heappop(self._heap)
         self._now = when
+        self.n_dispatched += 1
         event._process()
         exc = event.exception
         if exc is not None and not event._defused:

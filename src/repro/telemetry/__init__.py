@@ -1,0 +1,128 @@
+"""Unified telemetry: metrics, spans, traces, exporters and run manifests.
+
+The paper's contribution rests on observability — Extrae traces, Paraver
+timelines and the POP model are how Wagner et al. diagnose the IPC collapse
+and prove the OmpSs fix.  This package is the reproduction's equivalent
+substrate, shared by every subsystem:
+
+* :mod:`~repro.telemetry.metrics` — a process-wide registry of counters,
+  gauges and histograms with labels (``mpi.bytes_sent{call,comm}``,
+  ``ompss.task_queue_depth``, ``fft.plan_cache_hits``, ...);
+* :mod:`~repro.telemetry.spans` — hierarchical spans over the simulated
+  clock (run -> executor -> iteration; tasks and phases come from records);
+* :mod:`~repro.telemetry.trace` — the raw compute/MPI/task record store
+  (:class:`Trace`), formerly of :mod:`repro.perf.tracer`;
+* :mod:`~repro.telemetry.chrometrace` — Perfetto/Chrome-trace JSON export
+  with one track per hardware thread and MPI flow events;
+* :mod:`~repro.telemetry.manifest` — the per-run JSON artifact (config,
+  calibration, metrics, POP factors, timings) and its schema validation;
+* :mod:`~repro.telemetry.exporters` — one registry over all output formats
+  (``chrome``, ``prometheus``, ``prv``, ``manifest``).
+
+Sessions
+--------
+Instrumented call sites read the *current* :class:`Telemetry` via
+:func:`current` and guard on ``.enabled`` — a disabled session (the process
+default) costs one attribute check per event.  The driver installs an
+enabled session for the duration of a run when asked
+(``RunConfig(telemetry=True)`` or ``run_fft_phase(..., telemetry=...)``)::
+
+    from repro import telemetry
+    with telemetry.session() as tel:
+        result = run_fft_phase(config)
+    tel.metrics.total("mpi.bytes_sent")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as _t
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import Span, SpanLog
+from repro.telemetry.trace import Trace, Tracer
+
+__all__ = [
+    "Telemetry",
+    "current",
+    "install",
+    "session",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanLog",
+    "Trace",
+    "Tracer",
+]
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry, a span log and a trace.
+
+    ``enabled=False`` builds the inert variant every hot path checks; all of
+    its stores refuse writes, so a disabled session stays empty even if a
+    call site forgets its own guard.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.spans = SpanLog(enabled=enabled)
+        self.trace = Trace()
+        self.tracer = Tracer(self.trace)
+        #: ``(sim_time, rank, depth)`` task-queue samples from the OmpSs
+        #: runtime — the Chrome-trace counter track's data.
+        self.queue_samples: list[tuple[float, int, int]] = []
+
+    def span(
+        self,
+        track: _t.Hashable,
+        name: str,
+        category: str,
+        clock: _t.Callable[[], float],
+        **args: _t.Any,
+    ):
+        """Shorthand for :meth:`SpanLog.span` on this session's log."""
+        return self.spans.span(track, name, category, clock, **args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<Telemetry {state}: {len(self.metrics.families())} metric families, "
+            f"{len(self.spans)} spans, {len(self.trace.compute)} compute records>"
+        )
+
+
+#: The inert default session; shared, never written to.
+_DISABLED = Telemetry(enabled=False)
+_current: Telemetry = _DISABLED
+
+
+def current() -> Telemetry:
+    """The active session (the disabled singleton unless one is installed)."""
+    return _current
+
+
+def install(telemetry: Telemetry | None) -> Telemetry:
+    """Install ``telemetry`` as the current session; returns the previous one.
+
+    Passing ``None`` restores the disabled default.  Prefer :func:`session`
+    where lexical scoping fits.
+    """
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else _DISABLED
+    return previous
+
+
+@contextlib.contextmanager
+def session(telemetry: Telemetry | None = None) -> _t.Iterator[Telemetry]:
+    """Install a (fresh, enabled) session for the duration of a block."""
+    tel = telemetry if telemetry is not None else Telemetry(enabled=True)
+    previous = install(tel)
+    try:
+        yield tel
+    finally:
+        install(previous)

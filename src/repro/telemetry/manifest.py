@@ -1,0 +1,218 @@
+"""Run manifests: one JSON artifact per driver run.
+
+A manifest is the machine-readable record of one :func:`run_fft_phase`
+execution — the regression-diffing substrate every future performance PR
+compares against.  It captures:
+
+* the full :class:`~repro.core.config.RunConfig` (plus derived quantities),
+* the calibration preset (:class:`~repro.machine.knl.KnlParameters`),
+* wall and simulated times and the simulator's event count,
+* the metrics-registry snapshot,
+* per-phase compute aggregates (time, instructions, IPC — the "main phase
+  IPC" the paper tracks is ``phases.fft_xy.ipc``),
+* per-communicator-layer MPI aggregates,
+* the POP efficiency factors when the caller ran the ideal-network replay.
+
+Validation is hand-rolled (:func:`validate_manifest`) so the repository
+needs no jsonschema dependency; ``docs/run_manifest.schema.json`` mirrors
+the same rules as a standard JSON Schema for external tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.driver import RunResult
+    from repro.perf.popmodel import FactorSet
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+]
+
+MANIFEST_KIND = "repro.run_manifest"
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class ManifestError(ValueError):
+    """A manifest failed schema validation."""
+
+
+def _phase_aggregates(result: "RunResult") -> dict:
+    """Per-phase time/instructions/IPC from the run's hardware counters."""
+    counters = result.cpu.counters
+    agg: dict[str, dict[str, float]] = {}
+    for stream in counters.streams:
+        for phase, c in counters.phases(stream).items():
+            entry = agg.setdefault(
+                phase, {"time_s": 0.0, "instructions": 0.0, "occurrences": 0.0}
+            )
+            entry["time_s"] += c.compute_time
+            entry["instructions"] += c.instructions
+            entry["occurrences"] += c.occurrences
+    for entry in agg.values():
+        entry["ipc"] = (
+            entry["instructions"] / (entry["time_s"] * counters.frequency_hz)
+            if entry["time_s"] > 0
+            else 0.0
+        )
+    return agg
+
+
+def _mpi_aggregates(result: "RunResult") -> dict:
+    """Per-communicator-layer MPI aggregates from the telemetry trace."""
+    tel = result.telemetry
+    if tel is None:
+        return {}
+    out: dict[str, dict[str, float]] = {}
+    for r in tel.trace.mpi:
+        layer = r.comm_name.rstrip("0123456789")
+        entry = out.setdefault(
+            layer, {"calls": 0.0, "bytes": 0.0, "time_s": 0.0, "sync_s": 0.0}
+        )
+        entry["calls"] += 1
+        entry["bytes"] += r.bytes_sent
+        entry["time_s"] += r.duration
+        entry["sync_s"] += r.sync_time
+    return out
+
+
+def build_manifest(
+    result: "RunResult",
+    wall_time_s: float | None = None,
+    factors: "FactorSet | None" = None,
+    ideal_time_s: float | None = None,
+    created: str | None = None,
+) -> dict:
+    """Assemble the manifest dict for one completed run."""
+    config = dataclasses.asdict(result.config)
+    config["label"] = result.config.label()
+    config["n_mpi_ranks"] = result.config.n_mpi_ranks
+    config["threads_per_rank"] = result.config.threads_per_rank
+    config["total_streams"] = result.config.total_streams
+    config["n_iterations"] = result.config.n_iterations
+
+    manifest: dict = {
+        "kind": MANIFEST_KIND,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "created": created
+        if created is not None
+        else time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": config,
+        "calibration": dataclasses.asdict(result.knl) if result.knl is not None else {},
+        "timing": {
+            "phase_time_s": result.phase_time,
+            "wall_time_s": wall_time_s,
+            "sim_events": getattr(result.sim, "n_dispatched", None),
+        },
+        "phases": _phase_aggregates(result),
+        "mpi": _mpi_aggregates(result),
+        "average_ipc": result.average_ipc,
+        "metrics": (
+            result.telemetry.metrics.snapshot() if result.telemetry is not None else {}
+        ),
+    }
+    if factors is not None:
+        manifest["pop"] = {
+            label: value for label, value in _factor_items(factors)
+        }
+        manifest["pop"]["ideal_time_s"] = ideal_time_s
+    return manifest
+
+
+def _factor_items(factors: "FactorSet") -> list[tuple[str, float]]:
+    return [
+        (f.name, getattr(factors, f.name)) for f in dataclasses.fields(factors)
+    ]
+
+
+def write_manifest(path: str | pathlib.Path, manifest: dict) -> pathlib.Path:
+    """Validate and write a manifest; returns the written path."""
+    errors = validate_manifest(manifest)
+    if errors:
+        raise ManifestError("; ".join(errors))
+    path = pathlib.Path(path)
+    if not path.suffix:
+        path = path.with_suffix(".json")
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_manifest(path: str | pathlib.Path) -> dict:
+    """Read and validate a manifest file."""
+    manifest = json.loads(pathlib.Path(path).read_text())
+    errors = validate_manifest(manifest)
+    if errors:
+        raise ManifestError(f"{path}: " + "; ".join(errors))
+    return manifest
+
+
+#: (dotted path, expected type(s), required) — the schema's load-bearing core.
+_RULES: list[tuple[str, tuple[type, ...], bool]] = [
+    ("kind", (str,), True),
+    ("schema_version", (int,), True),
+    ("created", (str,), True),
+    ("config", (dict,), True),
+    ("config.version", (str,), True),
+    ("config.ranks", (int,), True),
+    ("config.taskgroups", (int,), True),
+    ("config.nbnd", (int,), True),
+    ("config.label", (str,), True),
+    ("calibration", (dict,), True),
+    ("timing", (dict,), True),
+    ("timing.phase_time_s", (int, float), True),
+    ("phases", (dict,), True),
+    ("mpi", (dict,), True),
+    ("average_ipc", (int, float), True),
+    ("metrics", (dict,), True),
+    ("pop", (dict,), False),
+]
+
+
+def _lookup(doc: dict, dotted: str):
+    node: _t.Any = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None, False
+        node = node[part]
+    return node, True
+
+
+def validate_manifest(manifest: object) -> list[str]:
+    """Return schema violations (empty list = valid)."""
+    if not isinstance(manifest, dict):
+        return ["manifest must be a JSON object"]
+    errors = []
+    for dotted, types, required in _RULES:
+        value, present = _lookup(manifest, dotted)
+        if not present:
+            if required:
+                errors.append(f"missing required field {dotted!r}")
+            continue
+        if not isinstance(value, types):
+            names = "/".join(t.__name__ for t in types)
+            errors.append(f"{dotted!r} must be {names}, got {type(value).__name__}")
+    if not errors:
+        if manifest["kind"] != MANIFEST_KIND:
+            errors.append(f"kind must be {MANIFEST_KIND!r}, got {manifest['kind']!r}")
+        if manifest["schema_version"] > MANIFEST_SCHEMA_VERSION:
+            errors.append(
+                f"schema_version {manifest['schema_version']} is newer than "
+                f"supported {MANIFEST_SCHEMA_VERSION}"
+            )
+        if manifest["timing"]["phase_time_s"] < 0:
+            errors.append("timing.phase_time_s must be >= 0")
+        for phase, entry in manifest["phases"].items():
+            if not isinstance(entry, dict) or "time_s" not in entry:
+                errors.append(f"phases.{phase} must be an object with 'time_s'")
+    return errors

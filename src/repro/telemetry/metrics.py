@@ -1,0 +1,276 @@
+"""The process-wide metrics registry (counters, gauges, histograms).
+
+A :class:`MetricsRegistry` is the numeric side of the telemetry layer: every
+instrumented subsystem (simulated MPI, the OmpSs runtime, the FFT plan cache,
+the machine model) folds its events into named metrics with small label sets,
+e.g. ``mpi.bytes_sent{call="alltoall", comm="scatter"}``.  The registry is
+deliberately tiny and dependency free; its dump formats are
+
+* :meth:`MetricsRegistry.snapshot` — a plain nested dict for the run
+  manifest (JSON-friendly);
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# TYPE`` headers, ``name{labels} value`` samples).
+
+Overhead discipline: instrumented call sites hold a reference to the current
+:class:`~repro.telemetry.Telemetry` and guard on its ``enabled`` flag, so a
+disabled run pays one attribute check per event and nothing else.  The
+registry itself also carries ``enabled`` so stray updates on a disabled
+session are dropped rather than accumulated.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: log-spaced seconds covering simulated phase and
+#: call durations (1 us .. 10 s) plus the +Inf catch-all.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, _t.Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value for one (name, labels) series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value for one (name, labels) series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-watermark gauges)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Cumulative bucketed distribution for one (name, labels) series."""
+
+    __slots__ = ("buckets", "counts", "total", "sum")
+
+    def __init__(self, buckets: _t.Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per upper bound (Prometheus ``le`` semantics)."""
+        out, acc = [], 0
+        for c in self.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class _Family:
+    """All series of one metric name (shared kind and help text)."""
+
+    __slots__ = ("name", "kind", "help", "series", "buckets")
+
+    def __init__(self, name: str, kind: str, help: str, buckets: _t.Sequence[float]):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: dict[LabelKey, _t.Any] = {}
+        self.buckets = tuple(buckets)
+
+
+class MetricsRegistry:
+    """Named metric families with labelled series.
+
+    Metric names are dotted (``mpi.bytes_sent``); the Prometheus dump
+    rewrites dots to underscores as the exposition format requires.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._families: dict[str, _Family] = {}
+
+    # -- series access -------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str, buckets: _t.Sequence[float]) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help, buckets)
+            self._families[name] = fam
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, not {kind}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "", /, **labels: _t.Any) -> Counter:
+        """Get or create the counter series for ``name{labels}``."""
+        fam = self._family(name, "counter", help, ())
+        key = _label_key(labels)
+        series = fam.series.get(key)
+        if series is None:
+            series = fam.series[key] = Counter()
+        return series
+
+    def gauge(self, name: str, help: str = "", /, **labels: _t.Any) -> Gauge:
+        """Get or create the gauge series for ``name{labels}``."""
+        fam = self._family(name, "gauge", help, ())
+        key = _label_key(labels)
+        series = fam.series.get(key)
+        if series is None:
+            series = fam.series[key] = Gauge()
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: _t.Sequence[float] = DEFAULT_BUCKETS,
+        /,
+        **labels: _t.Any,
+    ) -> Histogram:
+        """Get or create the histogram series for ``name{labels}``."""
+        fam = self._family(name, "histogram", help, buckets)
+        key = _label_key(labels)
+        series = fam.series.get(key)
+        if series is None:
+            series = fam.series[key] = Histogram(fam.buckets)
+        return series
+
+    # -- one-shot conveniences (the instrumented call sites use these) -------
+
+    def count(self, name: str, amount: float = 1.0, /, **labels: _t.Any) -> None:
+        """Increment a counter (no-op when the registry is disabled)."""
+        if self.enabled:
+            self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, /, **labels: _t.Any) -> None:
+        """Set a gauge (no-op when the registry is disabled)."""
+        if self.enabled:
+            self.gauge(name, **labels).set(value)
+
+    def max_gauge(self, name: str, value: float, /, **labels: _t.Any) -> None:
+        """Raise a high-watermark gauge (no-op when disabled)."""
+        if self.enabled:
+            self.gauge(name, **labels).set_max(value)
+
+    def observe(self, name: str, value: float, /, **labels: _t.Any) -> None:
+        """Observe into a histogram (no-op when the registry is disabled)."""
+        if self.enabled:
+            self.histogram(name, **labels).observe(value)
+
+    # -- dumps ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump: ``{name: {kind, series: [{labels, ...}]}}``."""
+        out: dict = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            series = []
+            for key in sorted(fam.series):
+                s = fam.series[key]
+                entry: dict[str, _t.Any] = {"labels": dict(key)}
+                if fam.kind == "histogram":
+                    entry.update(
+                        count=s.total,
+                        sum=s.sum,
+                        buckets=list(fam.buckets),
+                        counts=list(s.counts),
+                    )
+                else:
+                    entry["value"] = s.value
+                series.append(entry)
+            out[name] = {"kind": fam.kind, "series": series}
+        return out
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            fam = self._families[name]
+            pname = name.replace(".", "_")
+            if fam.help:
+                lines.append(f"# HELP {pname} {fam.help}")
+            lines.append(f"# TYPE {pname} {fam.kind}")
+            for key in sorted(fam.series):
+                s = fam.series[key]
+                if fam.kind == "histogram":
+                    cum = s.cumulative()
+                    for ub, c in zip(list(fam.buckets) + ["+Inf"], cum):
+                        le = f"{ub:g}" if isinstance(ub, float) else ub
+                        bkey = key + (("le", le),)
+                        lines.append(f"{pname}_bucket{_label_str(bkey)} {c}")
+                    lines.append(f"{pname}_sum{_label_str(key)} {s.sum:g}")
+                    lines.append(f"{pname}_count{_label_str(key)} {s.total}")
+                else:
+                    lines.append(f"{pname}{_label_str(key)} {s.value:g}")
+        return "\n".join(lines) + "\n"
+
+    # -- queries (tests and reports) ----------------------------------------
+
+    def value(self, name: str, /, **labels: _t.Any) -> float:
+        """Value of one counter/gauge series (0.0 if absent)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        series = fam.series.get(_label_key(labels))
+        if series is None:
+            return 0.0
+        if isinstance(series, Histogram):
+            raise ValueError(f"{name!r} is a histogram; use series()")
+        return series.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family's series over all label sets."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        return sum(s.value for s in fam.series.values())
+
+    def families(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._families)

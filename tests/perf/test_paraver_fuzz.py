@@ -51,6 +51,45 @@ def synthetic_trace(draw):
                     )
                 )
                 t += mdur
+    # Matched point-to-point pairs (the type-3 communication records).
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        src = draw(st.integers(min_value=0, max_value=n_streams - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_streams - 1))
+        tag = draw(st.integers(min_value=0, max_value=99))
+        t0 = draw(st.floats(min_value=0.0, max_value=1e-3))
+        sdur = draw(st.floats(min_value=1e-6, max_value=1e-4))
+        rdur = draw(st.floats(min_value=1e-6, max_value=1e-4))
+        nbytes = draw(st.integers(min_value=0, max_value=10**6))
+        trace.mpi.append(
+            MpiRecord(
+                stream=(src, 0),
+                call="send",
+                comm_id=0,
+                comm_name="world",
+                t_begin=t0,
+                t_end=t0 + sdur,
+                bytes_sent=float(nbytes),
+                sync_time=0.0,
+                src=src,
+                dst=dst,
+                tag=tag,
+            )
+        )
+        trace.mpi.append(
+            MpiRecord(
+                stream=(dst, 0),
+                call="recv",
+                comm_id=0,
+                comm_name="world",
+                t_begin=t0,
+                t_end=t0 + rdur,
+                bytes_sent=0.0,
+                sync_time=0.0,
+                src=src,
+                dst=dst,
+                tag=tag,
+            )
+        )
     return trace
 
 
@@ -82,6 +121,33 @@ class TestParaverFuzz:
                 and abs(s[3] - round(rec.start * 1e9)) <= 1
             ]
             assert matches
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=synthetic_trace())
+    def test_roundtrip_preserves_communication_records(self, trace, tmp_path_factory):
+        from repro.perf.paraver import _match_p2p
+
+        tmp = tmp_path_factory.mktemp("prv")
+        prv = write_prv(tmp / "fuzz3", trace)
+        parsed = read_prv(prv)
+
+        pairs = _match_p2p(trace.mpi)
+        assert len(parsed["comms"]) == len(pairs)
+        want = sorted(
+            (int(send.bytes_sent), send.tag, round(send.t_begin * 1e9), round(recv.t_end * 1e9))
+            for send, recv in pairs
+        )
+        got = sorted((c[10], c[11], c[3], c[9]) for c in parsed["comms"])
+        for (w_size, w_tag, w_ls, w_pr), (g_size, g_tag, g_ls, g_pr) in zip(want, got):
+            assert g_size == w_size
+            assert g_tag == w_tag
+            assert abs(g_ls - w_ls) <= 1
+            assert abs(g_pr - w_pr) <= 1
+        # Sender and receiver sides reference real streams (1-based cpu ids).
+        n_streams = len(trace.streams)
+        for c in parsed["comms"]:
+            assert 1 <= c[0] <= n_streams
+            assert 1 <= c[5] <= n_streams
 
     @settings(max_examples=15, deadline=None)
     @given(trace=synthetic_trace())

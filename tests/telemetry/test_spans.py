@@ -1,0 +1,101 @@
+"""Unit tests for the span log."""
+
+import pytest
+
+from repro.telemetry.spans import SpanLog
+
+
+class TestSpanLog:
+    def test_begin_end(self):
+        log = SpanLog()
+        s = log.begin((0, 0), "exec", "executor", 1.0, bands=[0, 1])
+        assert s is not None and s.t_end is None and s.duration == 0.0
+        log.end(s, 3.5)
+        assert s.duration == pytest.approx(2.5)
+        assert s.args == {"bands": [0, 1]}
+
+    def test_add_complete_span(self):
+        log = SpanLog()
+        log.add("driver", "run", "run", 0.0, 2.0, label="x")
+        (s,) = log.closed()
+        assert (s.name, s.t_begin, s.t_end) == ("run", 0.0, 2.0)
+
+    def test_add_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends"):
+            SpanLog().add("t", "bad", "c", 2.0, 1.0)
+
+    def test_double_close_rejected(self):
+        log = SpanLog()
+        s = log.begin("t", "a", "c", 0.0)
+        log.end(s, 1.0)
+        with pytest.raises(ValueError, match="already closed"):
+            log.end(s, 2.0)
+
+    def test_close_before_begin_rejected(self):
+        log = SpanLog()
+        s = log.begin("t", "a", "c", 5.0)
+        with pytest.raises(ValueError, match="before its begin"):
+            log.end(s, 4.0)
+
+    def test_disabled_log_is_inert(self):
+        log = SpanLog(enabled=False)
+        assert log.begin("t", "a", "c", 0.0) is None
+        log.end(None, 1.0)  # no-op
+        log.add("t", "a", "c", 0.0, 1.0)
+        with log.span("t", "a", "c", lambda: 0.0) as handle:
+            assert handle is None
+        assert len(log) == 0
+
+    def test_context_manager_samples_clock(self):
+        log = SpanLog()
+        t = [1.0]
+        with log.span((0, 0), "it", "iteration", lambda: t[0]):
+            t[0] = 4.0
+        (s,) = log.closed()
+        assert (s.t_begin, s.t_end) == (1.0, 4.0)
+
+    def test_context_manager_closes_on_exception(self):
+        log = SpanLog()
+        t = [0.0]
+        with pytest.raises(RuntimeError):
+            with log.span("t", "a", "c", lambda: t[0]):
+                t[0] = 1.0
+                raise RuntimeError("boom")
+        (s,) = log.closed()
+        assert s.t_end == 1.0
+
+    def test_context_manager_across_generator_yields(self):
+        # Executors are generator programs; the with block lives in the
+        # generator frame, so the span closes when the frame resumes past it.
+        log = SpanLog()
+        clock = [0.0]
+
+        def program():
+            with log.span((0, 0), "exec", "executor", lambda: clock[0]):
+                yield "a"
+                yield "b"
+
+        gen = program()
+        next(gen)
+        clock[0] = 2.0
+        next(gen)
+        clock[0] = 5.0
+        with pytest.raises(StopIteration):
+            next(gen)
+        (s,) = log.closed()
+        assert (s.t_begin, s.t_end) == (0.0, 5.0)
+
+    def test_queries(self):
+        log = SpanLog()
+        log.add((1, 0), "inner", "c", 1.0, 2.0)
+        log.add((1, 0), "outer", "c", 0.0, 3.0)
+        log.add("driver", "run", "run", 0.0, 3.0)
+        open_span = log.begin((2, 0), "open", "c", 0.0)
+        assert open_span is not None
+
+        assert len(log) == 4
+        assert len(log.all()) == 4
+        assert len(log.closed()) == 3
+        assert set(map(repr, log.tracks())) == {repr((1, 0)), repr((2, 0)), repr("driver")}
+        names = [s.name for s in log.of_track((1, 0))]
+        assert names == ["outer", "inner"]  # outermost first

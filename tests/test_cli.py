@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -37,3 +39,74 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"], capture_output=True, text=True
+        )
+        assert proc.returncode == 0
+        assert "fig2" in proc.stdout
+
+
+class TestCliTelemetry:
+    RUN = ["run", "--ranks", "2", "--taskgroups", "2", "--quick"]
+
+    def test_run_exports(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        chrome = tmp_path / "trace.json"
+        prom = tmp_path / "run.prom"
+        code = main(
+            self.RUN
+            + ["--manifest", str(manifest), "--chrome", str(chrome),
+               "--prometheus", str(prom)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "manifest written" in out
+        assert manifest.exists() and chrome.exists() and prom.exists()
+        doc = json.loads(chrome.read_text())
+        assert {"M", "X"} <= {e["ph"] for e in doc["traceEvents"]}
+
+    def test_run_pop_adds_factors(self, tmp_path):
+        manifest = tmp_path / "run.json"
+        assert main(self.RUN + ["--manifest", str(manifest), "--pop"]) == 0
+        doc = json.loads(manifest.read_text())
+        assert "pop" in doc
+        assert 0 < doc["pop"]["parallel_efficiency"] <= 1.001
+
+    def test_perf_validate_and_diff_and_check(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.RUN + ["--manifest", str(a)]) == 0
+        assert main(self.RUN + ["--version", "ompss_perfft", "--manifest", str(b)]) == 0
+        capsys.readouterr()
+
+        assert main(["perf", "validate", str(a)]) == 0
+        assert "valid run manifest" in capsys.readouterr().out
+
+        assert main(["perf", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "fft_xy" in out
+
+        assert main(["perf", "check", "--baseline", str(a), str(a)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_perf_check_flags_regression(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(self.RUN + ["--manifest", str(a)]) == 0
+        doc = json.loads(a.read_text())
+        doc["timing"]["phase_time_s"] *= 1.5
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["perf", "check", "--baseline", str(a), str(slow)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_perf_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "nope"}))
+        assert main(["perf", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
