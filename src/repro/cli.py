@@ -8,6 +8,8 @@
     fftxlib-repro all --quick
     fftxlib-repro run --ranks 8 --version ompss_perfft --validate
     fftxlib-repro run --quick --manifest run.json --chrome trace.json --pop
+    fftxlib-repro run --quick --faults scenario.json --manifest run.json
+    fftxlib-repro faults validate scenario.json
     fftxlib-repro perf diff baseline.json candidate.json
     fftxlib-repro perf check --baseline baseline.json candidate.json
 
@@ -18,6 +20,11 @@ works offline on run-manifest JSON files (see
 :mod:`repro.telemetry.manifest`): ``diff`` prints the runtime/IPC report,
 ``check`` exits non-zero on a regression beyond the threshold, ``validate``
 checks a manifest against the schema.
+
+Exit codes: 0 success, 1 a run or check failed (validation error, perf
+regression, unrecovered fault scenario), 2 bad input (invalid configuration
+or malformed scenario/manifest file) — always a one-line ``error: ...`` on
+stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.experiments import (
     run_fig3,
     run_fig6,
     run_fig7,
+    run_resilience,
     run_table1,
     run_table2,
 )
@@ -64,6 +72,7 @@ _EXPERIMENTS: dict[str, tuple[_t.Callable, str]] = {
     "ablation-whatif": (run_ablation_whatif, "runtime attribution by bottleneck"),
     "multinode": (run_multinode, "multi-node scale sweep (the paper's IV claim)"),
     "validation": (run_validation, "numerical certification vs the dense reference"),
+    "resilience": (run_resilience, "fault-scenario degradation, original vs OmpSs"),
 }
 
 
@@ -79,6 +88,8 @@ def _experiment_kwargs(name: str, quick: bool) -> dict:
         kwargs["nodes"] = (1, 2)
     if name == "validation":
         kwargs.update(ecutwfc=15.0, alat=6.0, nbnd=8)
+    if name == "resilience":
+        kwargs.update(nbnd=16, taskgroups=4)
     return kwargs
 
 
@@ -137,6 +148,24 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--pop", action="store_true",
         help="replay on an ideal network and add POP factors to the manifest",
     )
+    p_run.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject the fault scenario from a JSON file (see docs/RESILIENCE.md)",
+    )
+    p_run.add_argument(
+        "--stable-manifest", action="store_true",
+        help="omit wall-clock fields from the manifest so identical seeded "
+        "runs produce byte-identical files",
+    )
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-scenario utilities (see docs/RESILIENCE.md)"
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_fvalidate = faults_sub.add_parser(
+        "validate", help="check a scenario JSON file (exit 2 when invalid)"
+    )
+    p_fvalidate.add_argument("scenario")
 
     p_perf = sub.add_parser(
         "perf", help="offline analysis of run-manifest JSON files"
@@ -177,9 +206,38 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             print(f"{name:<22} {help_text}")
         return 0
 
+    if args.command == "faults":
+        from repro.faults import ScenarioError, load_scenario
+
+        # faults validate
+        try:
+            scenario = load_scenario(args.scenario)
+        except (ScenarioError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        n_stragglers = len(scenario.stragglers)
+        n_links = len(scenario.links)
+        print(
+            f"{args.scenario}: valid fault scenario "
+            f"({n_stragglers} straggler(s), {n_links} link fault(s), "
+            f"os_noise {scenario.os_noise:g}, "
+            f"task_failure_rate {scenario.task_failure_rate:g})"
+        )
+        return 0
+
     if args.command == "run":
         import dataclasses
         import time
+
+        scenario = None
+        if args.faults is not None:
+            from repro.faults import ScenarioError, load_scenario
+
+            try:
+                scenario = load_scenario(args.faults)
+            except (ScenarioError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
 
         workload = dict(QUICK_WORKLOAD) if args.quick else {}
         want_telemetry = bool(
@@ -190,20 +248,33 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             or args.prv
             or args.pop
         )
-        config = RunConfig(
-            ranks=args.ranks,
-            taskgroups=args.taskgroups,
-            version=args.version,
-            data_mode=args.validate,
-            n_nodes=args.nodes,
-            telemetry=want_telemetry,
-            **workload,
-        )
+        try:
+            config = RunConfig(
+                ranks=args.ranks,
+                taskgroups=args.taskgroups,
+                version=args.version,
+                data_mode=args.validate,
+                n_nodes=args.nodes,
+                telemetry=want_telemetry,
+                faults=scenario,
+                **workload,
+            )
+        except ValueError as exc:
+            print(f"error: invalid configuration: {exc}", file=sys.stderr)
+            return 2
         t0 = time.perf_counter()
         result = run_fft_phase(config)
         wall = time.perf_counter() - t0
         print(f"{config.label()}: FFT phase {result.phase_time * 1e3:.2f} ms "
               f"(simulated), avg IPC {result.average_ipc:.3f}")
+        if result.fault_report is not None:
+            report = result.fault_report
+            print(
+                f"faults: scenario '{report['scenario'].get('name', '')}' "
+                f"injected {report['injected']} event(s), "
+                f"recovered {report['recovered_events']}, "
+                f"{result.n_attempts} attempt(s)"
+            )
 
         factors = None
         ideal_time = None
@@ -223,9 +294,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 args.manifest,
                 build_manifest(
                     result,
-                    wall_time_s=wall,
+                    wall_time_s=None if args.stable_manifest else wall,
                     factors=factors,
                     ideal_time_s=ideal_time,
+                    created="(stable)" if args.stable_manifest else None,
                 ),
             )
             print(f"manifest written: {path}")
@@ -239,6 +311,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             if args.prv:
                 prv = export_run(result, "prv", args.prv)
                 print(f"trace written: {prv} (+ .pcf, .row)")
+        if result.failed:
+            failure = (result.fault_report or {}).get("failure")
+            print(
+                f"error: run did not recover from the injected fault scenario"
+                f" ({failure})" if failure else
+                "error: run did not recover from the injected fault scenario",
+                file=sys.stderr,
+            )
+            return 1
         if args.validate:
             err = result.validate()
             print(f"max relative error vs dense reference: {err:.2e}")

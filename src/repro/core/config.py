@@ -30,6 +30,9 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultScenario
+
 __all__ = ["RunConfig", "Version", "VERSIONS"]
 
 Version = _t.Literal[
@@ -90,6 +93,10 @@ class RunConfig:
     #: run.  Off by default: instrumented call sites then cost a single
     #: attribute check — see :mod:`repro.telemetry`.
     telemetry: bool = False
+    #: Deterministic fault scenario (:class:`repro.faults.FaultScenario`)
+    #: or ``None`` for a fault-free run.  With ``None`` every injection
+    #: hook reduces to one attribute check, so baselines are untouched.
+    faults: "FaultScenario | None" = None
 
     def __post_init__(self) -> None:
         if self.version not in VERSIONS:

@@ -15,6 +15,17 @@
 The returned :class:`RunResult` carries the phase runtime, the machine
 counters, and (in data mode) the distributed outputs plus a
 :meth:`RunResult.validate` that checks them against the dense reference.
+
+Resilience: with a :class:`~repro.faults.FaultScenario` on the config (or
+passed as ``faults=``) the driver runs inside an *attempts loop*.  Each
+attempt simulates on a fresh machine; when injected faults escalate to a
+:class:`~repro.faults.FaultError` the driver checkpoints the work units
+whose full chain completed on every rank (wave coefficients in data mode),
+and — while ``scenario.max_resumes`` allows — resumes the executor at the
+first unfinished unit.  The accumulated
+:class:`~repro.faults.FaultReport` lands on ``RunResult.fault_report``;
+an unrecoverable run ends with ``RunResult.failed`` set, never a hang or
+a bare traceback.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ from repro.core.wave import (
     make_potential,
     potential_slab,
 )
+from repro.faults.injector import FaultError, FaultInjector
+from repro.faults.plan import FaultScenario
 from repro.grids import Cell, DistributedLayout, FftDescriptor
 from repro.machine import CpuModel, KnlParameters, knl_phase_table, knl_topology
 from repro.machine.cluster import ClusterTopology
@@ -67,6 +80,15 @@ class RunResult:
     knl: KnlParameters | None = None
     #: The run's telemetry session, or ``None`` when telemetry was off.
     telemetry: _telemetry.Telemetry | None = None
+    #: Injection/recovery record (:meth:`FaultReport.to_dict`), or ``None``
+    #: for a fault-free run.
+    fault_report: dict | None = None
+    #: Whether the run ended unrecovered (resume budget exhausted).  The
+    #: result then carries the partial state and the fault report; outputs
+    #: are incomplete.
+    failed: bool = False
+    #: Driver attempts simulated (1 = no resume was needed).
+    n_attempts: int = 1
 
     def output_coefficients(self) -> np.ndarray:
         """Gather the distributed outputs (data mode only)."""
@@ -101,6 +123,7 @@ def run_fft_phase(
     input_coeffs: np.ndarray | None = None,
     potential: np.ndarray | None = None,
     telemetry: _telemetry.Telemetry | None = None,
+    faults: FaultScenario | None = None,
 ) -> RunResult:
     """Run one configuration to completion on a fresh simulated node.
 
@@ -112,6 +135,9 @@ def run_fft_phase(
     ``telemetry`` installs the given session for the duration of the run;
     with ``config.telemetry`` set a fresh enabled session is created.  The
     session used (if any) is returned on ``RunResult.telemetry``.
+
+    ``faults`` overrides ``config.faults``; with a scenario active the
+    driver checkpoints and resumes as described in the module docstring.
     """
     knl = knl or KnlParameters()
     if (input_coeffs is not None or potential is not None) and not config.data_mode:
@@ -119,6 +145,8 @@ def run_fft_phase(
     tel = telemetry
     if tel is None and config.telemetry:
         tel = _telemetry.Telemetry(enabled=True)
+    scenario = faults if faults is not None else config.faults
+    injector = FaultInjector(scenario, config.seed) if scenario is not None else None
 
     # 1. Geometry and costs.
     cell = Cell(alat=config.alat)
@@ -126,80 +154,7 @@ def run_fft_phase(
     layout = DistributedLayout(desc, config.layout_scatter, config.layout_groups)
     cost = CostModel(layout, cost_constants)
 
-    # 2. Machine + world.
-    sim = Simulator()
-    topo: _t.Any = knl_topology(knl)
-    if config.n_nodes > 1:
-        topo = ClusterTopology(topo, config.n_nodes)
-    cpu = CpuModel(
-        sim,
-        topo,
-        knl_phase_table(),
-        bandwidth_bytes_per_s=knl.mem_bandwidth,
-        jitter=knl.compute_jitter,
-        jitter_seed=knl.jitter_seed,
-        bandwidth_rampup_max=knl.mem_bw_rampup_max,
-        bandwidth_rampup_half=knl.mem_bw_rampup_half,
-    )
-    if config.version == "ompss_steps":
-        placement = topo.place_grouped(config.total_streams, config.threads_per_rank)
-    else:
-        placement = topo.place(config.total_streams)
-    if config.n_nodes > 1:
-        tpr = config.threads_per_rank
-
-        def node_of(rank: object) -> int:
-            return placement[int(rank) * tpr].node  # type: ignore[call-overload]
-
-        network: NetworkModel = ClusterNetworkModel(
-            sim,
-            capacity=knl.net_capacity,
-            injection_bw=knl.net_injection_bw,
-            latency=knl.net_latency,
-            node_of=node_of,
-            inter_capacity=knl.fabric_injection_bw * max(config.n_nodes / 2.0, 1.0),
-            inter_injection_bw=knl.fabric_injection_bw,
-            inter_latency=knl.fabric_latency,
-        )
-    else:
-        network = NetworkModel(
-            sim,
-            capacity=knl.net_capacity,
-            injection_bw=knl.net_injection_bw,
-            latency=knl.net_latency,
-        )
-    world = MpiWorld(
-        sim,
-        cpu,
-        network,
-        n_ranks=config.n_mpi_ranks,
-        threads_per_rank=config.threads_per_rank,
-        placement=placement,
-    )
-    if mpi_observer is not None:
-        world.add_mpi_observer(mpi_observer)
-    if compute_observer is not None:
-        cpu.add_observer(compute_observer)
-    if tel is not None and tel.enabled:
-        world.add_mpi_observer(tel.tracer.on_mpi)
-        cpu.add_observer(tel.tracer.on_compute)
-        if task_observer is None:
-            task_observer = tel.tracer.on_task
-        else:
-            task_observer = _fanout_task_observer(tel.tracer.on_task, task_observer)
-
-    # 3. Communicator layers (setup time, unmeasured — like FFTXlib init).
-    pack_comms = (
-        [world._register_comm(layout.pack_group(r), f"pack{r}") for r in range(layout.R)]
-        if layout.T > 1
-        else None
-    )
-    scatter_comms = [
-        world._register_comm(layout.scatter_group(t), f"scatter{t}")
-        for t in range(layout.T)
-    ]
-
-    # 4. Data (caller-provided arrays pass through; see the docstring).
+    # 2. Data (caller-provided arrays pass through; see the docstring).
     per_proc_packed: list[np.ndarray] | None = None
     v_slabs: list[np.ndarray] | None = None
     if not config.data_mode:
@@ -229,77 +184,236 @@ def run_fft_phase(
                 )
         v_slabs = [potential_slab(layout, r, potential) for r in range(layout.R)]
 
-    contexts: dict[int, FftPhaseContext] = {}
+    if tel is not None and tel.enabled:
+        if task_observer is None:
+            task_observer = tel.tracer.on_task
+        else:
+            task_observer = _fanout_task_observer(tel.tracer.on_task, task_observer)
 
-    def ctx_of(rank) -> FftPhaseContext:
-        p = rank.rank
-        if p not in contexts:
-            r, t = layout.rt_of(p)
-            contexts[p] = FftPhaseContext(
-                rank=rank,
-                layout=layout,
-                cost=cost,
-                pack_comm=pack_comms[r] if pack_comms is not None else None,
-                scatter_comm=scatter_comms[t],
-                packed=per_proc_packed[p] if per_proc_packed is not None else None,
-                v_slab=v_slabs[r] if v_slabs is not None else None,
+    # Checkpoint bookkeeping.  A "unit" is the executor's outer-loop step:
+    # one iteration (original / pipelined / per-step) or one band (per-FFT /
+    # combined).  After a failed attempt the driver keeps the units whose
+    # full chain finished on every rank and resumes at the first other one.
+    T = config.layout_groups
+    if config.version in ("original", "pipelined", "ompss_steps"):
+        n_units = config.n_iterations
+
+        def unit_bands(u: int) -> list[int]:
+            return [u * T + t for t in range(T)]
+
+    else:
+        n_units = config.n_complex_bands
+
+        def unit_bands(u: int) -> list[int]:
+            return [u]
+
+    completed_bands: set[int] = set()
+    saved_results: dict[int, dict[int, np.ndarray]] = {}
+    units_done = 0
+    max_attempts = 1 + (scenario.max_resumes if scenario is not None else 0)
+    total_time = 0.0
+    failed = False
+    last_error: str | None = None
+    n_attempts = 0
+
+    for attempt in range(1, max_attempts + 1):
+        n_attempts = attempt
+
+        # 3. Machine + world (fresh per attempt; the injector persists).
+        sim = Simulator()
+        topo: _t.Any = knl_topology(knl)
+        if config.n_nodes > 1:
+            topo = ClusterTopology(topo, config.n_nodes)
+        cpu = CpuModel(
+            sim,
+            topo,
+            knl_phase_table(),
+            bandwidth_bytes_per_s=knl.mem_bandwidth,
+            jitter=knl.compute_jitter,
+            jitter_seed=knl.jitter_seed,
+            bandwidth_rampup_max=knl.mem_bw_rampup_max,
+            bandwidth_rampup_half=knl.mem_bw_rampup_half,
+        )
+        if config.version == "ompss_steps":
+            placement = topo.place_grouped(config.total_streams, config.threads_per_rank)
+        else:
+            placement = topo.place(config.total_streams)
+        if config.n_nodes > 1:
+            tpr = config.threads_per_rank
+
+            def node_of(rank: object, _placement=placement, _tpr=tpr) -> int:
+                return _placement[int(rank) * _tpr].node  # type: ignore[call-overload]
+
+            network: NetworkModel = ClusterNetworkModel(
+                sim,
+                capacity=knl.net_capacity,
+                injection_bw=knl.net_injection_bw,
+                latency=knl.net_latency,
+                node_of=node_of,
+                inter_capacity=knl.fabric_injection_bw * max(config.n_nodes / 2.0, 1.0),
+                inter_injection_bw=knl.fabric_injection_bw,
+                inter_latency=knl.fabric_latency,
             )
-        return contexts[p]
+        else:
+            network = NetworkModel(
+                sim,
+                capacity=knl.net_capacity,
+                injection_bw=knl.net_injection_bw,
+                latency=knl.net_latency,
+            )
+        world = MpiWorld(
+            sim,
+            cpu,
+            network,
+            n_ranks=config.n_mpi_ranks,
+            threads_per_rank=config.threads_per_rank,
+            placement=placement,
+        )
+        if injector is not None:
+            cpu.faults = injector
+            network.faults = injector
+            world.faults = injector
+            injector.bind(sim, attempt)
+        if mpi_observer is not None:
+            world.add_mpi_observer(mpi_observer)
+        if compute_observer is not None:
+            cpu.add_observer(compute_observer)
+        if tel is not None and tel.enabled:
+            world.add_mpi_observer(tel.tracer.on_mpi)
+            cpu.add_observer(tel.tracer.on_compute)
 
-    # 5. The version's executor.
-    if config.version == "original":
-        program = make_original_program(ctx_of, config.n_iterations)
-    elif config.version == "pipelined":
-        program = make_pipelined_program(ctx_of, config.n_iterations)
-    elif config.version == "ompss_perfft":
-        program = make_perfft_program(
-            ctx_of,
-            config.n_complex_bands,
-            n_workers=config.threads_per_rank,
-            policy=config.scheduler,
-            task_overhead=config.task_overhead,
-            task_observer=task_observer,
-            mpi_task_switching=config.effective_task_switching,
+        # 4. Communicator layers (setup time, unmeasured — like FFTXlib init).
+        pack_comms = (
+            [world._register_comm(layout.pack_group(r), f"pack{r}") for r in range(layout.R)]
+            if layout.T > 1
+            else None
         )
-    elif config.version == "ompss_steps":
-        program = make_steps_program(
-            ctx_of,
-            config.n_iterations,
-            n_workers=config.threads_per_rank,
-            policy=config.scheduler,
-            task_overhead=config.task_overhead,
-            grainsize_xy=config.grainsize_xy,
-            grainsize_z=config.grainsize_z,
-            task_observer=task_observer,
-            mpi_task_switching=config.effective_task_switching,
-        )
-    else:  # ompss_combined
-        program = make_combined_program(
-            ctx_of,
-            config.n_complex_bands,
-            n_workers=config.threads_per_rank,
-            policy=config.scheduler,
-            task_overhead=config.task_overhead,
-            grainsize_xy=config.grainsize_xy,
-            grainsize_z=config.grainsize_z,
-            task_observer=task_observer,
-            mpi_task_switching=config.effective_task_switching,
-        )
+        scatter_comms = [
+            world._register_comm(layout.scatter_group(t), f"scatter{t}")
+            for t in range(layout.T)
+        ]
 
-    previous = _telemetry.install(tel) if tel is not None else None
-    try:
-        world.launch(program)
-        phase_time = world.run()
-    finally:
-        if tel is not None:
-            _telemetry.install(previous)
+        contexts: dict[int, FftPhaseContext] = {}
+
+        def ctx_of(
+            rank,
+            _contexts=contexts,
+            _pack_comms=pack_comms,
+            _scatter_comms=scatter_comms,
+        ) -> FftPhaseContext:
+            p = rank.rank
+            if p not in _contexts:
+                r, t = layout.rt_of(p)
+                ctx = FftPhaseContext(
+                    rank=rank,
+                    layout=layout,
+                    cost=cost,
+                    pack_comm=_pack_comms[r] if _pack_comms is not None else None,
+                    scatter_comm=_scatter_comms[t],
+                    packed=per_proc_packed[p] if per_proc_packed is not None else None,
+                    v_slab=v_slabs[r] if v_slabs is not None else None,
+                )
+                if completed_bands:
+                    # Resumed attempt: restore the checkpointed state.
+                    ctx.completed.update(completed_bands)
+                    ctx.results.update(saved_results.get(p, {}))
+                _contexts[p] = ctx
+            return _contexts[p]
+
+        # 5. The version's executor, starting past the checkpointed units.
+        if config.version == "original":
+            program = make_original_program(
+                ctx_of, config.n_iterations, start_iteration=units_done
+            )
+        elif config.version == "pipelined":
+            program = make_pipelined_program(
+                ctx_of, config.n_iterations, start_iteration=units_done
+            )
+        elif config.version == "ompss_perfft":
+            program = make_perfft_program(
+                ctx_of,
+                config.n_complex_bands,
+                n_workers=config.threads_per_rank,
+                policy=config.scheduler,
+                task_overhead=config.task_overhead,
+                task_observer=task_observer,
+                mpi_task_switching=config.effective_task_switching,
+                start_band=units_done,
+            )
+        elif config.version == "ompss_steps":
+            program = make_steps_program(
+                ctx_of,
+                config.n_iterations,
+                n_workers=config.threads_per_rank,
+                policy=config.scheduler,
+                task_overhead=config.task_overhead,
+                grainsize_xy=config.grainsize_xy,
+                grainsize_z=config.grainsize_z,
+                task_observer=task_observer,
+                mpi_task_switching=config.effective_task_switching,
+                start_iteration=units_done,
+            )
+        else:  # ompss_combined
+            program = make_combined_program(
+                ctx_of,
+                config.n_complex_bands,
+                n_workers=config.threads_per_rank,
+                policy=config.scheduler,
+                task_overhead=config.task_overhead,
+                grainsize_xy=config.grainsize_xy,
+                grainsize_z=config.grainsize_z,
+                task_observer=task_observer,
+                mpi_task_switching=config.effective_task_switching,
+                start_band=units_done,
+            )
+
+        previous = _telemetry.install(tel) if tel is not None else None
+        try:
+            world.launch(program)
+            attempt_time = world.run()
+        except FaultError as err:
+            assert injector is not None  # only injection raises FaultError
+            attempt_time = sim.now
+            total_time += attempt_time
+            units_done = _completed_units(contexts, n_units, unit_bands)
+            for u in range(units_done):
+                completed_bands.update(unit_bands(u))
+            if config.data_mode:
+                for p, ctx in contexts.items():
+                    keep = saved_results.setdefault(p, {})
+                    for band, coeffs in ctx.results.items():
+                        if band in completed_bands:
+                            keep[band] = coeffs
+            last_error = f"{type(err).__name__}: {err}"
+            injector.report.attempt_done(attempt_time, units_done, last_error)
+            if attempt < max_attempts:
+                injector.record(
+                    "resume", next_attempt=attempt + 1, resume_unit=units_done
+                )
+                continue
+            failed = True
+            break
+        finally:
+            if tel is not None:
+                _telemetry.install(previous)
+        total_time += attempt_time
+        units_done = n_units
+        if injector is not None:
+            injector.report.attempt_done(attempt_time, n_units, None)
+        break
+
+    fault_report: dict | None = None
+    if injector is not None:
+        injector.report.recovered = not failed
+        injector.report.failure = last_error if failed else None
+        fault_report = injector.report.to_dict()
 
     if tel is not None and tel.enabled:
-        _record_run_summary(tel, config, cpu, sim, phase_time)
+        _record_run_summary(tel, config, cpu, sim, total_time, injector)
 
     return RunResult(
         config=config,
-        phase_time=phase_time,
+        phase_time=total_time,
         sim=sim,
         world=world,
         cpu=cpu,
@@ -310,7 +424,25 @@ def run_fft_phase(
         potential=potential,
         knl=knl,
         telemetry=tel,
+        fault_report=fault_report,
+        failed=failed,
+        n_attempts=n_attempts,
     )
+
+
+def _completed_units(
+    contexts: dict[int, FftPhaseContext],
+    n_units: int,
+    unit_bands: _t.Callable[[int], list[int]],
+) -> int:
+    """Units whose every band completed on every rank (checkpoint frontier)."""
+    if not contexts:
+        return 0
+    common = set.intersection(*(ctx.completed for ctx in contexts.values()))
+    done = 0
+    while done < n_units and all(b in common for b in unit_bands(done)):
+        done += 1
+    return done
 
 
 def _fanout_task_observer(first: _t.Callable, second: _t.Callable) -> _t.Callable:
@@ -327,6 +459,7 @@ def _record_run_summary(
     cpu: CpuModel,
     sim: Simulator,
     phase_time: float,
+    injector: FaultInjector | None = None,
 ) -> None:
     """Close out a telemetry session: the run span and derived gauges."""
     tel.spans.add(
@@ -347,3 +480,29 @@ def _record_run_summary(
     tel.metrics.set_gauge("machine.average_ipc", counters.average_ipc())
     tel.metrics.set_gauge("sim.events_dispatched", float(sim.n_dispatched))
     tel.metrics.set_gauge("run.phase_seconds", phase_time)
+    if injector is not None:
+        report = injector.report
+        tel.metrics.set_gauge("faults.injected", float(report.n_injected))
+        tel.metrics.set_gauge("faults.recovered_events", float(report.n_recovered))
+        tel.metrics.set_gauge("faults.attempts", float(len(report.attempts)))
+        t0 = 0.0
+        for i, a in enumerate(report.attempts, start=1):
+            tel.spans.add(
+                "faults",
+                f"attempt {i}",
+                "attempt",
+                t0,
+                t0 + a["phase_time_s"],
+                completed_units=a["completed_units"],
+                error=a["error"],
+            )
+            t0 += a["phase_time_s"]
+        for s in injector.scenario.stragglers:
+            tel.spans.add(
+                "faults",
+                f"straggler rank {s.rank}",
+                "fault",
+                0.0,
+                phase_time,
+                slowdown=s.slowdown,
+            )

@@ -30,8 +30,13 @@ def make_combined_program(
     grainsize_z: int = 200,
     task_observer: _t.Callable | None = None,
     mpi_task_switching: bool = False,
+    start_band: int = 0,
 ):
-    """Build the per-rank program: per-band chains of step tasks."""
+    """Build the per-rank program: per-band chains of step tasks.
+
+    ``start_band`` skips bands already completed in a prior attempt
+    (checkpoint resume); it must be the same on every rank.
+    """
 
     def program(rank):
         ctx = ctx_of(rank)
@@ -55,9 +60,10 @@ def make_combined_program(
 
         with tel.spans.span(track, "exec_combined", "executor", clock):
             with tel.spans.span(
-                track, "submit", "sub-phase", clock, n_tasks=n_complex_bands
+                track, "submit", "sub-phase", clock,
+                n_tasks=n_complex_bands - start_band,
             ):
-                for band in range(n_complex_bands):
+                for band in range(start_band, n_complex_bands):
                     submit_unit_tasks(
                         ctx, rt, ("band", band), [band], grainsize_xy, grainsize_z
                     )

@@ -17,11 +17,15 @@ __all__ = ["make_original_program"]
 
 
 def make_original_program(
-    ctx_of: _t.Callable[[object], FftPhaseContext], n_iterations: int
+    ctx_of: _t.Callable[[object], FftPhaseContext],
+    n_iterations: int,
+    start_iteration: int = 0,
 ):
     """Build the per-rank program: ``DO I = 1, NB, NTG`` over the step chain.
 
     ``ctx_of(rank)`` supplies the rank's phase context (layout, comms, data).
+    ``start_iteration`` skips iterations already completed in a prior attempt
+    (checkpoint resume); it must be the same on every rank.
     """
 
     def program(rank):
@@ -34,7 +38,7 @@ def make_original_program(
             return rank.sim.now
 
         with tel.spans.span(track, "exec_original", "executor", clock):
-            for it in range(n_iterations):
+            for it in range(start_iteration, n_iterations):
                 bands = [it * T + t for t in range(T)]
                 with tel.spans.span(
                     track, f"iteration {it}", "iteration", clock, bands=bands

@@ -36,8 +36,13 @@ def make_perfft_program(
     task_overhead: float = 3.0e-6,
     task_observer: _t.Callable | None = None,
     mpi_task_switching: bool = False,
+    start_band: int = 0,
 ):
-    """Build the per-rank program submitting one task per band."""
+    """Build the per-rank program submitting one task per band.
+
+    ``start_band`` skips bands already completed in a prior attempt
+    (checkpoint resume); it must be the same on every rank.
+    """
 
     def program(rank):
         ctx = ctx_of(rank)
@@ -61,19 +66,29 @@ def make_perfft_program(
 
         with tel.spans.span(track, "exec_perfft", "executor", clock):
             with tel.spans.span(
-                track, "submit", "sub-phase", clock, n_tasks=n_complex_bands
+                track, "submit", "sub-phase", clock,
+                n_tasks=n_complex_bands - start_band,
             ):
-                for band in range(n_complex_bands):
+                for band in range(start_band, n_complex_bands):
 
                     def body(worker, band=band):
+                        # Completion is marked on task *success* below, so a
+                        # discarded (fault-injected) execution never advances
+                        # the checkpoint frontier.
                         yield from band_chain_steps(
                             ctx,
                             [band],
                             key_prefix=("band", band),
                             thread=worker.thread_index,
+                            mark_completed=False,
                         )
 
-                    rt.submit(f"fft_band{band}", body, inouts=[("psis", band)])
+                    task = rt.submit(f"fft_band{band}", body, inouts=[("psis", band)])
+                    task.done.add_callback(
+                        lambda ev, band=band: (
+                            ctx.completed.add(band) if ev.exception is None else None
+                        )
+                    )
             with tel.spans.span(track, "taskwait", "sub-phase", clock):
                 yield rt.taskwait()
             yield rt.shutdown()

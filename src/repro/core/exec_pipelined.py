@@ -65,12 +65,21 @@ def _issue_scatter_bw(ctx: FftPhaseContext, planes, key):
 
 
 def make_pipelined_program(
-    ctx_of: _t.Callable[[object], FftPhaseContext], n_iterations: int
+    ctx_of: _t.Callable[[object], FftPhaseContext],
+    n_iterations: int,
+    start_iteration: int = 0,
 ):
-    """Build the per-rank program with depth-2 software pipelining."""
+    """Build the per-rank program with depth-2 software pipelining.
+
+    ``start_iteration`` skips iterations completed by a prior attempt
+    (checkpoint resume); the prologue then primes the pipeline for the
+    first remaining iteration.  Must be the same on every rank.
+    """
 
     def program(rank):
         ctx = ctx_of(rank)
+        if start_iteration >= n_iterations:
+            return ctx
         T = ctx.layout.T
         cost = ctx.cost
         tel = _telemetry.current()
@@ -86,14 +95,18 @@ def make_pipelined_program(
             return ("it", it)
 
         with tel.spans.span(track, "exec_pipelined", "executor", clock):
-            # Prologue: stage A and forward-scatter issue for iteration 0.
+            # Prologue: stage A and forward-scatter issue for the first
+            # iteration this attempt runs.
+            first = start_iteration
             with tel.spans.span(track, "prologue", "pipeline-step", clock):
-                group = yield from _stage_a(ctx, bands_of(0), key(0))
+                group = yield from _stage_a(ctx, bands_of(first), key(first))
                 yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-            ev_fw = _issue_scatter_fw(ctx, group, (key(0), "sfw", bands_of(0)[ctx.t]))
+            ev_fw = _issue_scatter_fw(
+                ctx, group, (key(first), "sfw", bands_of(first)[ctx.t])
+            )
 
             next_group = None
-            for it in range(n_iterations):
+            for it in range(start_iteration, n_iterations):
                 my_band = bands_of(it)[ctx.t]
                 with tel.spans.span(
                     track, f"iteration {it}", "iteration", clock, bands=bands_of(it)

@@ -61,23 +61,31 @@ def submit_unit_tasks(
     Stage graph: prepare -> pack -> fft_z+ -> scatter_fw -> fft_xy+ -> vofr
     -> fft_xy- -> scatter_bw -> fft_z- -> unpack, with the fft stages split
     into grainsize chunks.
+
+    Every stage reads its predecessor's ``state`` slot and writes its own —
+    never mutating in place — so a task execution that fault injection
+    discards can re-run and produce the identical value (idempotent bodies
+    are what makes bounded re-execution safe).  The per-unit intermediates
+    stay alive until the program ends; data mode is test-sized, so the
+    extra retention is cheap.
     """
     state: dict[str, object] = {}
     my_band = bands[ctx.t]
     prev_regions: list = []
     stage_counter = [0]
 
-    def single(name: str, body_factory) -> None:
+    def single(name: str, body_factory):
         stage = stage_counter[0]
         stage_counter[0] += 1
         region = (unit_key, stage, 0)
-        rt.submit(
+        task = rt.submit(
             f"{name}:{unit_key}",
             body_factory,
             ins=tuple(prev_regions),
             outs=(region,),
         )
         prev_regions[:] = [region]
+        return task
 
     def chunked(name: str, phase: str, total_instr: float, n_items: int, grainsize: int, transform) -> None:
         stage = stage_counter[0]
@@ -89,7 +97,7 @@ def submit_unit_tasks(
 
             def body(worker, k=k):
                 yield ctx.rank.compute(phase, share, thread=worker.thread_index)
-                if k == 0 and ctx.data_mode:
+                if k == 0:
                     transform()
 
             rt.submit(
@@ -108,42 +116,55 @@ def submit_unit_tasks(
         )
 
     def pack_body(worker):
-        state["group"] = yield from step_pack(
-            ctx, state.pop("blocks", None), key=(unit_key, "pack"), thread=worker.thread_index
+        state["group_g"] = yield from step_pack(
+            ctx, state.get("blocks"), key=(unit_key, "pack"), thread=worker.thread_index
         )
 
-    def fft_z_transform(sign):
+    def fft_z_transform(src, dst, sign):
         def run():
-            if state.get("group") is not None:
-                state["group"] = cft_1z(state["group"], sign)
+            group = state.get(src)
+            if group is None or not ctx.data_mode:
+                state[dst] = group
+            else:
+                state[dst] = cft_1z(group, sign)
 
         return run
 
     def scatter_fw_body(worker):
-        state["planes"] = yield from step_scatter_fw(
-            ctx, state.pop("group", None), key=(unit_key, "sfw", my_band), thread=worker.thread_index
+        state["planes_fw"] = yield from step_scatter_fw(
+            ctx, state.get("group_zfw"), key=(unit_key, "sfw", my_band), thread=worker.thread_index
         )
 
-    def fft_xy_transform(sign):
+    def fft_xy_transform(src, dst, sign):
         def run():
-            if state.get("planes") is not None:
-                state["planes"] = cft_2xy(state["planes"], sign)
+            planes = state.get(src)
+            if planes is None or not ctx.data_mode:
+                state[dst] = planes
+            else:
+                state[dst] = cft_2xy(planes, sign)
 
         return run
 
     def vofr_body(worker):
-        state["planes"] = yield from step_vofr(
-            ctx, state.pop("planes", None), thread=worker.thread_index
+        state["planes_v"] = yield from step_vofr(
+            ctx, state.get("planes_xyfw"), thread=worker.thread_index
         )
 
     def scatter_bw_body(worker):
-        state["group"] = yield from step_scatter_bw(
-            ctx, state.pop("planes", None), key=(unit_key, "sbw", my_band), thread=worker.thread_index
+        state["group_s"] = yield from step_scatter_bw(
+            ctx, state.get("planes_xybw"), key=(unit_key, "sbw", my_band), thread=worker.thread_index
         )
 
     def unpack_body(worker):
+        # Completion is marked when the unpack task *succeeds* (below), so a
+        # discarded (fault-injected) execution never advances the frontier.
         yield from step_unpack(
-            ctx, state.pop("group", None), bands, key=(unit_key, "unpack"), thread=worker.thread_index
+            ctx,
+            state.get("group_zbw"),
+            bands,
+            key=(unit_key, "unpack"),
+            thread=worker.thread_index,
+            mark_completed=False,
         )
 
     nst = ctx.layout.nst_group(ctx.r)
@@ -151,14 +172,19 @@ def submit_unit_tasks(
 
     single("prepare", prepare_body)
     single("pack", pack_body)
-    chunked("fft_z_fw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform(+1))
+    chunked("fft_z_fw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform("group_g", "group_zfw", +1))
     single("scatter_fw", scatter_fw_body)
-    chunked("fft_xy_fw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform(+1))
+    chunked("fft_xy_fw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_fw", "planes_xyfw", +1))
     single("vofr", vofr_body)
-    chunked("fft_xy_bw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform(-1))
+    chunked("fft_xy_bw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_v", "planes_xybw", -1))
     single("scatter_bw", scatter_bw_body)
-    chunked("fft_z_bw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform(-1))
-    single("unpack", unpack_body)
+    chunked("fft_z_bw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform("group_s", "group_zbw", -1))
+    unpack_task = single("unpack", unpack_body)
+    unpack_task.done.add_callback(
+        lambda ev, _bands=tuple(bands): (
+            ctx.completed.update(_bands) if ev.exception is None else None
+        )
+    )
 
 
 def _strip_compute(step_gen):
@@ -177,8 +203,13 @@ def make_steps_program(
     grainsize_z: int = 200,
     task_observer: _t.Callable | None = None,
     mpi_task_switching: bool = False,
+    start_iteration: int = 0,
 ):
-    """Build the per-rank program for the per-step task version."""
+    """Build the per-rank program for the per-step task version.
+
+    ``start_iteration`` skips iterations completed by a prior attempt
+    (checkpoint resume); it must be the same on every rank.
+    """
 
     def program(rank):
         ctx = ctx_of(rank)
@@ -201,9 +232,10 @@ def make_steps_program(
 
         with tel.spans.span(track, "exec_steps", "executor", clock):
             with tel.spans.span(
-                track, "submit", "sub-phase", clock, n_iterations=n_iterations
+                track, "submit", "sub-phase", clock,
+                n_iterations=n_iterations - start_iteration,
             ):
-                for it in range(n_iterations):
+                for it in range(start_iteration, n_iterations):
                     bands = [it * T + t for t in range(T)]
                     submit_unit_tasks(
                         ctx, rt, ("it", it), bands, grainsize_xy, grainsize_z

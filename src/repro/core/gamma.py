@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.simkit.rng import substream
+
 __all__ = [
     "hermitian_coefficients",
     "pack_real_bands",
@@ -39,7 +41,7 @@ def hermitian_coefficients(
     """
     if minus_index.shape != (ngm,):
         raise ValueError(f"minus_index has shape {minus_index.shape}; expected ({ngm},)")
-    rng = np.random.default_rng(seed)
+    rng = substream(seed)
     c = rng.standard_normal((n_bands, ngm)) + 1j * rng.standard_normal((n_bands, ngm))
     # Symmetrize: average each coefficient with the conjugate of its -G
     # partner; G = 0 (self-paired) becomes real automatically.

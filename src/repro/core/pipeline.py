@@ -180,6 +180,9 @@ class FftPhaseContext:
         self.packed = packed
         self.v_slab = v_slab
         self.results: dict[int, np.ndarray] = {}
+        #: Bands whose full chain finished on this rank (filled by the
+        #: unpack step, both modes) — the driver's checkpoint granularity.
+        self.completed: set[int] = set()
         self.r, self.t = layout.rt_of(rank.rank)
         self.data_mode = packed is not None
 
@@ -271,13 +274,24 @@ def step_scatter_bw(ctx: FftPhaseContext, planes, key: object, thread: int = 0):
     return scatter_mod.assemble_group_block_from_planes(ctx.layout, ctx.r, received)
 
 
-def step_unpack(ctx: FftPhaseContext, group_block, bands: _t.Sequence[int], key: object, thread: int = 0):
+def step_unpack(
+    ctx: FftPhaseContext,
+    group_block,
+    bands: _t.Sequence[int],
+    key: object,
+    thread: int = 0,
+    mark_completed: bool = True,
+):
     """Extraction + unpack Alltoallv; stores per-band results.
 
     With task groups on, this rank extracts band ``t``'s coefficients from
     its group block (one share per member) and the Alltoallv returns every
     member its own-sticks share of every band; with task groups off the
     extraction is purely local.
+
+    ``mark_completed=False`` leaves ``ctx.completed`` untouched — the task
+    executors defer the marking to task *success*, so an execution that
+    fault injection later discards never advances the checkpoint frontier.
     """
     if ctx.pack_comm is not None:
         yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack_extract(ctx.r), thread=thread)
@@ -289,6 +303,8 @@ def step_unpack(ctx: FftPhaseContext, group_block, bands: _t.Sequence[int], key:
         parts = pack_mod.unpack_parts(ctx.layout, ctx.r, member_coeffs)
         received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
         yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
+        if mark_completed:
+            ctx.completed.update(bands)
         if any(isinstance(b, MetaPayload) for b in received):
             return None
         for band, coeffs in zip(bands, received):
@@ -296,6 +312,8 @@ def step_unpack(ctx: FftPhaseContext, group_block, bands: _t.Sequence[int], key:
         return None
 
     yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
+    if mark_completed:
+        ctx.completed.update(bands)
     if group_block is None:
         return None
     ctx.results[bands[0]] = extract_from_sticks(ctx.layout, ctx.p, group_block)
@@ -303,7 +321,11 @@ def step_unpack(ctx: FftPhaseContext, group_block, bands: _t.Sequence[int], key:
 
 
 def band_chain_steps(
-    ctx: FftPhaseContext, bands: _t.Sequence[int], key_prefix: object, thread: int = 0
+    ctx: FftPhaseContext,
+    bands: _t.Sequence[int],
+    key_prefix: object,
+    thread: int = 0,
+    mark_completed: bool = True,
 ):
     """The full nine-step chain for one band group (Fig. 1's loop body).
 
@@ -323,4 +345,11 @@ def band_chain_steps(
     planes = yield from step_fft_xy(ctx, planes, -1, thread)
     group = yield from step_scatter_bw(ctx, planes, key=(key_prefix, "sbw", my_band), thread=thread)
     group = yield from step_fft_z(ctx, group, -1, thread)
-    yield from step_unpack(ctx, group, bands, key=(key_prefix, "unpack"), thread=thread)
+    yield from step_unpack(
+        ctx,
+        group,
+        bands,
+        key=(key_prefix, "unpack"),
+        thread=thread,
+        mark_completed=mark_completed,
+    )

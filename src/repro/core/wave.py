@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grids.descriptor import DistributedLayout
+from repro.simkit.rng import substream
 
 __all__ = [
     "make_band_coefficients",
@@ -37,7 +38,7 @@ def make_band_coefficients(ngw: int, n_complex_bands: int, seed: int) -> np.ndar
     bands (unit-variance complex Gaussians serve the same purpose and keep
     the generator simple); deterministic in ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    rng = substream(seed)
     re = rng.standard_normal((n_complex_bands, ngw))
     im = rng.standard_normal((n_complex_bands, ngw))
     return (re + 1j * im) / np.sqrt(2.0)
@@ -51,7 +52,7 @@ def make_potential(grid_shape: tuple[int, int, int], seed: int) -> np.ndarray:
     result well-conditioned for relative-error checks.
     """
     nr1, nr2, nr3 = grid_shape
-    rng = np.random.default_rng(seed + 1)
+    rng = substream(seed + 1)
     v = 1.0 + 0.5 * rng.random((nr3, nr1, nr2))
     return v
 

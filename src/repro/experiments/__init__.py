@@ -15,6 +15,7 @@ CLI both dispatch here.
 | fig6      | Fig. 6 — runtime original vs. OmpSs (+ the 7-10 % claim)     |
 | fig7      | Fig. 7 — de-synchronization timelines + IPC histograms       |
 | ablations | ntg sweep, grainsize, hyper-threading, scheduler, versions   |
+| resilience| fault-scenario degradation, original vs OmpSs per-FFT        |
 """
 
 from repro.experiments.paperdata import PAPER
@@ -34,6 +35,7 @@ from repro.experiments.ablations import (
 from repro.experiments.whatif import run_ablation_whatif
 from repro.experiments.multinode import run_multinode
 from repro.experiments.validation import run_validation
+from repro.experiments.resilience import run_resilience
 
 __all__ = [
     "PAPER",
@@ -51,4 +53,5 @@ __all__ = [
     "run_ablation_whatif",
     "run_multinode",
     "run_validation",
+    "run_resilience",
 ]

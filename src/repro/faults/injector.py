@@ -1,0 +1,248 @@
+"""The runtime side of fault injection: draws, budgets, and the report.
+
+One :class:`FaultInjector` lives for the whole driver run (across checkpoint
+resumes); the machine, network, and OmpSs layers consult it at their
+injection points:
+
+* :meth:`compute_speed_factor` — per-rank straggler slowdown and OS-noise
+  jitter, multiplied into the CPU model's per-phase speed;
+* :meth:`transfer_work_factor` / :meth:`transfer_outcome` — link bandwidth
+  degradation and the drop / hard-kill decision per transfer attempt;
+* :meth:`task_should_fail` — transient OmpSs task failures.
+
+Every concern draws from its own generator derived via
+:func:`repro.simkit.rng.substream` from ``(config seed, scenario seed,
+concern)``, so injections are independent of each other and of the data
+streams — and, because the simulator dispatches events in a deterministic
+order, two identical runs inject identically.
+
+All injected, retried, and recovered events accumulate in the
+:class:`FaultReport` that ends up on ``RunResult.fault_report`` and in the
+run manifest.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro import telemetry as _telemetry
+from repro.faults.plan import FaultScenario, LinkFault, scenario_to_dict
+from repro.simkit.rng import substream
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.simulator import Simulator
+
+__all__ = [
+    "FaultError",
+    "MpiLinkError",
+    "MpiTimeoutError",
+    "TaskFailedError",
+    "FaultReport",
+    "FaultInjector",
+]
+
+
+class FaultError(RuntimeError):
+    """Base of all injected failures (the driver's resume trigger)."""
+
+
+class MpiLinkError(FaultError):
+    """A transfer was lost for good (retries exhausted or link killed)."""
+
+
+class MpiTimeoutError(FaultError):
+    """A transfer (including retries) exceeded the configured MPI timeout."""
+
+
+class TaskFailedError(FaultError):
+    """An OmpSs task exhausted its re-execution budget."""
+
+
+class FaultReport:
+    """Accumulated injection/recovery record of one driver run.
+
+    ``events`` keeps the first :data:`MAX_EVENTS` events verbatim (each with
+    its attempt index and simulated time); ``counters`` always count
+    everything.  ``attempts`` records each driver attempt's simulated time
+    and outcome; ``recovered`` / ``failure`` summarise the run.
+    """
+
+    #: Cap on stored events so manifests stay bounded under high drop rates.
+    MAX_EVENTS = 200
+
+    def __init__(self, scenario: FaultScenario):
+        self.scenario = scenario
+        self.events: list[dict] = []
+        self.counters: dict[str, int] = {}
+        self.attempts: list[dict] = []
+        self.truncated_events = 0
+        self.recovered: bool | None = None
+        self.failure: str | None = None
+
+    def record(self, kind: str, t: float, attempt: int, **detail: _t.Any) -> None:
+        """Count one fault event (and store it, up to the cap)."""
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if len(self.events) < self.MAX_EVENTS:
+            event = {"kind": kind, "t": t, "attempt": attempt}
+            event.update(detail)
+            self.events.append(event)
+        else:
+            self.truncated_events += 1
+        tel = _telemetry.current()
+        if tel.enabled:
+            tel.metrics.count("faults.events", 1.0, kind=kind)
+
+    def attempt_done(self, phase_time: float, completed_units: int, error: str | None) -> None:
+        """Close out one driver attempt."""
+        self.attempts.append(
+            {
+                "phase_time_s": phase_time,
+                "completed_units": completed_units,
+                "error": error,
+            }
+        )
+
+    @property
+    def n_injected(self) -> int:
+        """Injected failures (drops, kills, timeouts, task failures)."""
+        return sum(
+            self.counters.get(k, 0)
+            for k in ("drop", "link_kill", "timeout", "task_failure")
+        )
+
+    @property
+    def n_recovered(self) -> int:
+        """Failures the run absorbed (retransmits, re-executions, resumes)."""
+        return sum(
+            self.counters.get(k, 0)
+            for k in ("transfer_recovered", "task_recovered", "resume")
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready report for ``RunResult.fault_report`` / the manifest."""
+        return {
+            "scenario": scenario_to_dict(self.scenario),
+            "injected": self.n_injected,
+            "recovered_events": self.n_recovered,
+            "counters": dict(sorted(self.counters.items())),
+            "attempts": list(self.attempts),
+            "events": list(self.events),
+            "truncated_events": self.truncated_events,
+            "recovered": self.recovered,
+            "failure": self.failure,
+        }
+
+
+class FaultInjector:
+    """Stateful decision-maker consulted by the injection hooks.
+
+    The injector outlives attempts: its generators and the global transfer
+    counter advance monotonically across checkpoint resumes, so a retry of
+    the run does not replay the exact failure that triggered it (the
+    ``kill_transfer`` counter in particular fires once).
+    """
+
+    def __init__(self, scenario: FaultScenario, config_seed: int):
+        self.scenario = scenario
+        self.report = FaultReport(scenario)
+        root = (int(config_seed), int(scenario.seed))
+        self._rng_compute = substream(root[0], "faults", root[1], "compute")
+        self._rng_network = substream(root[0], "faults", root[1], "network")
+        self._rng_task = substream(root[0], "faults", root[1], "task")
+        self._slowdown = {s.rank: s.slowdown for s in scenario.stragglers}
+        self._links = {l.rank: l for l in scenario.links if l.rank is not None}
+        self._default_link = next(
+            (l for l in scenario.links if l.rank is None), None
+        )
+        self.transfer_count = 0
+        self._task_failures = 0
+        self._sim: "Simulator | None" = None
+        self.attempt = 0
+        for s in scenario.stragglers:
+            self.report.record("straggler", 0.0, 0, rank=s.rank, slowdown=s.slowdown)
+        for l in scenario.links:
+            if l.bandwidth_factor < 1.0:
+                self.report.record(
+                    "link_degraded", 0.0, 0,
+                    rank=l.rank, bandwidth_factor=l.bandwidth_factor,
+                )
+
+    def bind(self, sim: "Simulator", attempt: int) -> None:
+        """Attach the (fresh per attempt) simulator for event timestamps."""
+        self._sim = sim
+        self.attempt = attempt
+
+    def _now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    def record(self, kind: str, **detail: _t.Any) -> None:
+        """Record an event at the current simulated time."""
+        self.report.record(kind, self._now(), self.attempt, **detail)
+
+    # -- compute ---------------------------------------------------------------
+
+    @staticmethod
+    def _rank_of(stream: _t.Hashable) -> int | None:
+        if isinstance(stream, tuple) and stream and isinstance(stream[0], int):
+            return stream[0]
+        return None
+
+    def compute_speed_factor(self, stream: _t.Hashable) -> float:
+        """Multiplicative speed factor for one compute phase on ``stream``."""
+        s = self.scenario
+        factor = 1.0
+        rank = self._rank_of(stream)
+        if rank is not None and rank in self._slowdown:
+            factor /= self._slowdown[rank]
+        if s.os_noise > 0.0:
+            factor *= 1.0 - s.os_noise * self._rng_compute.random()
+        return factor
+
+    # -- network ---------------------------------------------------------------
+
+    def _link_of(self, rank: object) -> LinkFault | None:
+        if isinstance(rank, int) and rank in self._links:
+            return self._links[rank]
+        return self._default_link
+
+    def transfer_work_factor(self, rank: object) -> float:
+        """Work inflation for a degraded link (1.0 = healthy)."""
+        link = self._link_of(rank)
+        if link is None or link.bandwidth_factor >= 1.0:
+            return 1.0
+        return 1.0 / link.bandwidth_factor
+
+    def transfer_outcome(self, rank: object) -> str:
+        """Decide one transfer attempt's fate: ``"ok"``/``"drop"``/``"kill"``."""
+        self.transfer_count += 1
+        if self.scenario.kill_transfer == self.transfer_count:
+            self.record("link_kill", rank=_rank_detail(rank), transfer=self.transfer_count)
+            return "kill"
+        link = self._link_of(rank)
+        if link is not None and link.drop_probability > 0.0:
+            if self._rng_network.random() < link.drop_probability:
+                self.record("drop", rank=_rank_detail(rank), transfer=self.transfer_count)
+                return "drop"
+        return "ok"
+
+    # -- tasks -----------------------------------------------------------------
+
+    def task_should_fail(self, rank: int, task_name: str) -> bool:
+        """Decide whether a completing task's result is discarded."""
+        s = self.scenario
+        if s.task_failure_rate <= 0.0:
+            return False
+        if s.task_max_failures is not None and self._task_failures >= s.task_max_failures:
+            return False
+        if self._rng_task.random() < s.task_failure_rate:
+            self._task_failures += 1
+            self.record("task_failure", rank=rank, task=task_name)
+            return True
+        return False
+
+
+def _rank_detail(rank: object) -> object:
+    """Normalise transfer sender ids for JSON (node tuples -> strings)."""
+    if rank is None or isinstance(rank, (int, str)):
+        return rank
+    return repr(rank)

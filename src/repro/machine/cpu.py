@@ -17,8 +17,6 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-import numpy as np
-
 from repro import telemetry as _telemetry
 from repro.machine.contention import BandwidthContentionAllocator
 from repro.machine.counters import CounterSet
@@ -26,8 +24,10 @@ from repro.machine.phases import PhaseTable
 from repro.machine.topology import HwThread, NodeTopology
 from repro.simkit.events import Event
 from repro.simkit.fluid import FluidResource
+from repro.simkit.rng import substream
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
     from repro.simkit.simulator import Simulator
 
 __all__ = ["ComputeRecord", "CpuModel"]
@@ -104,7 +104,11 @@ class CpuModel:
         #: synchronized executions re-align at every collective, so the same
         #: jitter costs them load balance instead.
         self.jitter = jitter
-        self._rng = np.random.default_rng(jitter_seed)
+        self._rng = substream(jitter_seed)
+        #: Fault injector consulted per compute phase (set by the driver
+        #: when a fault scenario is active; ``None`` costs one attribute
+        #: check and leaves timing bit-identical to a healthy run).
+        self.faults: "FaultInjector | None" = None
 
     @property
     def frequency_hz(self) -> float:
@@ -135,6 +139,8 @@ class CpuModel:
         speed = 1.0
         if self.jitter > 0.0:
             speed = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        if self.faults is not None:
+            speed *= self.faults.compute_speed_factor(stream)
         task = self.resource.submit(
             instructions,
             meta={"profile": profile, "thread": thread, "stream": stream, "speed": speed},

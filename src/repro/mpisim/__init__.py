@@ -23,6 +23,7 @@ data *and* drive the cost model; :class:`MetaPayload` placeholders drive only
 the cost model, letting large benchmark sweeps skip the memory traffic.
 """
 
+from repro.faults.injector import MpiLinkError, MpiTimeoutError
 from repro.mpisim.datatypes import MetaPayload, nbytes_of, payload_like
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.communicator import Communicator, MpiSimError
@@ -35,6 +36,8 @@ __all__ = [
     "NetworkModel",
     "Communicator",
     "MpiSimError",
+    "MpiLinkError",
+    "MpiTimeoutError",
     "MpiWorld",
     "RankContext",
     "MpiRecord",

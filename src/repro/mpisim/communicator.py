@@ -240,12 +240,23 @@ class Communicator:
         upstream: Event | None,
         latency_messages: float,
     ) -> None:
-        """Complete every member's event after ``upstream`` (+ latency)."""
+        """Complete every member's event after ``upstream`` (+ latency).
+
+        A failed upstream (a lost/timed-out transfer under fault injection)
+        fails *every* member's event with the same exception — all
+        participants of a collective observe the fault, exactly as a real
+        MPI job would see the operation error out everywhere.
+        """
         net = self.world.network
         sim = self.world.sim
         t_all = sim.now
 
         def _complete(_ev: Event | None = None) -> None:
+            if _ev is not None and _ev.exception is not None:
+                _ev.defuse()
+                for event in pending.events.values():
+                    event.fail(_ev.exception)
+                return
             for local, event in pending.events.items():
                 result = CollectiveResult(
                     value=values.get(local),

@@ -25,14 +25,21 @@ from __future__ import annotations
 import math
 import typing as _t
 
+from repro.faults.injector import MpiLinkError, MpiTimeoutError
 from repro.machine.contention import waterfill
 from repro.simkit.events import Event
 from repro.simkit.fluid import FluidResource, FluidTask
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
     from repro.simkit.simulator import Simulator
 
 __all__ = ["NetworkModel", "ClusterNetworkModel", "RankAwareAllocator"]
+
+
+def _detail(rank: object) -> object:
+    """JSON-safe sender id for fault-report events."""
+    return rank if rank is None or isinstance(rank, (int, str)) else repr(rank)
 
 
 class RankAwareAllocator:
@@ -94,6 +101,12 @@ class NetworkModel:
         )
         #: Total bytes ever injected (diagnostics / tests).
         self.bytes_transferred = 0.0
+        #: Fault injector consulted per transfer (set by the driver when a
+        #: fault scenario is active).  Degraded links inflate the fluid
+        #: work of their transfers; droppable/killable links additionally
+        #: wrap every transfer in the retry/timeout envelope of
+        #: :meth:`_guarded`.
+        self.faults: "FaultInjector | None" = None
 
     # -- building blocks ----------------------------------------------------
 
@@ -119,13 +132,109 @@ class NetworkModel:
         :class:`RankAwareAllocator`).  Zero-byte transfers complete
         immediately (no latency — latency is accounted separately by the
         callers, per *message*, not per byte).
+
+        With an active fault scenario the transfer may retransmit with
+        exponential backoff (dropped messages), fail with
+        :class:`~repro.faults.injector.MpiLinkError` /
+        :class:`~repro.faults.injector.MpiTimeoutError`, or simply run
+        slower (degraded link).
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes!r}")
+        if self.faults is not None and self.faults.scenario.guards_transfers:
+            return self._guarded(rank, lambda: self._attempt(nbytes, rank))
+        return self._attempt(nbytes, rank)
+
+    def _attempt(self, nbytes: float, rank: object) -> Event:
+        """One unconditional pass of ``nbytes`` through the transport."""
         self.bytes_transferred += nbytes
+        work = nbytes
+        if self.faults is not None:
+            work *= self.faults.transfer_work_factor(rank)
         done = Event(self.sim, name="net-transfer")
-        task = self.resource.submit(nbytes, meta={"rank": rank})
+        task = self.resource.submit(work, meta={"rank": rank})
         task.done.add_callback(lambda ev: done.succeed(nbytes))
+        return done
+
+    def _guarded(self, rank: object, attempt: _t.Callable[[], Event]) -> Event:
+        """Drop/retry/timeout envelope around one-shot transfer attempts.
+
+        Each attempt pays its full transport cost before the drop decision
+        (the bytes moved, then were found corrupt/lost); retries back off
+        exponentially from ``mpi_retry_backoff_s``.  Timeouts are checked at
+        attempt boundaries against ``mpi_timeout_s`` — transfers always
+        complete in simulated time, so a deadline check needs no watchdog
+        timer (and the error carries the actual elapsed time).
+        """
+        faults = self.faults
+        assert faults is not None
+        scenario = faults.scenario
+        sim = self.sim
+        done = Event(sim, name="net-transfer")
+        t0 = sim.now
+        attempt_no = [0]
+
+        def start() -> None:
+            if done.triggered:
+                return
+            attempt_no[0] += 1
+            attempt().add_callback(finish)
+
+        def finish(ev: Event) -> None:
+            if done.triggered:
+                return
+            elapsed = sim.now - t0
+            timeout = scenario.mpi_timeout_s
+            if timeout is not None and elapsed > timeout:
+                faults.record("timeout", rank=_detail(rank), elapsed=elapsed)
+                done.fail(
+                    MpiTimeoutError(
+                        f"transfer from rank {rank} exceeded the MPI timeout "
+                        f"({elapsed:.3g} s > {timeout:g} s)"
+                    )
+                )
+                return
+            outcome = faults.transfer_outcome(rank)
+            if outcome == "ok":
+                if attempt_no[0] > 1:
+                    faults.record(
+                        "transfer_recovered", rank=_detail(rank), attempts=attempt_no[0]
+                    )
+                done.succeed(ev.value)
+                return
+            if outcome == "kill":
+                done.fail(
+                    MpiLinkError(
+                        f"injected hard link failure on transfer "
+                        f"#{faults.transfer_count} (rank {rank})"
+                    )
+                )
+                return
+            # Dropped: retransmit after exponential backoff, within budgets.
+            if attempt_no[0] > scenario.mpi_max_retries:
+                done.fail(
+                    MpiLinkError(
+                        f"transfer from rank {rank} lost after "
+                        f"{attempt_no[0]} attempts"
+                    )
+                )
+                return
+            backoff = scenario.mpi_retry_backoff_s * (2.0 ** (attempt_no[0] - 1))
+            if timeout is not None and elapsed + backoff > timeout:
+                faults.record("timeout", rank=_detail(rank), elapsed=elapsed)
+                done.fail(
+                    MpiTimeoutError(
+                        f"transfer from rank {rank} cannot retry within the "
+                        f"MPI timeout ({timeout:g} s)"
+                    )
+                )
+                return
+            faults.record(
+                "retry", rank=_detail(rank), attempts=attempt_no[0], backoff=backoff
+            )
+            sim.timeout(backoff).add_callback(lambda _ev: start())
+
+        start()
         return done
 
     def after_latency(self, n_messages: float, event: Event | None = None) -> Event:
@@ -219,6 +328,15 @@ class ClusterNetworkModel(NetworkModel):
     def transfer_parts(
         self, src_rank: object, parts: _t.Sequence[tuple[int, float]]
     ) -> Event:
+        if self.faults is not None and self.faults.scenario.guards_transfers:
+            return self._guarded(
+                src_rank, lambda: self._attempt_parts(src_rank, parts)
+            )
+        return self._attempt_parts(src_rank, parts)
+
+    def _attempt_parts(
+        self, src_rank: object, parts: _t.Sequence[tuple[int, float]]
+    ) -> Event:
         src_node = self.node_of(src_rank)
         intra = 0.0
         inter = 0.0
@@ -229,13 +347,22 @@ class ClusterNetworkModel(NetworkModel):
                 inter += nbytes
         self.bytes_transferred += intra + inter
         self.inter_bytes += inter
+        work_factor = (
+            self.faults.transfer_work_factor(src_rank)
+            if self.faults is not None
+            else 1.0
+        )
         pieces = []
         if intra > 0:
-            task = self._node_resource(src_node).submit(intra, meta={"rank": src_rank})
+            task = self._node_resource(src_node).submit(
+                intra * work_factor, meta={"rank": src_rank}
+            )
             pieces.append(task.done)
         if inter > 0:
             # NIC sharing: the fabric allocator keys on the *node*.
-            task = self._fabric.submit(inter, meta={"rank": ("node", src_node)})
+            task = self._fabric.submit(
+                inter * work_factor, meta={"rank": ("node", src_node)}
+            )
             pieces.append(task.done)
         done = Event(self.sim, name="cluster-transfer")
         if not pieces:
@@ -244,14 +371,17 @@ class ClusterNetworkModel(NetworkModel):
             self.sim.all_of(pieces).add_callback(lambda ev: done.succeed(intra + inter))
         return done
 
-    def transfer(self, nbytes: float, rank: object = None) -> Event:
+    def _attempt(self, nbytes: float, rank: object) -> Event:
         """Destination-less transfers stay on the sender's node."""
         if rank is None:
-            return super().transfer(nbytes, rank=rank)
+            return super()._attempt(nbytes, rank)
         self.bytes_transferred += nbytes
+        work = nbytes
+        if self.faults is not None:
+            work *= self.faults.transfer_work_factor(rank)
         done = Event(self.sim, name="net-transfer")
         task = self._node_resource(self.node_of(rank)).submit(
-            nbytes, meta={"rank": rank}
+            work, meta={"rank": rank}
         )
         task.done.add_callback(lambda ev: done.succeed(nbytes))
         return done

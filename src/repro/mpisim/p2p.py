@@ -86,15 +86,28 @@ class P2PEngine:
         if nbytes > 0:
             moved = net.transfer_parts(sender_rank, [(dest_rank, nbytes)])
             done = Event(self.world.sim, name="p2p-done")
-            moved.add_callback(
-                lambda ev: self.world.sim.timeout(latency).add_callback(
+
+            def _after_move(ev: Event) -> None:
+                if ev.exception is not None:
+                    ev.defuse()
+                    done.fail(ev.exception)
+                    return
+                self.world.sim.timeout(latency).add_callback(
                     lambda _t: done.succeed(None)
                 )
-            )
+
+            moved.add_callback(_after_move)
         else:
             done = self.world.sim.timeout(latency)
 
         def _complete(_ev: Event) -> None:
+            if _ev.exception is not None:
+                # A lost message fails both endpoints (the matched pair is
+                # one logical operation); each side's wrapper defuses.
+                _ev.defuse()
+                send_event.fail(_ev.exception)
+                recv_event.fail(_ev.exception)
+                return
             send_event.succeed(nbytes)
             recv_event.succeed(payload_like(payload))
 

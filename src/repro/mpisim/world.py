@@ -111,6 +111,10 @@ class MpiWorld:
                 f"placement provides {len(self.placement)} threads; "
                 f"{n_ranks * threads_per_rank} needed"
             )
+        #: Fault injector shared by this world's layers (set by the driver
+        #: when a fault scenario is active); the OmpSs runtime reads it for
+        #: task-failure injection.
+        self.faults = None
         self.p2p = P2PEngine(self)
         self._comms: dict[int, Communicator] = {}
         self._next_comm_id = 0

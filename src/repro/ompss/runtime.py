@@ -28,6 +28,7 @@ import typing as _t
 from collections import deque
 
 from repro import telemetry as _telemetry
+from repro.faults.injector import TaskFailedError
 from repro.ompss.deps import AccessMode
 from repro.ompss.graph import TaskGraph
 from repro.ompss.scheduler import make_queue
@@ -96,6 +97,10 @@ class TaskRuntime:
             )
         self.policy = policy
         self.task_overhead = task_overhead
+        #: The world's fault injector (``None`` on a healthy run): completed
+        #: tasks may be discarded and re-executed, bounded by the scenario's
+        #: ``task_max_retries``.
+        self.faults = getattr(getattr(rank, "world", None), "faults", None)
         #: Suspend tasks that block in MPI and run other tasks meanwhile
         #: (the hybrid MPI/SMPSs technique of the paper's ref. [11]).  Also
         #: the deadlock cure when every worker would otherwise sit inside a
@@ -319,12 +324,14 @@ class TaskRuntime:
                 self._complete_task(task, stop.value)
                 return
             throw = None
-            if (
-                self.mpi_task_switching
-                and isinstance(event, Event)
+            is_mpi = (
+                isinstance(event, Event)
                 and event.name is not None
                 and event.name.startswith("mpi:")
-            ):
+            )
+            if is_mpi:
+                task.did_mpi = True
+            if self.mpi_task_switching and is_mpi:
                 event.add_callback(
                     lambda ev, t=task, g=gen, w=worker.index: self._park_resume(w, t, g, ev)
                 )
@@ -345,6 +352,15 @@ class TaskRuntime:
             tel.metrics.count("ompss.task_switches")
 
     def _complete_task(self, task: Task, result: object) -> None:
+        faults = self.faults
+        if (
+            faults is not None
+            and faults.scenario.fails_tasks
+            and not task.did_mpi  # comm tasks can't replay; see Task.did_mpi
+            and faults.task_should_fail(self.rank.rank, task.name)
+        ):
+            self._discard_execution(task)
+            return
         task.finished_at = self.rank.sim.now
         self.graph.complete(task)
         record = task.record()
@@ -355,8 +371,55 @@ class TaskRuntime:
             kind = _task_kind(task.name)
             tel.metrics.count("ompss.tasks_completed", 1.0, name=kind)
             tel.metrics.observe("ompss.task_seconds", record.duration, name=kind)
+        if faults is not None and task.retries > 0:
+            faults.record(
+                "task_recovered",
+                rank=self.rank.rank,
+                task=task.name,
+                retries=task.retries,
+            )
         task.done.succeed(result)
         self._after_completion()
+
+    def _discard_execution(self, task: Task) -> None:
+        """Fault injection rejected the execution: re-enqueue or abort.
+
+        Re-enqueueing is dependency-safe: the task never reached
+        ``graph.complete``, so successors stay blocked and taskwaits keep
+        counting it as outstanding; the body factory builds a fresh
+        generator for the re-execution.
+        """
+        faults = self.faults
+        assert faults is not None
+        task.retries += 1
+        if task.retries > faults.scenario.task_max_retries:
+            faults.record(
+                "task_abort",
+                rank=self.rank.rank,
+                task=task.name,
+                executions=task.retries,
+            )
+            # The undefused failure surfaces through the simulator — the
+            # run ends with a structured error, never a hang.
+            task.done.fail(
+                TaskFailedError(
+                    f"task {task.name!r} on rank {self.rank.rank} failed "
+                    f"{task.retries} times (task_max_retries="
+                    f"{faults.scenario.task_max_retries})"
+                )
+            )
+            return
+        faults.record(
+            "task_reexec", rank=self.rank.rank, task=task.name, retry=task.retries
+        )
+        tel = _telemetry.current()
+        if tel.enabled:
+            tel.metrics.count("ompss.task_reexecutions", 1.0, name=_task_kind(task.name))
+        task.state = TaskState.READY
+        task.started_at = None
+        task.worker_index = None
+        self.queue.push(task)
+        self._sample_queue_depth()
 
     def _after_completion(self) -> None:
         if self.graph.n_outstanding == 0:

@@ -61,6 +61,8 @@ class Task:
         "started_at",
         "finished_at",
         "worker_index",
+        "retries",
+        "did_mpi",
     )
 
     def __init__(
@@ -86,6 +88,15 @@ class Task:
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.worker_index: int | None = None
+        #: Completed executions discarded by fault injection; the body
+        #: factory makes re-execution safe (a fresh generator per run).
+        self.retries = 0
+        #: Whether an execution yielded an MPI event.  Such a task is never
+        #: discarded by fault injection: its peers will not replay the
+        #: matched communication, so re-execution would deadlock — recovery
+        #: for communication faults lives in the mpisim retry layer and the
+        #: driver's checkpoint resume instead.
+        self.did_mpi = False
 
     @property
     def is_finished(self) -> bool:
@@ -101,6 +112,7 @@ class Task:
             created_at=self.created_at,
             started_at=self.started_at,
             finished_at=self.finished_at,
+            retries=self.retries,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -117,6 +129,8 @@ class TaskRecord:
     created_at: float
     started_at: float | None
     finished_at: float | None
+    #: Discarded executions before this (successful) one (fault injection).
+    retries: int = 0
 
     @property
     def duration(self) -> float:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.config import RunConfig
 from repro.qe.hamiltonian import Hamiltonian
+from repro.simkit.rng import substream
 
 __all__ = ["solve_bands", "BandSolveResult"]
 
@@ -68,7 +69,7 @@ def solve_bands(
     if n_bands > ngw:
         raise ValueError(f"n_bands={n_bands} exceeds the basis size {ngw}")
 
-    rng = np.random.default_rng(seed)
+    rng = substream(seed)
     kinetic = ham.kinetic  # |k + G|^2 of *this* Hamiltonian's k-point
     # Start from the lowest-kinetic-energy plane waves plus a little noise —
     # the standard atomic-wfc-free initialisation.

@@ -11,7 +11,9 @@ compares against.  It captures:
 * per-phase compute aggregates (time, instructions, IPC — the "main phase
   IPC" the paper tracks is ``phases.fft_xy.ipc``),
 * per-communicator-layer MPI aggregates,
-* the POP efficiency factors when the caller ran the ideal-network replay.
+* the POP efficiency factors when the caller ran the ideal-network replay,
+* the fault-injection report (scenario, injected/recovered counts, per-
+  attempt outcomes) when the run carried a fault scenario.
 
 Validation is hand-rolled (:func:`validate_manifest`) so the repository
 needs no jsonschema dependency; ``docs/run_manifest.schema.json`` mirrors
@@ -127,6 +129,10 @@ def build_manifest(
             label: value for label, value in _factor_items(factors)
         }
         manifest["pop"]["ideal_time_s"] = ideal_time_s
+    if result.fault_report is not None:
+        manifest["fault_report"] = result.fault_report
+        manifest["timing"]["n_attempts"] = result.n_attempts
+        manifest["failed"] = result.failed
     return manifest
 
 
@@ -176,6 +182,9 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("average_ipc", (int, float), True),
     ("metrics", (dict,), True),
     ("pop", (dict,), False),
+    ("fault_report", (dict,), False),
+    ("fault_report.scenario", (dict,), False),
+    ("failed", (bool,), False),
 ]
 
 
@@ -215,4 +224,9 @@ def validate_manifest(manifest: object) -> list[str]:
         for phase, entry in manifest["phases"].items():
             if not isinstance(entry, dict) or "time_s" not in entry:
                 errors.append(f"phases.{phase} must be an object with 'time_s'")
+        report = manifest.get("fault_report")
+        if report is not None and isinstance(report, dict):
+            for field in ("scenario", "injected", "recovered_events", "attempts"):
+                if field not in report:
+                    errors.append(f"fault_report missing field {field!r}")
     return errors

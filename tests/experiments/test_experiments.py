@@ -13,6 +13,7 @@ from repro.experiments import (
     run_fig3,
     run_fig6,
     run_fig7,
+    run_resilience,
     run_table1,
     run_table2,
 )
@@ -114,3 +115,17 @@ class TestAblations:
             "ompss_perfft",
             "ompss_combined",
         }
+
+
+class TestResilience:
+    def test_resilience_report_structure(self):
+        report = run_resilience(ranks=2, taskgroups=2, **QUICK)
+        data = report.data
+        for key in ("baseline_s", "straggler_s", "os_noise_s"):
+            assert set(data[key]) == {"original", "ompss_perfft"}
+        for v in ("original", "ompss_perfft"):
+            assert data["straggler_s"][v] > data["baseline_s"][v]
+            assert data["os_noise_s"][v] > data["baseline_s"][v]
+            assert data["fault_reports"][v]["straggler"] is not None
+        assert "claim" in report.text
+        assert isinstance(data["graceful_straggler"], bool)

@@ -1,0 +1,136 @@
+"""FaultInjector draw determinism, budgets, and report accounting."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultReport, FaultScenario, LinkFault, Straggler
+from repro.simkit.rng import substream
+
+
+class TestDeterminism:
+    def test_same_seeds_same_draws(self):
+        s = FaultScenario(seed=5, os_noise=0.3, links=[LinkFault(drop_probability=0.5)])
+        a = FaultInjector(s, config_seed=42)
+        b = FaultInjector(s, config_seed=42)
+        assert [a.compute_speed_factor((0, 0)) for _ in range(20)] == [
+            b.compute_speed_factor((0, 0)) for _ in range(20)
+        ]
+        assert [a.transfer_outcome(0) for _ in range(20)] == [
+            b.transfer_outcome(0) for _ in range(20)
+        ]
+
+    def test_config_seed_changes_draws(self):
+        s = FaultScenario(seed=5, os_noise=0.3)
+        a = FaultInjector(s, config_seed=1)
+        b = FaultInjector(s, config_seed=2)
+        assert [a.compute_speed_factor((0, 0)) for _ in range(8)] != [
+            b.compute_speed_factor((0, 0)) for _ in range(8)
+        ]
+
+    def test_concern_streams_are_independent(self):
+        # Draining the compute stream must not shift the network stream.
+        s = FaultScenario(os_noise=0.3, links=[LinkFault(drop_probability=0.5)])
+        a = FaultInjector(s, config_seed=0)
+        b = FaultInjector(s, config_seed=0)
+        for _ in range(100):
+            a.compute_speed_factor((0, 0))
+        assert [a.transfer_outcome(0) for _ in range(10)] == [
+            b.transfer_outcome(0) for _ in range(10)
+        ]
+
+    def test_streams_derive_from_substream(self):
+        s = FaultScenario(seed=9, os_noise=0.5)
+        inj = FaultInjector(s, config_seed=4)
+        expected = substream(4, "faults", 9, "compute")
+        assert inj.compute_speed_factor((7, 0)) == 1.0 - 0.5 * expected.random()
+
+
+class TestComputeFactors:
+    def test_straggler_scales_only_its_rank(self):
+        s = FaultScenario(stragglers=[Straggler(rank=1, slowdown=4.0)])
+        inj = FaultInjector(s, config_seed=0)
+        assert inj.compute_speed_factor((0, 0)) == 1.0
+        assert inj.compute_speed_factor((1, 0)) == 0.25
+        assert inj.compute_speed_factor((1, 3)) == 0.25  # every thread of the rank
+
+    def test_noise_bounded(self):
+        s = FaultScenario(os_noise=0.2)
+        inj = FaultInjector(s, config_seed=0)
+        for _ in range(200):
+            f = inj.compute_speed_factor((0, 0))
+            assert 0.8 <= f <= 1.0
+
+    def test_no_compute_faults_is_identity(self):
+        inj = FaultInjector(FaultScenario(), config_seed=0)
+        assert inj.compute_speed_factor((0, 0)) == 1.0
+
+
+class TestTransferDecisions:
+    def test_kill_transfer_fires_exactly_once(self):
+        s = FaultScenario(kill_transfer=3)
+        inj = FaultInjector(s, config_seed=0)
+        outcomes = [inj.transfer_outcome(0) for _ in range(6)]
+        assert outcomes == ["ok", "ok", "kill", "ok", "ok", "ok"]
+        assert inj.report.counters["link_kill"] == 1
+
+    def test_work_factor_for_degraded_link(self):
+        s = FaultScenario(links=[LinkFault(rank=2, bandwidth_factor=0.5)])
+        inj = FaultInjector(s, config_seed=0)
+        assert inj.transfer_work_factor(2) == 2.0
+        assert inj.transfer_work_factor(0) == 1.0
+
+    def test_default_link_applies_everywhere(self):
+        s = FaultScenario(links=[LinkFault(rank=None, bandwidth_factor=0.25)])
+        inj = FaultInjector(s, config_seed=0)
+        assert inj.transfer_work_factor(0) == 4.0
+        assert inj.transfer_work_factor(7) == 4.0
+
+    def test_drop_rate_roughly_respected(self):
+        s = FaultScenario(links=[LinkFault(drop_probability=0.5)])
+        inj = FaultInjector(s, config_seed=0)
+        outcomes = [inj.transfer_outcome(0) for _ in range(400)]
+        drops = outcomes.count("drop")
+        assert 120 < drops < 280
+
+
+class TestTaskBudget:
+    def test_max_failures_caps_injection(self):
+        s = FaultScenario(task_failure_rate=1.0, task_max_failures=2)
+        inj = FaultInjector(s, config_seed=0)
+        fails = [inj.task_should_fail(0, f"t{i}") for i in range(5)]
+        assert fails == [True, True, False, False, False]
+        assert inj.report.counters["task_failure"] == 2
+
+    def test_zero_rate_never_fails(self):
+        inj = FaultInjector(FaultScenario(), config_seed=0)
+        assert not any(inj.task_should_fail(0, "t") for _ in range(50))
+
+
+class TestReport:
+    def test_event_cap(self):
+        report = FaultReport(FaultScenario())
+        for i in range(FaultReport.MAX_EVENTS + 10):
+            report.record("drop", float(i), 1)
+        assert len(report.events) == FaultReport.MAX_EVENTS
+        assert report.truncated_events == 10
+        assert report.counters["drop"] == FaultReport.MAX_EVENTS + 10
+
+    def test_injected_and_recovered_sums(self):
+        report = FaultReport(FaultScenario())
+        report.record("drop", 0.0, 1)
+        report.record("link_kill", 0.0, 1)
+        report.record("transfer_recovered", 0.0, 1)
+        report.record("resume", 0.0, 1)
+        report.record("straggler", 0.0, 0)  # configuration, not an injection
+        assert report.n_injected == 2
+        assert report.n_recovered == 2
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        s = FaultScenario(stragglers=[Straggler(0, 2.0)])
+        inj = FaultInjector(s, config_seed=0)
+        inj.report.attempt_done(1.0, 4, None)
+        doc = inj.report.to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["scenario"]["stragglers"] == [{"rank": 0, "slowdown": 2.0}]
+        assert doc["attempts"][0]["completed_units"] == 4

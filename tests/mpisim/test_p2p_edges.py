@@ -1,0 +1,163 @@
+"""Edge cases of point-to-point matching: unmatched, zero-byte, self-sends."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import MetaPayload
+from repro.mpisim.communicator import MpiSimError
+from repro.simkit import DeadlockError
+
+
+class TestUnmatched:
+    def test_send_without_recv_deadlocks(self, world):
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=MetaPayload(8.0))
+
+        world.launch(sender, ranks=[0])
+        with pytest.raises(DeadlockError):
+            world.run()
+
+    def test_recv_without_send_deadlocks(self, world):
+        def receiver(rank):
+            yield rank.recv(world.comm_world, src_local=1, tag=0)
+
+        world.launch(receiver, ranks=[0])
+        with pytest.raises(DeadlockError):
+            world.run()
+
+    def test_tag_mismatch_never_matches(self, world):
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=MetaPayload(8.0), tag=1)
+
+        def receiver(rank):
+            yield rank.recv(world.comm_world, src_local=0, tag=2)
+
+        world.launch(sender, ranks=[0])
+        world.launch(receiver, ranks=[1])
+        with pytest.raises(DeadlockError):
+            world.run()
+
+    def test_wrong_direction_never_matches(self, world):
+        # Rank 0 sends to 1, but rank 2 (not 1) posts the receive.
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=MetaPayload(8.0))
+
+        def receiver(rank):
+            yield rank.recv(world.comm_world, src_local=0, tag=0)
+
+        world.launch(sender, ranks=[0])
+        world.launch(receiver, ranks=[2])
+        with pytest.raises(DeadlockError):
+            world.run()
+
+
+class TestZeroByte:
+    def test_zero_byte_message_completes_at_latency(self, world):
+        got = {}
+
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=MetaPayload(0.0))
+
+        def receiver(rank):
+            got["payload"] = yield rank.recv(world.comm_world, src_local=0)
+            got["t"] = rank.sim.now
+
+        world.launch(sender, ranks=[0])
+        world.launch(receiver, ranks=[1])
+        world.run()
+        assert got["payload"] == MetaPayload(0.0)
+        # No bytes moved: the pair costs exactly one message latency (1 us).
+        assert got["t"] == pytest.approx(1.0e-6)
+
+    def test_zero_length_array(self, world):
+        got = {}
+
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=np.zeros(0))
+
+        def receiver(rank):
+            got["payload"] = yield rank.recv(world.comm_world, src_local=0)
+
+        world.launch(sender, ranks=[0])
+        world.launch(receiver, ranks=[1])
+        world.run()
+        assert isinstance(got["payload"], np.ndarray)
+        assert got["payload"].size == 0
+
+
+class TestSelfSend:
+    def test_self_send_posted_before_recv(self, world):
+        got = {}
+
+        def program(rank):
+            # Posting does not block — only yielding does — so a rank may
+            # match its own send as long as both are posted before waiting.
+            send_ev = rank.send(world.comm_world, dst_local=0, payload=np.arange(4.0))
+            got["payload"] = yield rank.recv(world.comm_world, src_local=0)
+            yield send_ev
+
+        world.launch(program, ranks=[0])
+        world.run()
+        np.testing.assert_array_equal(got["payload"], np.arange(4.0))
+
+    def test_self_send_receives_a_copy(self, world):
+        original = np.ones(3)
+        got = {}
+
+        def program(rank):
+            send_ev = rank.send(world.comm_world, dst_local=0, payload=original)
+            got["payload"] = yield rank.recv(world.comm_world, src_local=0)
+            yield send_ev
+
+        world.launch(program, ranks=[0])
+        world.run()
+        got["payload"][0] = 99.0
+        assert original[0] == 1.0
+
+    def test_blocking_self_send_deadlocks(self, world):
+        def program(rank):
+            # Waiting on the send before posting the receive can never
+            # complete — the classic single-rank self-send hang.
+            yield rank.send(world.comm_world, dst_local=0, payload=MetaPayload(8.0))
+            yield rank.recv(world.comm_world, src_local=0)
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(DeadlockError):
+            world.run()
+
+
+class TestBounds:
+    def test_send_destination_out_of_range(self, world):
+        def program(rank):
+            yield rank.send(world.comm_world, dst_local=8, payload=MetaPayload(1.0))
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError):
+            world.run()
+
+    def test_recv_source_out_of_range(self, world):
+        def program(rank):
+            yield rank.recv(world.comm_world, src_local=-1)
+
+        world.launch(program, ranks=[0])
+        with pytest.raises(MpiSimError):
+            world.run()
+
+
+class TestOrdering:
+    def test_two_sends_same_signature_match_fifo(self, world):
+        got = {}
+
+        def sender(rank):
+            yield rank.send(world.comm_world, dst_local=1, payload=np.array([1.0]))
+            yield rank.send(world.comm_world, dst_local=1, payload=np.array([2.0]))
+
+        def receiver(rank):
+            first = yield rank.recv(world.comm_world, src_local=0)
+            second = yield rank.recv(world.comm_world, src_local=0)
+            got["order"] = (first[0], second[0])
+
+        world.launch(sender, ranks=[0])
+        world.launch(receiver, ranks=[1])
+        world.run()
+        assert got["order"] == (1.0, 2.0)

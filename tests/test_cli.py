@@ -110,3 +110,84 @@ class TestCliTelemetry:
         bad.write_text(json.dumps({"kind": "nope"}))
         assert main(["perf", "validate", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err
+
+
+class TestCliFaults:
+    RUN = ["run", "--ranks", "2", "--taskgroups", "2", "--quick"]
+
+    @staticmethod
+    def scenario_file(tmp_path, doc):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_faults_validate_accepts_good_scenario(self, tmp_path, capsys):
+        path = self.scenario_file(
+            tmp_path,
+            {"kind": "repro.fault_scenario",
+             "stragglers": [{"rank": 0, "slowdown": 2.0}]},
+        )
+        assert main(["faults", "validate", path]) == 0
+        assert "valid fault scenario" in capsys.readouterr().out
+
+    def test_faults_validate_rejects_bad_scenario(self, tmp_path, capsys):
+        path = self.scenario_file(
+            tmp_path,
+            {"kind": "repro.fault_scenario",
+             "stragglers": [{"rank": 0, "slowdown": 0.1}]},
+        )
+        assert main(["faults", "validate", path]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_faults_validate_missing_file(self, tmp_path, capsys):
+        assert main(["faults", "validate", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_run_with_scenario_prints_summary(self, tmp_path, capsys):
+        path = self.scenario_file(
+            tmp_path,
+            {"kind": "repro.fault_scenario", "name": "strag",
+             "stragglers": [{"rank": 0, "slowdown": 2.0}]},
+        )
+        assert main(self.RUN + ["--faults", path]) == 0
+        assert "faults: scenario 'strag'" in capsys.readouterr().out
+
+    def test_run_with_malformed_scenario_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(self.RUN + ["--faults", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_run_invalid_config_exits_2(self, capsys):
+        assert main(["run", "--ranks", "0"]) == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_unrecoverable_run_exits_1_with_manifest(self, tmp_path, capsys):
+        path = self.scenario_file(
+            tmp_path,
+            {"kind": "repro.fault_scenario", "kill_transfer": 5,
+             "max_resumes": 0},
+        )
+        manifest = tmp_path / "m.json"
+        code = main(self.RUN + ["--faults", path, "--manifest", str(manifest)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "did not recover" in captured.err
+        doc = json.loads(manifest.read_text())
+        assert doc["failed"] is True
+        assert "MpiLinkError" in doc["fault_report"]["failure"]
+
+    def test_stable_manifests_are_byte_identical(self, tmp_path):
+        path = self.scenario_file(
+            tmp_path,
+            {"kind": "repro.fault_scenario", "seed": 3,
+             "stragglers": [{"rank": 1, "slowdown": 2.0}],
+             "links": [{"drop_probability": 0.2}], "mpi_max_retries": 10},
+        )
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.RUN + ["--faults", path, "--manifest", str(a),
+                                "--stable-manifest"]) == 0
+        assert main(self.RUN + ["--faults", path, "--manifest", str(b),
+                                "--stable-manifest"]) == 0
+        assert a.read_bytes() == b.read_bytes()
