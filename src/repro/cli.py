@@ -4,11 +4,13 @@
 
     fftxlib-repro list
     fftxlib-repro fig2 [--quick]
-    fftxlib-repro table1
-    fftxlib-repro all --quick
+    fftxlib-repro table1 --jobs 4
+    fftxlib-repro all --quick --jobs 4
     fftxlib-repro run --ranks 8 --version ompss_perfft --validate
     fftxlib-repro run --quick --manifest run.json --chrome trace.json --pop
     fftxlib-repro run --quick --faults scenario.json --manifest run.json
+    fftxlib-repro sweep --ranks 2,4,8 --versions original,ompss_perfft --jobs 4 --out sweep.json
+    fftxlib-repro sweep --out sweep.json --resume
     fftxlib-repro faults validate scenario.json
     fftxlib-repro perf diff baseline.json candidate.json
     fftxlib-repro perf check --baseline baseline.json candidate.json
@@ -19,7 +21,15 @@ the paper's (80 Ry / 20 Bohr / 128 bands / ntg 8).  The ``perf`` group
 works offline on run-manifest JSON files (see
 :mod:`repro.telemetry.manifest`): ``diff`` prints the runtime/IPC report,
 ``check`` exits non-zero on a regression beyond the threshold, ``validate``
-checks a manifest against the schema.
+checks a manifest against the schema (run *or* sweep manifests).
+
+``sweep`` expands a ranks x version x taskgroups grid and executes the
+points concurrently through :mod:`repro.sweep` (``--jobs N``, process pool
+by default); ``--out`` streams a sweep manifest after every finished point
+and ``--resume`` skips the points already recorded there.  Per-point
+summaries are byte-identical whatever ``--jobs`` is.  Experiment
+subcommands (and ``all``) accept ``--jobs`` too and run their own grids
+through the same engine.
 
 Exit codes: 0 success, 1 a run or check failed (validation error, perf
 regression, unrecovered fault scenario), 2 bad input (invalid configuration
@@ -56,6 +66,7 @@ __all__ = ["main"]
 
 QUICK_WORKLOAD = dict(ecutwfc=30.0, alat=10.0, nbnd=32)
 QUICK_RANKS = (1, 2, 4, 8)
+VERSIONS = ("original", "pipelined", "ompss_perfft", "ompss_steps", "ompss_combined")
 
 _EXPERIMENTS: dict[str, tuple[_t.Callable, str]] = {
     "fig2": (run_fig2, "Fig. 2 - runtime vs ranks, original"),
@@ -107,18 +118,68 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     for name, (_fn, help_text) in _EXPERIMENTS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--quick", action="store_true", help="reduced workload")
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="concurrent sweep workers (default 1; ignored by 'validation')",
+        )
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--quick", action="store_true", help="reduced workload")
+    p_all.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent sweep workers per experiment (default 1)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a grid of configurations concurrently"
+    )
+    p_sweep.add_argument(
+        "--ranks", default="8",
+        help="comma-separated rank counts (axis; default '8')",
+    )
+    p_sweep.add_argument(
+        "--versions", default="original",
+        help="comma-separated executor versions (axis; default 'original')",
+    )
+    p_sweep.add_argument(
+        "--taskgroups", default="8",
+        help="comma-separated task-group counts (axis; default '8')",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent workers (default 1)",
+    )
+    p_sweep.add_argument(
+        "--mode", choices=["process", "thread", "serial"], default=None,
+        help="worker pool kind (default: process when --jobs > 1, else serial)",
+    )
+    p_sweep.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="stream the sweep manifest JSON here after every finished point",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip points already recorded in the --out manifest",
+    )
+    p_sweep.add_argument(
+        "--pop", action="store_true",
+        help="replay each point on an ideal network and record POP factors",
+    )
+    p_sweep.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="inject the fault scenario from a JSON file into every point",
+    )
+    p_sweep.add_argument("--quick", action="store_true", help="reduced workload")
+    p_sweep.add_argument(
+        "--stable", action="store_true",
+        help="omit wall-clock fields so identical sweeps produce "
+        "byte-identical manifests",
+    )
 
     p_run = sub.add_parser("run", help="run a single configuration")
     p_run.add_argument("--ranks", type=int, default=8)
     p_run.add_argument("--taskgroups", type=int, default=8)
-    p_run.add_argument(
-        "--version",
-        default="original",
-        choices=["original", "pipelined", "ompss_perfft", "ompss_steps", "ompss_combined"],
-    )
+    p_run.add_argument("--version", default="original", choices=list(VERSIONS))
     p_run.add_argument("--quick", action="store_true", help="reduced workload")
     p_run.add_argument(
         "--validate", action="store_true", help="data mode + dense-reference check"
@@ -328,6 +389,128 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 return 1
         return 0
 
+    if args.command == "sweep":
+        import pathlib
+
+        from repro.sweep import (
+            GridSpec,
+            SweepError,
+            SweepManifestError,
+            SweepTask,
+            load_sweep_manifest,
+            run_sweep,
+        )
+
+        scenario = None
+        if args.faults is not None:
+            from repro.faults import ScenarioError, load_scenario
+
+            try:
+                scenario = load_scenario(args.faults)
+            except (ScenarioError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+        def _int_axis(raw: str, flag: str) -> tuple[int, ...]:
+            try:
+                values = tuple(int(part) for part in raw.split(",") if part.strip())
+            except ValueError:
+                raise ValueError(f"{flag} expects comma-separated integers, got {raw!r}")
+            if not values:
+                raise ValueError(f"{flag} needs at least one value")
+            return values
+
+        try:
+            ranks = _int_axis(args.ranks, "--ranks")
+            taskgroups = _int_axis(args.taskgroups, "--taskgroups")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        versions = tuple(v for v in args.versions.split(",") if v.strip())
+        unknown = [v for v in versions if v not in VERSIONS]
+        if unknown or not versions:
+            print(
+                f"error: --versions must name executors from {', '.join(VERSIONS)}; "
+                f"got {args.versions!r}",
+                file=sys.stderr,
+            )
+            return 2
+
+        base: dict[str, _t.Any] = dict(QUICK_WORKLOAD) if args.quick else {}
+        base["telemetry"] = True
+        if scenario is not None:
+            base["faults"] = scenario
+        try:
+            grid = GridSpec(
+                axes={"ranks": ranks, "version": versions, "taskgroups": taskgroups},
+                base=base,
+            )
+            points = grid.points()
+        except ValueError as exc:
+            print(f"error: invalid configuration: {exc}", file=sys.stderr)
+            return 2
+        tasks = [
+            SweepTask(key=p.key, config=p.config, ideal_replay=args.pop)
+            for p in points
+        ]
+
+        resume = None
+        if args.resume:
+            if args.out is None:
+                print("error: --resume needs --out (the manifest to resume)", file=sys.stderr)
+                return 2
+            if pathlib.Path(args.out).exists():
+                try:
+                    resume = load_sweep_manifest(args.out)
+                except SweepManifestError as exc:
+                    print(f"error: cannot resume from {args.out}: {exc}", file=sys.stderr)
+                    return 2
+
+        def _progress(record) -> None:
+            status = "reused" if record.reused else (
+                "FAILED" if record.failed else f"{record.phase_time_s * 1e3:8.2f} ms"
+            )
+            print(f"  [{record.key}] {status}")
+
+        print(
+            f"sweep: {grid.n_points} point(s) "
+            f"(ranks {','.join(map(str, ranks))} x versions "
+            f"{','.join(versions)} x taskgroups {','.join(map(str, taskgroups))}), "
+            f"jobs {args.jobs}"
+        )
+        try:
+            result = run_sweep(
+                tasks,
+                jobs=args.jobs,
+                mode=args.mode,
+                resume=resume,
+                out=args.out,
+                grid=grid,
+                stable=args.stable,
+                on_point=_progress,
+            )
+        except SweepError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        n_reused = len(result.reused_keys)
+        line = (
+            f"{len(result.records)} point(s) in {result.wall_time_s:.2f} s "
+            f"wall ({result.mode} mode, {result.jobs} job(s)"
+        )
+        line += f", {n_reused} reused)" if n_reused else ")"
+        print(line)
+        if args.out:
+            print(f"sweep manifest written: {args.out}")
+        failed = [r.key for r in result.records if r.failed]
+        if failed:
+            print(
+                "error: point(s) did not recover from the injected fault scenario: "
+                + ", ".join(failed),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     if args.command == "perf":
         import json
 
@@ -342,6 +525,26 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 raise SystemExit(f"error: {path} is not JSON: {exc}")
 
         if args.perf_command == "validate":
+            try:
+                with open(args.manifest, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                kind = doc.get("kind") if isinstance(doc, dict) else None
+            except FileNotFoundError:
+                print(f"error: no such manifest: {args.manifest}", file=sys.stderr)
+                return 2
+            except json.JSONDecodeError as exc:
+                print(f"error: {args.manifest} is not JSON: {exc}", file=sys.stderr)
+                return 2
+            if kind == "repro.sweep_manifest":
+                from repro.sweep import SweepManifestError, load_sweep_manifest
+
+                try:
+                    load_sweep_manifest(args.manifest)
+                except SweepManifestError as exc:
+                    print(f"INVALID: {exc}", file=sys.stderr)
+                    return 1
+                print(f"{args.manifest}: valid sweep manifest")
+                return 0
             try:
                 _load(args.manifest)
             except ManifestError as exc:
@@ -402,7 +605,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     names = list(_EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         fn, _help = _EXPERIMENTS[name]
-        report = fn(**_experiment_kwargs(name, args.quick))
+        kwargs = _experiment_kwargs(name, args.quick)
+        if name != "validation":  # validation checks full results; no sweep grid
+            kwargs["jobs"] = args.jobs
+        report = fn(**kwargs)
         print(f"\n{'=' * 72}\n{report.text}")
     return 0
 

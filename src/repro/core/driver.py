@@ -31,6 +31,7 @@ a bare traceback.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing as _t
 
 import numpy as np
@@ -59,7 +60,26 @@ from repro.mpisim import MpiWorld, NetworkModel
 from repro.mpisim.network import ClusterNetworkModel
 from repro.simkit import Simulator
 
-__all__ = ["RunResult", "run_fft_phase"]
+__all__ = ["RunResult", "run_fft_phase", "build_geometry"]
+
+
+@functools.lru_cache(maxsize=32)
+def build_geometry(
+    alat: float, ecutwfc: float, dual: float, scatter: int, groups: int
+) -> tuple[Cell, FftDescriptor, DistributedLayout]:
+    """Cell + G-vector sphere/stick map + R x T layout for one workload.
+
+    Building the descriptor (sphere enumeration, stick accounting) and the
+    layout (stick ownership, group offsets) is the expensive part of a run's
+    setup and depends only on these five scalars.  All three objects are
+    immutable after construction, so they are cached per process — a sweep
+    worker executing many points of the same workload pays the construction
+    once instead of once per point.
+    """
+    cell = Cell(alat=alat)
+    desc = FftDescriptor(cell, ecutwfc=ecutwfc, dual=dual)
+    layout = DistributedLayout(desc, scatter, groups)
+    return cell, desc, layout
 
 
 @dataclasses.dataclass
@@ -148,10 +168,11 @@ def run_fft_phase(
     scenario = faults if faults is not None else config.faults
     injector = FaultInjector(scenario, config.seed) if scenario is not None else None
 
-    # 1. Geometry and costs.
-    cell = Cell(alat=config.alat)
-    desc = FftDescriptor(cell, ecutwfc=config.ecutwfc, dual=config.dual)
-    layout = DistributedLayout(desc, config.layout_scatter, config.layout_groups)
+    # 1. Geometry and costs (geometry cached per process; see build_geometry).
+    _cell, desc, layout = build_geometry(
+        config.alat, config.ecutwfc, config.dual,
+        config.layout_scatter, config.layout_groups,
+    )
     cost = CostModel(layout, cost_constants)
 
     # 2. Data (caller-provided arrays pass through; see the docstring).

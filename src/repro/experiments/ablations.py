@@ -11,16 +11,18 @@
 * ``run_ablation_scheduler`` — Nanos++ ready-queue policies for Opt 2.
 * ``run_ablation_versions`` — baseline vs. Opt 1 vs. Opt 2 vs. the §VI
   combined version.
+
+Every sweep here declares its grid through :mod:`repro.sweep`; pass
+``jobs=N`` to run the points concurrently.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.core.config import RunConfig
-from repro.core.driver import run_fft_phase
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.perf.report import format_series
+from repro.sweep import SweepTask
 
 __all__ = [
     "run_ablation_ntg",
@@ -30,25 +32,50 @@ __all__ = [
     "run_ablation_versions",
 ]
 
+TIMING_REDUCER = "repro.experiments.common:reduce_timing"
+
+
+def reduce_ntg(task, result, ideal, trace) -> dict:
+    """Runtime plus the pack/scatter MPI-time split from the trace."""
+    return {
+        "phase_time_s": result.phase_time,
+        "pack_s": sum(r.duration for r in trace.mpi if r.comm_name.startswith("pack")),
+        "scatter_s": sum(
+            r.duration for r in trace.mpi if r.comm_name.startswith("scatter")
+        ),
+    }
+
 
 def run_ablation_ntg(
-    total_procs: int = 64, ntgs: _t.Sequence[int] = (1, 2, 4, 8, 16, 32, 64), **overrides: _t.Any
+    total_procs: int = 64,
+    ntgs: _t.Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    jobs: int = 1,
+    **overrides: _t.Any,
 ) -> ExperimentReport:
     """Sweep the task-group count at a fixed process count (original version)."""
+    valid_ntgs = [ntg for ntg in ntgs if not total_procs % ntg]
+    tasks = [
+        SweepTask(
+            key=f"ntg={ntg}",
+            config=paper_config(
+                total_procs // ntg, "original", taskgroups=ntg, **overrides
+            ),
+            reducer="repro.experiments.ablations:reduce_ntg",
+            trace=True,
+        )
+        for ntg in valid_ntgs
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
     series = []
     comm_split = {}
-    for ntg in ntgs:
-        if total_procs % ntg:
-            continue
-        cfg = paper_config(total_procs // ntg, "original", taskgroups=ntg, **overrides)
-        from repro.perf.tracer import trace_run
-
-        result, trace = trace_run(cfg)
+    for ntg in valid_ntgs:
         label = f"ntg={ntg}"
-        series.append((label, result.phase_time))
-        pack_t = sum(r.duration for r in trace.mpi if r.comm_name.startswith("pack"))
-        scatter_t = sum(r.duration for r in trace.mpi if r.comm_name.startswith("scatter"))
-        comm_split[label] = {"pack_s": pack_t, "scatter_s": scatter_t}
+        summary = summaries[label]
+        series.append((label, summary["phase_time_s"]))
+        comm_split[label] = {
+            "pack_s": summary["pack_s"],
+            "scatter_s": summary["scatter_s"],
+        }
 
     lines = [
         format_series(series, title=f"ntg sweep at {total_procs} processes (original)"),
@@ -73,16 +100,25 @@ def run_ablation_ntg(
 def run_ablation_grainsize(
     ranks: int = 8,
     grains: _t.Sequence[tuple[int, int]] = ((1, 10), (10, 200), (50, 500), (1000, 10000)),
+    jobs: int = 1,
     **overrides: _t.Any,
 ) -> ExperimentReport:
     """Sweep the Opt 1 taskloop grainsizes (xy, z); paper uses (10, 200)."""
-    series = []
-    for gxy, gz in grains:
-        cfg = paper_config(
-            ranks, "ompss_steps", grainsize_xy=gxy, grainsize_z=gz, **overrides
+    tasks = [
+        SweepTask(
+            key=f"xy={gxy},z={gz}",
+            config=paper_config(
+                ranks, "ompss_steps", grainsize_xy=gxy, grainsize_z=gz, **overrides
+            ),
+            reducer=TIMING_REDUCER,
         )
-        result = run_fft_phase(cfg)
-        series.append((f"xy={gxy},z={gz}", result.phase_time))
+        for gxy, gz in grains
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+    series = [
+        (f"xy={gxy},z={gz}", summaries[f"xy={gxy},z={gz}"]["phase_time_s"])
+        for gxy, gz in grains
+    ]
     lines = [
         format_series(series, title=f"Opt 1 taskloop grainsize sweep ({ranks}x8)"),
         "paper: grainsize 10 (xy) and 200 (z); too-fine grains pay dispatch overhead,",
@@ -95,13 +131,26 @@ def run_ablation_grainsize(
     )
 
 
-def run_ablation_hyperthreading(**overrides: _t.Any) -> ExperimentReport:
+def run_ablation_hyperthreading(jobs: int = 1, **overrides: _t.Any) -> ExperimentReport:
     """1/2/4 hyper-threads per core for both versions (8/16/32 ranks x 8)."""
-    rows = {}
-    for version in ("original", "ompss_perfft"):
-        for n, ht in ((8, 1), (16, 2), (32, 4)):
-            result = run_fft_phase(paper_config(n, version, **overrides))
-            rows[(version, ht)] = result.phase_time
+    points = [
+        (version, n, ht)
+        for version in ("original", "ompss_perfft")
+        for n, ht in ((8, 1), (16, 2), (32, 4))
+    ]
+    tasks = [
+        SweepTask(
+            key=f"version={version},ht={ht}",
+            config=paper_config(n, version, **overrides),
+            reducer=TIMING_REDUCER,
+        )
+        for version, n, ht in points
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+    rows = {
+        (version, ht): summaries[f"version={version},ht={ht}"]["phase_time_s"]
+        for version, _n, ht in points
+    }
     series = [
         (f"{v} {ht}xHT", t) for (v, ht), t in rows.items()
     ]
@@ -123,14 +172,22 @@ def run_ablation_hyperthreading(**overrides: _t.Any) -> ExperimentReport:
 def run_ablation_scheduler(
     ranks: int = 8,
     policies: _t.Sequence[str] = ("fifo", "lifo", "priority", "locality", "wsteal"),
+    jobs: int = 1,
     **overrides: _t.Any,
 ) -> ExperimentReport:
     """Ready-queue policy sweep for the per-FFT version."""
-    series = []
-    for policy in policies:
-        cfg = paper_config(ranks, "ompss_perfft", scheduler=policy, **overrides)
-        result = run_fft_phase(cfg)
-        series.append((policy, result.phase_time))
+    tasks = [
+        SweepTask(
+            key=f"scheduler={policy}",
+            config=paper_config(ranks, "ompss_perfft", scheduler=policy, **overrides),
+            reducer=TIMING_REDUCER,
+        )
+        for policy in policies
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+    series = [
+        (policy, summaries[f"scheduler={policy}"]["phase_time_s"]) for policy in policies
+    ]
     lines = [
         format_series(series, title=f"Scheduler policy sweep, per-FFT tasks ({ranks}x8)"),
         "FIFO keeps all ranks on overlapping band windows, so keyed scatters pair",
@@ -143,15 +200,26 @@ def run_ablation_scheduler(
     )
 
 
-def run_ablation_versions(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
+def run_ablation_versions(
+    ranks: int = 8, jobs: int = 1, **overrides: _t.Any
+) -> ExperimentReport:
     """All four executors at the same node occupancy."""
+    versions = ("original", "pipelined", "ompss_steps", "ompss_perfft", "ompss_combined")
+    tasks = [
+        SweepTask(
+            key=f"version={version}",
+            config=paper_config(ranks, version, **overrides),
+            reducer=TIMING_REDUCER,
+        )
+        for version in versions
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
     series = []
     ipcs = {}
-    for version in ("original", "pipelined", "ompss_steps", "ompss_perfft", "ompss_combined"):
-        cfg = paper_config(ranks, version, **overrides)
-        result = run_fft_phase(cfg)
-        series.append((version, result.phase_time))
-        ipcs[version] = result.average_ipc
+    for version in versions:
+        summary = summaries[f"version={version}"]
+        series.append((version, summary["phase_time_s"]))
+        ipcs[version] = summary["average_ipc"]
     lines = [
         format_series(series, title=f"Executor comparison ({ranks}x8 workload)"),
         "",

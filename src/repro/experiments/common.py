@@ -7,7 +7,12 @@ import typing as _t
 
 from repro.core.config import RunConfig
 
-__all__ = ["ExperimentReport", "paper_config"]
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.driver import RunResult
+    from repro.perf.tracer import Trace
+    from repro.sweep.engine import SweepTask
+
+__all__ = ["ExperimentReport", "paper_config", "reduce_timing", "sweep_summaries"]
 
 
 @dataclasses.dataclass
@@ -38,3 +43,30 @@ def paper_config(ranks: int, version: str = "original", **overrides: _t.Any) -> 
     )
     params.update(overrides)
     return RunConfig(**params)
+
+
+def reduce_timing(
+    task: "SweepTask",
+    result: "RunResult",
+    ideal: "RunResult | None",
+    trace: "Trace | None",
+) -> dict:
+    """The workhorse sweep reduction: runtime + average IPC + failure flag."""
+    return {
+        "phase_time_s": result.phase_time,
+        "average_ipc": result.average_ipc,
+        "failed": result.failed,
+    }
+
+
+def sweep_summaries(
+    tasks: _t.Sequence["SweepTask"], jobs: int = 1, mode: str | None = None
+) -> dict[str, dict]:
+    """Run a grid through the sweep engine; point key -> reduced summary.
+
+    Every experiment runner funnels its configurations through here, so one
+    ``jobs=`` argument parallelizes any of them.
+    """
+    from repro.sweep import run_sweep
+
+    return run_sweep(tasks, jobs=jobs, mode=mode).summaries()

@@ -6,29 +6,28 @@ FFT-Z ~0.52, the central FFT-XY/VOFR block ~0.77), (b) the MPI call
 pattern (Alltoallv in pack/unpack, Alltoall in the scatters), and (c) the
 two-layer communicator structure (R pack sub-communicators of T neighboring
 ranks; T scatter sub-communicators of R strided ranks).  This runner
-regenerates all three from a traced run.
+regenerates all three from a traced run executed through the sweep engine
+(a one-point grid; the trace reduction happens in the worker).
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.experiments.paperdata import PAPER
 from repro.machine import knl_parameters
 from repro.perf.report import format_comparison
-from repro.perf.timeline import communicator_structure, phase_summary
-from repro.perf.tracer import trace_run
+from repro.sweep import SweepTask
 
-__all__ = ["run_fig3"]
+__all__ = ["run_fig3", "reduce_fig3"]
 
 
-def run_fig3(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
-    """Trace the 8x8 original run and extract the Fig. 3 artifacts."""
-    cfg = paper_config(ranks, "original", **overrides)
-    result, trace = trace_run(cfg)
+def reduce_fig3(task, result, ideal, trace) -> dict:
+    """In-worker reduction of the traced run to the Fig. 3 artifacts."""
+    from repro.perf.timeline import communicator_structure, phase_summary
+
     freq = knl_parameters().frequency_hz
-
     summary = phase_summary(trace, freq)
     # The paper's "central phase" groups fw-XY + inner loop (VOFR) + bw-XY.
     central = {k: summary[k] for k in ("fft_xy", "vofr") if k in summary}
@@ -37,25 +36,44 @@ def run_fig3(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
     central_ipc = central_instr / (central_time * freq) if central_time else 0.0
 
     comms = communicator_structure(trace)
-    pack_comms = {k: v for k, v in comms.items() if k.startswith("pack")}
-    scatter_comms = {k: v for k, v in comms.items() if k.startswith("scatter")}
-
     # "8 repeating phases": one prepare_psis per stream per outer iteration.
     stream0 = trace.streams[0]
     repeats = sum(
         1 for r in trace.compute if r.stream == stream0 and r.phase == "prepare_psis"
     )
+    return {
+        "phase_summary": summary,
+        "central_phase_ipc": central_ipc,
+        "pack_comms": {k: v for k, v in comms.items() if k.startswith("pack")},
+        "scatter_comms": {k: v for k, v in comms.items() if k.startswith("scatter")},
+        "repeating_phases": repeats,
+        "phase_time": result.phase_time,
+    }
+
+
+def run_fig3(ranks: int = 8, jobs: int = 1, **overrides: _t.Any) -> ExperimentReport:
+    """Trace the 8x8 original run and extract the Fig. 3 artifacts."""
+    task = SweepTask(
+        key=f"ranks={ranks}",
+        config=paper_config(ranks, "original", **overrides),
+        reducer="repro.experiments.fig3:reduce_fig3",
+        trace=True,
+    )
+    data = sweep_summaries([task], jobs=jobs)[task.key]
+    summary = data["phase_summary"]
+    pack_comms = data["pack_comms"]
+    scatter_comms = data["scatter_comms"]
 
     anchors = PAPER["fig3"]
     rows = [
         ("prepare_psis IPC", summary["prepare_psis"]["ipc"], anchors["prepare_psis_ipc"]),
         ("fft_z IPC", summary["fft_z"]["ipc"], anchors["fft_z_ipc"]),
-        ("central phase IPC", central_ipc, anchors["central_phase_ipc"]),
+        ("central phase IPC", data["central_phase_ipc"], anchors["central_phase_ipc"]),
         ("pack sub-comms", len(pack_comms), anchors["pack_comms_of_8x8"]),
         ("pack comm size", len(pack_comms.get("pack0", {}).get("streams", [])), anchors["pack_comm_size_8x8"]),
         ("scatter sub-comms", len(scatter_comms), anchors["scatter_comms_of_8x8"]),
         ("scatter comm size", len(scatter_comms.get("scatter0", {}).get("streams", [])), anchors["scatter_comm_size_8x8"]),
-        ("repeating phases", repeats, PAPER["workload"]["repeating_phases"]),
+        ("repeating phases", data["repeating_phases"], PAPER["workload"]["repeating_phases"]),
     ]
     lines = [
         format_comparison(rows, title="Fig. 3 — trace structure of the 8x8 original run"),
@@ -63,15 +81,4 @@ def run_fig3(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
         f"pack0 members:    {pack_comms.get('pack0', {}).get('streams')}",
         f"scatter1 members: {scatter_comms.get('scatter1', {}).get('streams')} (strided by T)",
     ]
-    return ExperimentReport(
-        name="fig3",
-        data={
-            "phase_summary": summary,
-            "central_phase_ipc": central_ipc,
-            "pack_comms": pack_comms,
-            "scatter_comms": scatter_comms,
-            "repeating_phases": repeats,
-            "phase_time": result.phase_time,
-        },
-        text="\n".join(lines),
-    )
+    return ExperimentReport(name="fig3", data=data, text="\n".join(lines))

@@ -11,24 +11,36 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.driver import run_fft_phase
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.experiments.paperdata import PAPER
 from repro.perf.report import format_series
+from repro.sweep import SweepTask
 
 __all__ = ["run_fig6"]
 
+TIMING_REDUCER = "repro.experiments.common:reduce_timing"
+
 
 def run_fig6(
-    ranks: _t.Sequence[int] = (1, 2, 4, 8, 16, 32), **overrides: _t.Any
+    ranks: _t.Sequence[int] = (1, 2, 4, 8, 16, 32), jobs: int = 1, **overrides: _t.Any
 ) -> ExperimentReport:
     """Run both versions over the rank sweep and check the claims."""
+    tasks = [
+        SweepTask(
+            key=f"ranks={n},version={version}",
+            config=paper_config(n, version, **overrides),
+            reducer=TIMING_REDUCER,
+        )
+        for n in ranks
+        for version in ("original", "ompss_perfft")
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
     original: dict[str, float] = {}
     ompss: dict[str, float] = {}
     for n in ranks:
         label = f"{n}x8"
-        original[label] = run_fft_phase(paper_config(n, "original", **overrides)).phase_time
-        ompss[label] = run_fft_phase(paper_config(n, "ompss_perfft", **overrides)).phase_time
+        original[label] = summaries[f"ranks={n},version=original"]["phase_time_s"]
+        ompss[label] = summaries[f"ranks={n},version=ompss_perfft"]["phase_time_s"]
 
     speedups = {
         label: 1.0 - ompss[label] / original[label]

@@ -9,7 +9,8 @@ OmpSs; "the average IPC for these phases is increased from about 0.75 to
 
 We quantify both: the main-phase IPC shift, the IPC spread, and a
 synchrony index (what fraction of main-phase compute time overlaps with
-more than 3/4 of the node also being in the main phase).
+more than 3/4 of the node also being in the main phase).  The two traced
+runs execute through the sweep engine (one point per version).
 """
 
 from __future__ import annotations
@@ -18,14 +19,15 @@ import typing as _t
 
 import numpy as np
 
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.experiments.paperdata import PAPER
 from repro.machine import knl_parameters
 from repro.perf.report import format_comparison
 from repro.perf.timeline import ipc_histogram, phase_intervals
-from repro.perf.tracer import Trace, trace_run
+from repro.perf.tracer import Trace
+from repro.sweep import SweepTask
 
-__all__ = ["run_fig7", "synchrony_index"]
+__all__ = ["run_fig7", "synchrony_index", "reduce_fig7"]
 
 MAIN_PHASES = ("fft_xy",)
 
@@ -53,30 +55,38 @@ def synchrony_index(trace: Trace, phases: _t.Collection[str], threshold: float =
     return synced / total if total > 0 else 0.0
 
 
-def run_fig7(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
-    """Trace both versions at 8x8 and compare the main-phase behaviour."""
+def reduce_fig7(task, result, ideal, trace) -> dict:
+    """In-worker reduction: main-phase IPC statistics of one traced version."""
     freq = knl_parameters().frequency_hz
-    traces = {}
-    for version in ("original", "ompss_perfft"):
-        _res, trace = trace_run(paper_config(ranks, version, **overrides))
-        traces[version] = trace
+    hist, edges, _streams = ipc_histogram(trace, freq, phases=MAIN_PHASES)
+    weights = hist.sum(axis=0)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    total = weights.sum()
+    mean = float((weights * centers).sum() / total) if total > 0 else 0.0
+    var = float((weights * (centers - mean) ** 2).sum() / total) if total > 0 else 0.0
+    return {
+        "mean_ipc": mean,
+        "ipc_std": float(np.sqrt(var)),
+        "synchrony": synchrony_index(trace, MAIN_PHASES),
+    }
 
-    def main_phase_stats(trace: Trace) -> dict:
-        hist, edges, _streams = ipc_histogram(trace, freq, phases=MAIN_PHASES)
-        weights = hist.sum(axis=0)
-        centers = 0.5 * (edges[:-1] + edges[1:])
-        total = weights.sum()
-        mean = float((weights * centers).sum() / total) if total > 0 else 0.0
-        var = float((weights * (centers - mean) ** 2).sum() / total) if total > 0 else 0.0
-        return {
-            "mean_ipc": mean,
-            "ipc_std": np.sqrt(var),
-            "histogram": weights,
-            "edges": edges,
-            "synchrony": synchrony_index(trace, MAIN_PHASES),
-        }
 
-    stats = {v: main_phase_stats(t) for v, t in traces.items()}
+def run_fig7(ranks: int = 8, jobs: int = 1, **overrides: _t.Any) -> ExperimentReport:
+    """Trace both versions at 8x8 and compare the main-phase behaviour."""
+    tasks = [
+        SweepTask(
+            key=f"version={version}",
+            config=paper_config(ranks, version, **overrides),
+            reducer="repro.experiments.fig7:reduce_fig7",
+            trace=True,
+        )
+        for version in ("original", "ompss_perfft")
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+    stats = {
+        version: summaries[f"version={version}"]
+        for version in ("original", "ompss_perfft")
+    }
     anchors = PAPER["fig7"]
     rows = [
         ("main-phase IPC (original)", stats["original"]["mean_ipc"], anchors["main_phase_ipc_original"]),
@@ -92,6 +102,6 @@ def run_fig7(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
     ]
     return ExperimentReport(
         name="fig7",
-        data={v: {k: s[k] for k in ("mean_ipc", "ipc_std", "synchrony")} for v, s in stats.items()},
+        data=stats,
         text="\n".join(lines),
     )

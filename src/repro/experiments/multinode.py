@@ -21,11 +21,11 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.config import RunConfig
-from repro.core.driver import run_fft_phase
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.perf.report import format_series
+from repro.sweep import SweepTask
 
-__all__ = ["run_multinode"]
+__all__ = ["run_multinode", "reduce_multinode"]
 
 VARIANTS: tuple[tuple[str, str, bool | None], ...] = (
     ("original", "original", None),
@@ -35,20 +35,37 @@ VARIANTS: tuple[tuple[str, str, bool | None], ...] = (
 )
 
 
+def reduce_multinode(task, result, ideal, trace) -> dict:
+    """Runtime plus the inter-node fabric traffic of one cluster run."""
+    return {
+        "phase_time_s": result.phase_time,
+        "inter_bytes": getattr(result.world.network, "inter_bytes", 0.0),
+    }
+
+
 def run_multinode(
-    nodes: _t.Sequence[int] = (1, 2, 4), **overrides: _t.Any
+    nodes: _t.Sequence[int] = (1, 2, 4), jobs: int = 1, **overrides: _t.Any
 ) -> ExperimentReport:
     """Sweep node counts at fixed per-node occupancy for all variants."""
+    tasks = [
+        SweepTask(
+            key=f"nodes={n},variant={label}",
+            config=paper_config(
+                8 * n, version, n_nodes=n, task_switching=switching, **overrides
+            ),
+            reducer="repro.experiments.multinode:reduce_multinode",
+        )
+        for n in nodes
+        for label, version, switching in VARIANTS
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
     runtimes: dict[str, dict[int, float]] = {label: {} for label, _v, _t2 in VARIANTS}
     inter_bytes: dict[int, float] = {}
     for n in nodes:
-        for label, version, switching in VARIANTS:
-            cfg = paper_config(
-                8 * n, version, n_nodes=n, task_switching=switching, **overrides
-            )
-            result = run_fft_phase(cfg)
-            runtimes[label][n] = result.phase_time
-            inter_bytes[n] = getattr(result.world.network, "inter_bytes", 0.0)
+        for label, _version, _switching in VARIANTS:
+            summary = summaries[f"nodes={n},variant={label}"]
+            runtimes[label][n] = summary["phase_time_s"]
+            inter_bytes[n] = summary["inter_bytes"]
 
     speedups = {
         label: {

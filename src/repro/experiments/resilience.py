@@ -28,15 +28,26 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.driver import run_fft_phase
-from repro.experiments.common import ExperimentReport, paper_config
-from repro.faults import FaultScenario, Straggler
+import dataclasses
 
-__all__ = ["run_resilience"]
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
+from repro.faults import FaultScenario, Straggler
+from repro.sweep import SweepTask
+
+__all__ = ["run_resilience", "reduce_resilience"]
 
 
 def _degradation(base: float, slow: float) -> float:
     return slow / base - 1.0
+
+
+def reduce_resilience(task, result, ideal, trace) -> dict:
+    """Runtime plus the fault report (``None`` for the fault-free baseline)."""
+    return {
+        "phase_time_s": result.phase_time,
+        "fault_report": result.fault_report,
+        "failed": result.failed,
+    }
 
 
 def run_resilience(
@@ -44,6 +55,7 @@ def run_resilience(
     slowdown: float = 4.0,
     os_noise: float = 0.5,
     scenario_seed: int = 0,
+    jobs: int = 1,
     **overrides: _t.Any,
 ) -> ExperimentReport:
     """Measure fault-scenario degradation, original vs. OmpSs per-FFT."""
@@ -68,19 +80,35 @@ def run_resilience(
     }
     noise = FaultScenario(name="os_noise", seed=scenario_seed, os_noise=os_noise)
 
+    scenarios: dict[str, _t.Callable[[str], FaultScenario | None]] = {
+        "baseline": lambda version: None,
+        "straggler": lambda version: stragglers[version],
+        "os_noise": lambda version: noise,
+    }
+    tasks = [
+        SweepTask(
+            key=f"version={version},scenario={name}",
+            config=dataclasses.replace(config, faults=scenario_of(version)),
+            reducer="repro.experiments.resilience:reduce_resilience",
+        )
+        for version, config in configs.items()
+        for name, scenario_of in scenarios.items()
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+
     baseline: dict[str, float] = {}
     straggled: dict[str, float] = {}
     noisy: dict[str, float] = {}
     reports: dict[str, dict] = {}
-    for version, config in configs.items():
-        baseline[version] = run_fft_phase(config).phase_time
-        res_s = run_fft_phase(config, faults=stragglers[version])
-        res_n = run_fft_phase(config, faults=noise)
-        straggled[version] = res_s.phase_time
-        noisy[version] = res_n.phase_time
+    for version in configs:
+        baseline[version] = summaries[f"version={version},scenario=baseline"]["phase_time_s"]
+        res_s = summaries[f"version={version},scenario=straggler"]
+        res_n = summaries[f"version={version},scenario=os_noise"]
+        straggled[version] = res_s["phase_time_s"]
+        noisy[version] = res_n["phase_time_s"]
         reports[version] = {
-            "straggler": res_s.fault_report,
-            "os_noise": res_n.fault_report,
+            "straggler": res_s["fault_report"],
+            "os_noise": res_n["fault_report"],
         }
 
     degr_straggler = {

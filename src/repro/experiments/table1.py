@@ -4,47 +4,74 @@ Executions with 1-16 ranks x 8 FFT task groups (32x8 is excluded in the
 paper because "it does not provide any additional benefit or information
 over 16x8").  Each column needs two runs: the measured one and the
 ideal-network replay identifying the sync/transfer split.
+
+The rank sweep runs through :mod:`repro.sweep`: each point executes the
+measured + ideal pair in a worker and reduces to
+:class:`~repro.perf.popmodel.RunAggregates`; the factor columns are then
+computed here in the parent, because every column's scalability factors are
+relative to the *first* point's aggregates (the base run).
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.core.driver import run_fft_phase
-from repro.experiments.common import ExperimentReport, paper_config
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
 from repro.experiments.paperdata import PAPER
-from repro.perf.popmodel import BaseMetrics, factors_from_run, ideal_network
+from repro.perf.popmodel import BaseMetrics, RunAggregates, factors_from_aggregates
 from repro.perf.report import format_factor_table
+from repro.sweep import SweepTask
 
-__all__ = ["run_table1", "factor_columns"]
+__all__ = ["run_table1", "factor_columns", "reduce_pop"]
+
+
+def reduce_pop(task, result, ideal, trace) -> dict:
+    """Sweep reduction for a POP column: aggregates + the ideal replay time."""
+    return {
+        "aggregates": RunAggregates.from_run(result).to_dict(),
+        "ideal_time_s": ideal.phase_time if ideal is not None else None,
+    }
 
 
 def factor_columns(
     version: str,
     ranks: _t.Sequence[int],
     with_reference: bool = True,
+    jobs: int = 1,
     **overrides: _t.Any,
 ) -> tuple[list, dict]:
     """Measured factor columns for one executor version over a rank sweep."""
+    tasks = [
+        SweepTask(
+            key=f"ranks={n}",
+            config=paper_config(n, version, **overrides),
+            reducer="repro.experiments.table1:reduce_pop",
+            ideal_replay=True,
+        )
+        for n in ranks
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+
     columns = []
     base: BaseMetrics | None = None
     runtimes = {}
     for n in ranks:
-        cfg = paper_config(n, version, **overrides)
-        result = run_fft_phase(cfg)
-        ideal = run_fft_phase(cfg, knl=ideal_network())
+        summary = summaries[f"ranks={n}"]
+        agg = RunAggregates.from_dict(summary["aggregates"])
         if base is None:
-            base = BaseMetrics.from_run(result)
-        fs = factors_from_run(result, ideal_time=ideal.phase_time, base=base)
+            base = agg.base_metrics()
+        fs = factors_from_aggregates(agg, ideal_time=summary["ideal_time_s"], base=base)
         label = f"{n}x8"
         columns.append((label, fs))
-        runtimes[label] = result.phase_time
+        runtimes[label] = agg.runtime
     return columns, runtimes
 
 
-def run_table1(ranks: _t.Sequence[int] = (1, 2, 4, 8, 16), **overrides: _t.Any) -> ExperimentReport:
+def run_table1(
+    ranks: _t.Sequence[int] = (1, 2, 4, 8, 16), jobs: int = 1, **overrides: _t.Any
+) -> ExperimentReport:
     """Reproduce Table I (original version)."""
-    columns, runtimes = factor_columns("original", ranks, **overrides)
+    columns, runtimes = factor_columns("original", ranks, jobs=jobs, **overrides)
     reference = PAPER["table1"] if tuple(f"{n}x8" for n in ranks) == PAPER["config_labels"] else None
     text = format_factor_table(
         columns,

@@ -16,9 +16,11 @@ from repro.perf.report import format_factor_table
 __all__ = ["run_table2"]
 
 
-def run_table2(ranks: _t.Sequence[int] = (1, 2, 4, 8, 16), **overrides: _t.Any) -> ExperimentReport:
+def run_table2(
+    ranks: _t.Sequence[int] = (1, 2, 4, 8, 16), jobs: int = 1, **overrides: _t.Any
+) -> ExperimentReport:
     """Reproduce Table II (OmpSs per-FFT version)."""
-    columns, runtimes = factor_columns("ompss_perfft", ranks, **overrides)
+    columns, runtimes = factor_columns("ompss_perfft", ranks, jobs=jobs, **overrides)
     reference = PAPER["table2"] if tuple(f"{n}x8" for n in ranks) == PAPER["config_labels"] else None
     text = format_factor_table(
         columns,

@@ -5,24 +5,74 @@ time (ideal network / infinite memory bandwidth / no jitter) and report the
 runtime share each is responsible for.  This quantifies the paper's
 narrative directly: the original's runtime is dominated by the contention
 the per-FFT version softens, and neither is network-bound on a single node.
+
+The version x machine grid (2 x 4 points) runs through the sweep engine:
+each point carries its what-if :class:`~repro.machine.knl.KnlParameters`
+variant, so with ``jobs=N`` the whole attribution matrix runs concurrently.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
-from repro.experiments.common import ExperimentReport, paper_config
-from repro.perf.whatif import runtime_attribution
+from repro.experiments.common import ExperimentReport, paper_config, sweep_summaries
+from repro.machine.knl import KnlParameters
+from repro.sweep import SweepTask
 
 __all__ = ["run_ablation_whatif"]
 
+TIMING_REDUCER = "repro.experiments.common:reduce_timing"
 
-def run_ablation_whatif(ranks: int = 8, **overrides: _t.Any) -> ExperimentReport:
+#: The attribution's machine variants, in report order (see
+#: :func:`repro.perf.whatif.runtime_attribution`, whose variants these mirror).
+ATTRIBUTION_MACHINES: tuple[str, ...] = (
+    "measured",
+    "ideal_network",
+    "infinite_bandwidth",
+    "no_jitter",
+)
+
+
+def _machine_variant(name: str, base: KnlParameters) -> KnlParameters:
+    if name == "measured":
+        return base
+    if name == "ideal_network":
+        return dataclasses.replace(
+            base, net_latency=0.0, net_injection_bw=1e18, net_capacity=1e18
+        )
+    if name == "infinite_bandwidth":
+        return dataclasses.replace(base, mem_bandwidth=1e18, mem_bw_rampup_max=None)
+    if name == "no_jitter":
+        return dataclasses.replace(base, compute_jitter=0.0)
+    raise ValueError(f"unknown machine variant {name!r}")
+
+
+def run_ablation_whatif(
+    ranks: int = 8, jobs: int = 1, **overrides: _t.Any
+) -> ExperimentReport:
     """Runtime attribution for both headline versions at ``ranks`` x 8."""
+    base = KnlParameters()
+    versions = ("original", "ompss_perfft")
+    tasks = [
+        SweepTask(
+            key=f"version={version},machine={machine}",
+            config=paper_config(ranks, version, **overrides),
+            knl=_machine_variant(machine, base),
+            reducer=TIMING_REDUCER,
+        )
+        for version in versions
+        for machine in ATTRIBUTION_MACHINES
+    ]
+    summaries = sweep_summaries(tasks, jobs=jobs)
+
     data = {}
     lines = [f"What-if runtime attribution ({ranks}x8 workload)"]
-    for version in ("original", "ompss_perfft"):
-        attr = runtime_attribution(paper_config(ranks, version, **overrides))
+    for version in versions:
+        attr = {
+            machine: summaries[f"version={version},machine={machine}"]["phase_time_s"]
+            for machine in ATTRIBUTION_MACHINES
+        }
         data[version] = attr
         measured = attr["measured"]
         lines.append(f"\n{version}: measured {measured * 1e3:.2f} ms")

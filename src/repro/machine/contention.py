@@ -30,6 +30,7 @@ ones, raising their effective IPC — the mechanism behind Fig. 7.
 from __future__ import annotations
 
 import typing as _t
+from collections import Counter as _Counter
 
 from repro.machine.phases import PhaseProfile
 from repro.machine.topology import HwThread
@@ -61,15 +62,24 @@ def waterfill(demands: _t.Sequence[float], capacity: float) -> list[float]:
     unsat = [i for i in range(n) if demands[i] > 0.0]
     while unsat:
         fair = remaining / len(unsat)
-        satisfied = [i for i in unsat if demands[i] <= fair + _EPS]
-        if not satisfied:
+        threshold = fair + _EPS
+        # One pass: grant the satisfied demands (in index order, so the
+        # floating-point subtraction sequence is unchanged) and collect the
+        # still-unsatisfied rest — the old three-scan version with its
+        # per-round set() rebuild dominated allocator time at 64+ streams.
+        still_unsat: list[int] = []
+        for i in unsat:
+            d = demands[i]
+            if d <= threshold:
+                grants[i] = d
+                remaining -= d
+            else:
+                still_unsat.append(i)
+        if len(still_unsat) == len(unsat):
             for i in unsat:
                 grants[i] = fair
             return grants
-        for i in satisfied:
-            grants[i] = demands[i]
-            remaining -= demands[i]
-        unsat = [i for i in unsat if i not in set(satisfied)]
+        unsat = still_unsat
         if remaining <= 0.0:
             break
     return grants
@@ -137,51 +147,86 @@ class BandwidthContentionAllocator:
         n = len(tasks)
         if n == 0:
             return []
-        profiles: list[PhaseProfile] = []
-        threads: list[HwThread] = []
-        per_core: dict[tuple[int, int], int] = {}
+        # The allocator runs on *every* change of the active set — with k
+        # concurrent phases that is O(k) calls of O(k) work per burst, the
+        # single hottest path of a sweep.  A task's profile/thread/speed never
+        # change after submit, so the attribute and dict traffic is paid once
+        # and memoised on the task as ``meta["_alloc"]``:
+        # (ipc0, bytes_per_instr, (node, core), node, speed).
+        infos = []
+        corekeys = []
+        append_info = infos.append
+        append_key = corekeys.append
         for task in tasks:
-            try:
-                profile = task.meta["profile"]
-                thread = task.meta["thread"]
-            except KeyError as exc:
-                raise RuntimeError(
-                    f"compute task missing required metadata {exc}: {task!r}"
-                ) from None
-            profiles.append(profile)
-            threads.append(thread)
-            key = (thread.node, thread.core)
-            per_core[key] = per_core.get(key, 0) + 1
+            meta = task.meta
+            info = meta.get("_alloc")
+            if info is None:
+                try:
+                    profile: PhaseProfile = meta["profile"]
+                    thread: HwThread = meta["thread"]
+                except KeyError as exc:
+                    raise RuntimeError(
+                        f"compute task missing required metadata {exc}: {task!r}"
+                    ) from None
+                info = (
+                    profile.ipc0,
+                    profile.bytes_per_instr,
+                    (thread.node, thread.core),
+                    thread.node,
+                    meta.get("speed", 1.0),
+                )
+                meta["_alloc"] = info
+            append_info(info)
+            append_key(info[2])
 
-        # Stage 1: per-core issue ceilings (instructions/s).
-        ceilings = [
-            p.ipc0 * self.frequency_hz / per_core[(t.node, t.core)]
-            for p, t in zip(profiles, threads)
-        ]
+        per_core = _Counter(corekeys)  # C-level counting loop
+        node0 = infos[0][3]
+        single_node = all(info[3] == node0 for info in infos)
 
-        # Stage 2: per-node bandwidth water filling (bytes/s demands) against
-        # the concurrency-dependent achievable capacity of that node.
-        demands = [c * p.bytes_per_instr for c, p in zip(ceilings, profiles)]
-        grants = [0.0] * n
-        by_node: dict[int, list[int]] = {}
-        for i, t in enumerate(threads):
-            by_node.setdefault(t.node, []).append(i)
-        for node_tasks in by_node.values():
-            node_demands = [demands[i] for i in node_tasks]
-            n_demanding = sum(1 for d in node_demands if d > 0.0)
-            node_grants = waterfill(node_demands, self.effective_capacity(n_demanding))
-            for i, g in zip(node_tasks, node_grants):
-                grants[i] = g
+        # Stage 1 + 2 demand side in one pass: per-core issue ceilings
+        # (instructions/s) and the bytes/s demands they imply.
+        frequency_hz = self.frequency_hz
+        ceilings = []
+        demands = []
+        n_demanding = 0
+        append_c = ceilings.append
+        append_d = demands.append
+        for info in infos:
+            c = info[0] * frequency_hz / per_core[info[2]]
+            d = c * info[1]
+            append_c(c)
+            append_d(d)
+            if d > 0.0:
+                n_demanding += 1
+
+        # Stage 2: per-node bandwidth water filling against the
+        # concurrency-dependent achievable capacity of that node.
+        if single_node:
+            # Fast path (the paper's testbed): one contention domain, no
+            # per-node regrouping — identical arithmetic, no index shuffle.
+            grants = waterfill(demands, self.effective_capacity(n_demanding))
+        else:
+            grants = [0.0] * n
+            by_node: dict[int, list[int]] = {}
+            for i, info in enumerate(infos):
+                by_node.setdefault(info[3], []).append(i)
+            for node_tasks in by_node.values():
+                node_demands = [demands[i] for i in node_tasks]
+                n_demanding = sum(1 for d in node_demands if d > 0.0)
+                node_grants = waterfill(node_demands, self.effective_capacity(n_demanding))
+                for i, g in zip(node_tasks, node_grants):
+                    grants[i] = g
 
         rates = []
-        for task, ceiling, grant, profile in zip(tasks, ceilings, grants, profiles):
-            if profile.bytes_per_instr <= 0.0:
+        for info, ceiling, grant in zip(infos, ceilings, grants):
+            bytes_per_instr = info[1]
+            if bytes_per_instr <= 0.0:
                 rate = ceiling
             else:
-                rate = min(ceiling, grant / profile.bytes_per_instr)
+                rate = min(ceiling, grant / bytes_per_instr)
             # Per-execution speed factor (models run-to-run microarchitectural
             # variability — cache state, TLB, OS noise; see CpuModel.jitter).
-            rates.append(rate * task.meta.get("speed", 1.0))
+            rates.append(rate * info[4])
         return rates
 
     def effective_ipc(self, rate_instr_per_s: float) -> float:

@@ -22,7 +22,14 @@ This package reproduces that workflow against the simulator:
 """
 
 from repro.perf.tracer import Trace, Tracer, trace_run
-from repro.perf.popmodel import BaseMetrics, FactorSet, factors_from_run, ideal_network
+from repro.perf.popmodel import (
+    BaseMetrics,
+    FactorSet,
+    RunAggregates,
+    factors_from_aggregates,
+    factors_from_run,
+    ideal_network,
+)
 from repro.perf.timeline import (
     communicator_structure,
     ipc_histogram,
@@ -47,7 +54,9 @@ __all__ = [
     "trace_run",
     "BaseMetrics",
     "FactorSet",
+    "RunAggregates",
     "factors_from_run",
+    "factors_from_aggregates",
     "ideal_network",
     "phase_intervals",
     "mpi_intervals",

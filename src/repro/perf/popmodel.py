@@ -29,7 +29,14 @@ from repro.core.config import RunConfig
 from repro.core.driver import RunResult, run_fft_phase
 from repro.machine.knl import KnlParameters
 
-__all__ = ["FactorSet", "BaseMetrics", "factors_from_run", "ideal_network"]
+__all__ = [
+    "FactorSet",
+    "BaseMetrics",
+    "RunAggregates",
+    "factors_from_run",
+    "factors_from_aggregates",
+    "ideal_network",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +54,64 @@ class BaseMetrics:
             total_compute_time=c.total_compute_time(),
             total_instructions=c.total_instructions(),
             average_ipc=c.average_ipc(),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunAggregates:
+    """Everything the factor decomposition needs from one run.
+
+    The point of splitting these off :class:`RunResult` is that they are a
+    handful of floats — JSON-serializable and picklable — while the result
+    object holds the whole simulated world.  Sweep workers reduce each run to
+    its aggregates in-process; the parent then computes factor columns with
+    :func:`factors_from_aggregates` once the base run is known.
+    """
+
+    runtime: float
+    per_stream_compute: tuple[float, ...]
+    total_compute_time: float
+    total_instructions: float
+    average_ipc: float
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "RunAggregates":
+        counters = result.cpu.counters
+        return cls(
+            runtime=result.phase_time,
+            per_stream_compute=tuple(
+                counters.stream_compute_time(s) for s in counters.streams
+            ),
+            total_compute_time=counters.total_compute_time(),
+            total_instructions=counters.total_instructions(),
+            average_ipc=counters.average_ipc(),
+        )
+
+    def base_metrics(self) -> BaseMetrics:
+        """This run viewed as the reference column."""
+        return BaseMetrics(
+            total_compute_time=self.total_compute_time,
+            total_instructions=self.total_instructions,
+            average_ipc=self.average_ipc,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "runtime": self.runtime,
+            "per_stream_compute": list(self.per_stream_compute),
+            "total_compute_time": self.total_compute_time,
+            "total_instructions": self.total_instructions,
+            "average_ipc": self.average_ipc,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunAggregates":
+        return cls(
+            runtime=doc["runtime"],
+            per_stream_compute=tuple(doc["per_stream_compute"]),
+            total_compute_time=doc["total_compute_time"],
+            total_instructions=doc["total_instructions"],
+            average_ipc=doc["average_ipc"],
         )
 
 
@@ -110,13 +175,27 @@ def factors_from_run(
         Aggregates of the smallest run; defaults to this run itself (i.e.
         the base column, scalability = 1).
     """
-    counters = result.cpu.counters
-    runtime = result.phase_time
-    streams = counters.streams
-    if not streams or runtime <= 0.0:
+    return factors_from_aggregates(
+        RunAggregates.from_run(result), ideal_time=ideal_time, base=base
+    )
+
+
+def factors_from_aggregates(
+    agg: RunAggregates,
+    ideal_time: float | None = None,
+    base: BaseMetrics | None = None,
+) -> FactorSet:
+    """Compute a factor column from reduced aggregates (see their docstring).
+
+    Semantics (parameters, defaults, identified splits) are exactly those of
+    :func:`factors_from_run`; the float operation order is identical, so the
+    two paths produce bit-equal columns.
+    """
+    runtime = agg.runtime
+    per_stream = agg.per_stream_compute
+    if not per_stream or runtime <= 0.0:
         raise ValueError("run has no computation to analyse")
 
-    per_stream = [counters.stream_compute_time(s) for s in streams]
     max_compute = max(per_stream)
     avg_compute = sum(per_stream) / len(per_stream)
 
@@ -132,11 +211,11 @@ def factors_from_run(
         sync_eff = comm_eff
 
     if base is None:
-        base = BaseMetrics.from_run(result)
-    total_compute = counters.total_compute_time()
-    total_instr = counters.total_instructions()
+        base = agg.base_metrics()
+    total_compute = agg.total_compute_time
+    total_instr = agg.total_instructions
     comp_scal = base.total_compute_time / total_compute if total_compute > 0 else 1.0
-    ipc_scal = counters.average_ipc() / base.average_ipc if base.average_ipc > 0 else 1.0
+    ipc_scal = agg.average_ipc / base.average_ipc if base.average_ipc > 0 else 1.0
     instr_scal = base.total_instructions / total_instr if total_instr > 0 else 1.0
 
     return FactorSet(

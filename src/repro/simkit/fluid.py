@@ -223,38 +223,50 @@ class FluidResource:
         # that is off by one ulp of `now` leaves a residual of ~rate * ulp —
         # without forgiving it, the resource would re-arm ever-shorter timers
         # that no longer advance the clock (an infinite loop in finite time).
-        time_ulp = math.ulp(self.sim.now)
-        finished = [
-            t
-            for t in self._active
-            if t.remaining <= max(_ABS_EPS, _REL_EPS * t.work, t.rate * time_ulp * 8.0)
-        ]
-        if finished:
+        now = self.sim.now
+        ulp8 = math.ulp(now) * 8.0
+        active = self._active
+        finished: list[FluidTask] | None = None
+        for t in active:
+            # r <= max(a, b, c) unrolled to short-circuit comparisons — this
+            # scan runs once per active task per change point.
+            r = t.remaining
+            if r <= _ABS_EPS or r <= _REL_EPS * t.work or r <= t.rate * ulp8:
+                if finished is None:
+                    finished = [t]
+                else:
+                    finished.append(t)
+        if finished is not None:
+            # One filtering pass instead of per-task .remove() — the common
+            # submit path (nothing finished) never allocates here at all.
+            gone = set(finished)
+            self._active = active = [t for t in active if t not in gone]
             for task in finished:
-                self._active.remove(task)
                 task.remaining = 0.0
-                task.finish_time = self.sim.now
+                task.finish_time = now
                 task.done.succeed(task)
 
-        if self._active:
-            rates = self.allocator.allocate(self._active)
-            if len(rates) != len(self._active):
+        if active:
+            rates = self.allocator.allocate(active)
+            if len(rates) != len(active):
                 raise RuntimeError(
-                    f"allocator returned {len(rates)} rates for {len(self._active)} tasks"
+                    f"allocator returned {len(rates)} rates for {len(active)} tasks"
                 )
             eta = float("inf")
-            for task, rate in zip(self._active, rates):
+            for task, rate in zip(active, rates):
                 if rate < 0:
                     raise RuntimeError(f"allocator produced a negative rate {rate!r}")
                 task.rate = rate
                 if rate > 0.0:
-                    eta = min(eta, task.remaining / rate)
+                    remaining_time = task.remaining / rate
+                    if remaining_time < eta:
+                        eta = remaining_time
             self._arm_timer(eta)
         else:
             self._timer_version += 1  # disarm any outstanding timer
 
         if self.observer is not None:
-            self.observer(self, self.sim.now)
+            self.observer(self, now)
 
     def _arm_timer(self, eta: float) -> None:
         self._timer_version += 1

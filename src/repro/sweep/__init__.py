@@ -1,0 +1,59 @@
+"""Declarative, concurrent execution of configuration sweeps.
+
+The paper's evaluation is a set of grids (Tables I/II, Figs. 2-7: ranks x
+version x ntg x hyper-threading); every grid point is an independent seeded
+simulation.  This package runs those grids as first-class objects:
+
+* :mod:`~repro.sweep.grid` — :class:`GridSpec` expands axes over a base
+  config into ordered, stably-keyed points;
+* :mod:`~repro.sweep.engine` — :func:`run_sweep` executes points on a
+  ``concurrent.futures`` pool (process/thread/serial), reduces each result
+  to a JSON summary in the worker, and assembles records in task order so
+  concurrency never changes the output;
+* :mod:`~repro.sweep.manifest` — the ``repro.sweep_manifest`` artifact:
+  grid spec, per-point digests and summaries, wall time, worker count;
+  partial manifests are what ``--resume`` picks up.
+
+The experiment runners (:mod:`repro.experiments`) declare their grids
+through this engine; ``fftxlib-repro sweep`` exposes it on the CLI.
+"""
+
+from repro.sweep.engine import (
+    PointRecord,
+    SweepError,
+    SweepResult,
+    SweepTask,
+    canonical_json,
+    digest_summary,
+    run_sweep,
+)
+from repro.sweep.grid import GridSpec, SweepPoint, point_key
+from repro.sweep.manifest import (
+    SWEEP_MANIFEST_KIND,
+    SWEEP_MANIFEST_SCHEMA_VERSION,
+    SweepManifestError,
+    build_sweep_manifest,
+    load_sweep_manifest,
+    validate_sweep_manifest,
+    write_sweep_manifest,
+)
+
+__all__ = [
+    "GridSpec",
+    "SweepPoint",
+    "point_key",
+    "SweepTask",
+    "PointRecord",
+    "SweepResult",
+    "SweepError",
+    "run_sweep",
+    "canonical_json",
+    "digest_summary",
+    "SWEEP_MANIFEST_KIND",
+    "SWEEP_MANIFEST_SCHEMA_VERSION",
+    "SweepManifestError",
+    "build_sweep_manifest",
+    "load_sweep_manifest",
+    "validate_sweep_manifest",
+    "write_sweep_manifest",
+]

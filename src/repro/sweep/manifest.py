@@ -1,0 +1,176 @@
+"""Sweep manifests: one JSON artifact per sweep.
+
+Extends the run-manifest family (:mod:`repro.telemetry.manifest`) with a
+``sweep`` section and a ``points`` map:
+
+* ``sweep`` — the grid description, worker count and mode, wall time, and
+  progress counters (``n_tasks`` vs ``n_points`` distinguishes a partial
+  manifest from a complete one — that difference is what ``--resume``
+  consumes);
+* ``points`` — per-point records in task order: the content digest of the
+  reduced summary, the simulated phase time, the failure flag, and the
+  summary itself.
+
+Validation is hand-rolled in the run-manifest style (no jsonschema
+dependency); ``docs/sweep_manifest.schema.json`` mirrors the rules.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import PointRecord
+    from repro.sweep.grid import GridSpec
+
+__all__ = [
+    "SWEEP_MANIFEST_KIND",
+    "SWEEP_MANIFEST_SCHEMA_VERSION",
+    "SweepManifestError",
+    "build_sweep_manifest",
+    "write_sweep_manifest",
+    "load_sweep_manifest",
+    "validate_sweep_manifest",
+]
+
+SWEEP_MANIFEST_KIND = "repro.sweep_manifest"
+SWEEP_MANIFEST_SCHEMA_VERSION = 1
+
+
+class SweepManifestError(ValueError):
+    """A sweep manifest failed schema validation."""
+
+
+def build_sweep_manifest(
+    records: _t.Sequence["PointRecord"],
+    grid: "GridSpec | dict | None" = None,
+    jobs: int = 1,
+    mode: str = "serial",
+    wall_time_s: float | None = None,
+    n_tasks: int | None = None,
+    created: str | None = None,
+) -> dict:
+    """Assemble the manifest dict for (possibly partially) finished records."""
+    grid_doc: dict | None
+    if grid is None or isinstance(grid, dict):
+        grid_doc = grid
+    else:
+        grid_doc = grid.to_dict()
+    return {
+        "kind": SWEEP_MANIFEST_KIND,
+        "schema_version": SWEEP_MANIFEST_SCHEMA_VERSION,
+        "created": created
+        if created is not None
+        else time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "sweep": {
+            "grid": grid_doc,
+            "jobs": jobs,
+            "mode": mode,
+            "wall_time_s": wall_time_s,
+            "n_tasks": n_tasks if n_tasks is not None else len(records),
+            "n_points": len(records),
+            "n_failed": sum(1 for r in records if r.failed),
+        },
+        "points": {r.key: r.to_manifest_entry() for r in records},
+    }
+
+
+def write_sweep_manifest(path: str | pathlib.Path, manifest: dict) -> pathlib.Path:
+    """Validate and write a sweep manifest; returns the written path."""
+    errors = validate_sweep_manifest(manifest)
+    if errors:
+        raise SweepManifestError("; ".join(errors))
+    path = pathlib.Path(path)
+    if not path.suffix:
+        path = path.with_suffix(".json")
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_sweep_manifest(path: str | pathlib.Path) -> dict:
+    """Read and validate a sweep manifest file."""
+    manifest = json.loads(pathlib.Path(path).read_text())
+    errors = validate_sweep_manifest(manifest)
+    if errors:
+        raise SweepManifestError(f"{path}: " + "; ".join(errors))
+    return manifest
+
+
+#: (dotted path, expected type(s), required) — mirrors the run-manifest rules.
+_RULES: list[tuple[str, tuple[type, ...], bool]] = [
+    ("kind", (str,), True),
+    ("schema_version", (int,), True),
+    ("created", (str,), True),
+    ("sweep", (dict,), True),
+    ("sweep.jobs", (int,), True),
+    ("sweep.mode", (str,), True),
+    ("sweep.n_tasks", (int,), True),
+    ("sweep.n_points", (int,), True),
+    ("sweep.n_failed", (int,), True),
+    ("points", (dict,), True),
+]
+
+
+def _lookup(doc: dict, dotted: str):
+    node: _t.Any = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None, False
+        node = node[part]
+    return node, True
+
+
+def validate_sweep_manifest(manifest: object) -> list[str]:
+    """Return schema violations (empty list = valid)."""
+    if not isinstance(manifest, dict):
+        return ["sweep manifest must be a JSON object"]
+    errors = []
+    for dotted, types, required in _RULES:
+        value, present = _lookup(manifest, dotted)
+        if not present:
+            if required:
+                errors.append(f"missing required field {dotted!r}")
+            continue
+        if not isinstance(value, types):
+            names = "/".join(t.__name__ for t in types)
+            errors.append(f"{dotted!r} must be {names}, got {type(value).__name__}")
+    if errors:
+        return errors
+    if manifest["kind"] != SWEEP_MANIFEST_KIND:
+        errors.append(
+            f"kind must be {SWEEP_MANIFEST_KIND!r}, got {manifest['kind']!r}"
+        )
+    if manifest["schema_version"] > SWEEP_MANIFEST_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {manifest['schema_version']} is newer than "
+            f"supported {SWEEP_MANIFEST_SCHEMA_VERSION}"
+        )
+    sweep = manifest["sweep"]
+    if sweep["jobs"] < 1:
+        errors.append("sweep.jobs must be >= 1")
+    if sweep["n_points"] != len(manifest["points"]):
+        errors.append(
+            f"sweep.n_points ({sweep['n_points']}) does not match the "
+            f"points map ({len(manifest['points'])} entries)"
+        )
+    if sweep["n_points"] > sweep["n_tasks"]:
+        errors.append("sweep.n_points exceeds sweep.n_tasks")
+    for key, entry in manifest["points"].items():
+        if not isinstance(entry, dict):
+            errors.append(f"points.{key} must be an object")
+            continue
+        for field, types in (
+            ("digest", (str,)),
+            ("phase_time_s", (int, float)),
+            ("failed", (bool,)),
+            ("summary", (dict,)),
+        ):
+            if field not in entry:
+                errors.append(f"points.{key} missing field {field!r}")
+            elif not isinstance(entry[field], types):
+                names = "/".join(t.__name__ for t in types)
+                errors.append(f"points.{key}.{field} must be {names}")
+    return errors

@@ -36,6 +36,7 @@ enabled session for the duration of a run when asked
 from __future__ import annotations
 
 import contextlib
+import threading
 import typing as _t
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -97,23 +98,35 @@ class Telemetry:
 
 #: The inert default session; shared, never written to.
 _DISABLED = Telemetry(enabled=False)
-_current: Telemetry = _DISABLED
+
+
+class _CurrentSession(threading.local):
+    """Per-thread session slot (class attribute is the per-thread default).
+
+    Thread-local so concurrent in-process runs — the sweep engine's thread
+    mode — each see only their own session instead of trampling a shared
+    global.
+    """
+
+    value: Telemetry = _DISABLED
+
+
+_current = _CurrentSession()
 
 
 def current() -> Telemetry:
     """The active session (the disabled singleton unless one is installed)."""
-    return _current
+    return _current.value
 
 
 def install(telemetry: Telemetry | None) -> Telemetry:
-    """Install ``telemetry`` as the current session; returns the previous one.
+    """Install ``telemetry`` as this thread's session; returns the previous one.
 
     Passing ``None`` restores the disabled default.  Prefer :func:`session`
     where lexical scoping fits.
     """
-    global _current
-    previous = _current
-    _current = telemetry if telemetry is not None else _DISABLED
+    previous = _current.value
+    _current.value = telemetry if telemetry is not None else _DISABLED
     return previous
 
 

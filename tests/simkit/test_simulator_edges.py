@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.simkit import SimulationError, Simulator
+from repro.simkit import (
+    DeadlockError,
+    EventCancelled,
+    SimulationError,
+    Simulator,
+)
 
 
 class TestSimulatorEdges:
@@ -78,3 +83,170 @@ class TestSimulatorEdges:
         assert log == [1.0]
         sim.run()
         assert log == [1.0, 2.0, 3.0]
+
+
+class TestSameTimestampOrdering:
+    def test_same_timestamp_events_dispatch_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        events = [sim.event(name=f"e{i}") for i in range(4)]
+
+        def waiter(i):
+            yield events[i]
+            order.append(i)
+
+        for i in range(4):
+            sim.process(waiter(i), name=f"w{i}")
+        for ev in events:  # all trigger at the same simulated instant
+            ev.succeed()
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_cancellation_preserves_order_of_surviving_events(self):
+        """Cancelling one of several same-timestamp events must not reorder
+        the survivors nor change the instant any of them observes."""
+        sim = Simulator()
+        order = []
+        events = [sim.event(name=f"e{i}") for i in range(4)]
+
+        def waiter(i):
+            try:
+                yield events[i]
+                order.append(("ok", i, sim.now))
+            except EventCancelled:
+                order.append(("cancelled", i, sim.now))
+
+        for i in range(4):
+            sim.process(waiter(i), name=f"w{i}")
+
+        def driver():
+            yield sim.timeout(1.0)
+            events[0].succeed()
+            events[1].succeed()
+            events[2].cancel()
+            events[3].succeed()
+
+        sim.process(driver(), name="driver")
+        sim.run()
+        assert order == [
+            ("ok", 0, 1.0),
+            ("ok", 1, 1.0),
+            ("cancelled", 2, 1.0),
+            ("ok", 3, 1.0),
+        ]
+
+    def test_cancel_already_triggered_event_is_noop(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        assert ev.cancel() is False
+        assert sim.run(ev) == "v"
+
+
+class TestDeadlockReporting:
+    def test_deadlock_message_lists_hung_processes_and_targets(self):
+        sim = Simulator()
+
+        def hang(ev):
+            yield ev
+
+        sim.process(hang(sim.event(name="never-b")), name="proc-b")
+        sim.process(hang(sim.event(name="never-a")), name="proc-a")
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        message = str(err.value)
+        assert "blocked processes" in message
+        assert "no pending events" in message
+        assert "'proc-a'" in message and "'proc-b'" in message
+        assert "never-a" in message and "never-b" in message
+        # One line per process, sorted by process name for a stable report.
+        assert message.index("proc-a") < message.index("proc-b")
+
+    def test_deadlock_on_unfired_until_event_names_it(self):
+        sim = Simulator()
+        stop = sim.event(name="finish-line")
+
+        def hang():
+            yield sim.event(name="never")
+
+        sim.process(hang(), name="stuck")
+        with pytest.raises(DeadlockError, match="never fired"):
+            sim.run(stop)
+
+    def test_completed_simulation_does_not_deadlock(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        sim.process(body())
+        sim.run()  # all processes finish: no DeadlockError
+        assert sim.now == 1.0
+
+
+class TestDispatchCounter:
+    def test_counter_starts_at_zero_and_grows(self):
+        sim = Simulator()
+        assert sim.n_dispatched == 0
+
+        def body():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+
+        sim.process(body())
+        sim.run()
+        assert sim.n_dispatched > 0
+
+    def test_step_increments_by_exactly_one(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        before = sim.n_dispatched
+        sim.step()
+        assert sim.n_dispatched == before + 1
+
+    def test_identical_workloads_dispatch_identical_counts(self):
+        def build():
+            sim = Simulator()
+
+            def body():
+                for _ in range(3):
+                    yield sim.timeout(1.0)
+
+            sim.process(body())
+            sim.process(body())
+            return sim
+
+        a, b = build(), build()
+        a.run()
+        b.run()
+        assert a.n_dispatched == b.n_dispatched
+
+    def test_segmented_run_counts_like_a_single_run(self):
+        def build():
+            sim = Simulator()
+
+            def body():
+                for _ in range(4):
+                    yield sim.timeout(1.0)
+
+            sim.process(body())
+            return sim
+
+        whole, halves = build(), build()
+        whole.run()
+        halves.run(until=2.5)
+        halves.run()
+        assert halves.n_dispatched == whole.n_dispatched
+
+    def test_counter_preserved_when_deadlock_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+            yield sim.event(name="never")
+
+        sim.process(body(), name="stuck")
+        with pytest.raises(DeadlockError):
+            sim.run()
+        assert sim.n_dispatched > 0

@@ -1,0 +1,133 @@
+"""Sweep-manifest schema: build, write/load round trip, validation rules."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SWEEP_MANIFEST_KIND,
+    SWEEP_MANIFEST_SCHEMA_VERSION,
+    PointRecord,
+    SweepManifestError,
+    build_sweep_manifest,
+    load_sweep_manifest,
+    validate_sweep_manifest,
+    write_sweep_manifest,
+)
+
+
+def record(key="ranks=1", failed=False):
+    summary = {"phase_time_s": 0.01, "failed": failed}
+    return PointRecord(
+        key=key,
+        summary=summary,
+        digest="sha256:" + "0" * 64,
+        phase_time_s=0.01,
+        failed=failed,
+    )
+
+
+def valid_manifest(**kwargs):
+    defaults = dict(jobs=2, mode="process", wall_time_s=1.5, created="(test)")
+    defaults.update(kwargs)
+    return build_sweep_manifest([record("ranks=1"), record("ranks=2")], **defaults)
+
+
+class TestBuild:
+    def test_sections_and_counters(self):
+        manifest = valid_manifest(n_tasks=3)
+        assert manifest["kind"] == SWEEP_MANIFEST_KIND
+        assert manifest["schema_version"] == SWEEP_MANIFEST_SCHEMA_VERSION
+        assert manifest["sweep"]["n_tasks"] == 3
+        assert manifest["sweep"]["n_points"] == 2
+        assert manifest["sweep"]["n_failed"] == 0
+        assert set(manifest["points"]) == {"ranks=1", "ranks=2"}
+
+    def test_failed_points_counted(self):
+        manifest = build_sweep_manifest(
+            [record("a"), record("b", failed=True)], created="(test)"
+        )
+        assert manifest["sweep"]["n_failed"] == 1
+        assert manifest["points"]["b"]["failed"] is True
+
+    def test_created_defaults_to_timestamp(self):
+        manifest = build_sweep_manifest([record()])
+        assert manifest["created"] != "(test)"
+        assert len(manifest["created"]) > 10
+
+    def test_grid_dict_embedded_verbatim(self):
+        manifest = valid_manifest(grid={"axes": {"ranks": [1, 2]}})
+        assert manifest["sweep"]["grid"] == {"axes": {"ranks": [1, 2]}}
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = write_sweep_manifest(tmp_path / "sweep.json", valid_manifest())
+        assert load_sweep_manifest(path) == valid_manifest()
+
+    def test_suffix_appended(self, tmp_path):
+        path = write_sweep_manifest(tmp_path / "sweep", valid_manifest())
+        assert path.suffix == ".json"
+
+    def test_write_rejects_invalid(self, tmp_path):
+        manifest = valid_manifest()
+        del manifest["sweep"]["n_points"]
+        with pytest.raises(SweepManifestError, match="n_points"):
+            write_sweep_manifest(tmp_path / "bad.json", manifest)
+
+    def test_load_rejects_invalid(self, tmp_path):
+        manifest = valid_manifest()
+        manifest["kind"] = "something.else"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SweepManifestError, match="kind"):
+            load_sweep_manifest(path)
+
+
+class TestValidate:
+    def test_valid_manifest_has_no_errors(self):
+        assert validate_sweep_manifest(valid_manifest()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_sweep_manifest([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "dotted", ["kind", "created", "sweep", "points"]
+    )
+    def test_missing_required_top_level(self, dotted):
+        manifest = valid_manifest()
+        del manifest[dotted]
+        assert any(dotted in e for e in validate_sweep_manifest(manifest))
+
+    def test_newer_schema_version_rejected(self):
+        manifest = valid_manifest()
+        manifest["schema_version"] = SWEEP_MANIFEST_SCHEMA_VERSION + 1
+        assert any("newer" in e for e in validate_sweep_manifest(manifest))
+
+    def test_jobs_floor(self):
+        manifest = valid_manifest()
+        manifest["sweep"]["jobs"] = 0
+        assert any("jobs" in e for e in validate_sweep_manifest(manifest))
+
+    def test_point_count_must_match_map(self):
+        manifest = valid_manifest()
+        manifest["sweep"]["n_points"] = 5
+        errors = validate_sweep_manifest(manifest)
+        assert any("does not match" in e for e in errors)
+
+    def test_points_cannot_exceed_tasks(self):
+        manifest = valid_manifest(n_tasks=1)
+        assert any("exceeds" in e for e in validate_sweep_manifest(manifest))
+
+    def test_point_entry_fields_checked(self):
+        manifest = valid_manifest()
+        del manifest["points"]["ranks=1"]["digest"]
+        manifest["points"]["ranks=2"]["phase_time_s"] = "fast"
+        errors = validate_sweep_manifest(manifest)
+        assert any("ranks=1" in e and "digest" in e for e in errors)
+        assert any("ranks=2" in e and "phase_time_s" in e for e in errors)
+
+    def test_point_entry_must_be_object(self):
+        manifest = valid_manifest()
+        manifest["points"]["ranks=1"] = "nope"
+        assert any("must be an object" in e for e in validate_sweep_manifest(manifest))
