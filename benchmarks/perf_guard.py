@@ -1,0 +1,137 @@
+"""Events/s ratchet guard for the contention engine.
+
+Measures the simulator's event-dispatch throughput on the reference
+desynchronized workload (ranks=8, taskgroups=8, ``ompss_perfft`` — the
+configuration whose hot path is the vectorized fluid engine + memoized
+bandwidth water-filling) and compares it against the committed baseline
+``benchmarks/BENCH_contention.json``.
+
+Modes
+-----
+``check``
+    Fail (exit 1) when the best-of-N throughput falls more than
+    ``--tolerance`` (default 20%) below the baseline.  CI runs this on
+    every push; the generous tolerance plus a best-of-N protocol absorbs
+    shared-runner noise while still catching real hot-path regressions.
+
+``update``
+    Re-measure and rewrite the baseline *only if faster* (a ratchet:
+    the committed number only ever goes up).  Run this after landing an
+    engine optimization and commit the result.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py check
+    PYTHONPATH=src python benchmarks/perf_guard.py update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "BENCH_contention.json"
+BASELINE_KIND = "repro.bench_contention"
+
+
+def reference_config():
+    from repro.core.driver import RunConfig
+
+    return RunConfig(ranks=8, taskgroups=8, version="ompss_perfft")
+
+
+def measure(rounds: int = 5) -> dict:
+    """Best-of-``rounds`` event throughput of the reference workload."""
+    from repro.core.driver import run_fft_phase
+
+    cfg = reference_config()
+    run_fft_phase(cfg)  # warm geometry/plan caches out of the measurement
+    best = 0.0
+    sim_events = 0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_fft_phase(cfg)
+        wall = time.perf_counter() - t0
+        sim_events = result.sim.n_dispatched
+        best = max(best, sim_events / wall)
+    return {
+        "kind": BASELINE_KIND,
+        "config": cfg.label(),
+        "events_per_s": best,
+        "sim_events": sim_events,
+        "rounds": rounds,
+    }
+
+
+def load_baseline(path: pathlib.Path) -> dict | None:
+    if not path.exists():
+        return None
+    doc = json.loads(path.read_text())
+    if doc.get("kind") != BASELINE_KIND:
+        raise SystemExit(f"{path}: not a {BASELINE_KIND} baseline")
+    return doc
+
+
+def cmd_check(path: pathlib.Path, tolerance: float, rounds: int) -> int:
+    baseline = load_baseline(path)
+    if baseline is None:
+        print(f"no baseline at {path}; run 'perf_guard.py update' and commit it")
+        return 1
+    current = measure(rounds)
+    floor = baseline["events_per_s"] * (1.0 - tolerance)
+    verdict = "OK" if current["events_per_s"] >= floor else "REGRESSION"
+    print(
+        f"{verdict}: {current['events_per_s']:,.0f} events/s "
+        f"(baseline {baseline['events_per_s']:,.0f}, "
+        f"floor {floor:,.0f} at -{tolerance:.0%}, "
+        f"best of {rounds} on {current['config']})"
+    )
+    if verdict != "OK":
+        print(
+            "event-dispatch throughput regressed beyond tolerance; "
+            "profile the fluid-engine hot path (see docs/PERFORMANCE.md) "
+            "or, if the slowdown is intended and justified, refresh the "
+            "baseline with 'perf_guard.py update --force'."
+        )
+        return 1
+    return 0
+
+
+def cmd_update(path: pathlib.Path, rounds: int, force: bool) -> int:
+    baseline = load_baseline(path)
+    current = measure(rounds)
+    if baseline is not None and not force:
+        if current["events_per_s"] <= baseline["events_per_s"]:
+            print(
+                f"keeping baseline {baseline['events_per_s']:,.0f} events/s "
+                f"(measured {current['events_per_s']:,.0f}; "
+                "the ratchet only moves up — use --force to lower it)"
+            )
+            return 0
+    path.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {path}: {current['events_per_s']:,.0f} events/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("check", "update"))
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="update: overwrite even when slower than the stored baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.mode == "check":
+        return cmd_check(args.baseline, args.tolerance, args.rounds)
+    return cmd_update(args.baseline, args.rounds, args.force)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -430,7 +430,7 @@ def run_fft_phase(
         fault_report = injector.report.to_dict()
 
     if tel is not None and tel.enabled:
-        _record_run_summary(tel, config, cpu, sim, total_time, injector)
+        _record_run_summary(tel, config, cpu, sim, total_time, injector, world=world)
 
     return RunResult(
         config=config,
@@ -481,6 +481,7 @@ def _record_run_summary(
     sim: Simulator,
     phase_time: float,
     injector: FaultInjector | None = None,
+    world: MpiWorld | None = None,
 ) -> None:
     """Close out a telemetry session: the run span and derived gauges."""
     tel.spans.add(
@@ -501,6 +502,12 @@ def _record_run_summary(
     tel.metrics.set_gauge("machine.average_ipc", counters.average_ipc())
     tel.metrics.set_gauge("sim.events_dispatched", float(sim.n_dispatched))
     tel.metrics.set_gauge("run.phase_seconds", phase_time)
+    engine_sources = [("cpu", cpu.engine_stats())]
+    if world is not None:
+        engine_sources.append(("network", world.network.engine_stats()))
+    for resource, stats in engine_sources:
+        for name, value in stats.items():
+            tel.metrics.set_gauge(f"engine.{name}", float(value), resource=resource)
     if injector is not None:
         report = injector.report
         tel.metrics.set_gauge("faults.injected", float(report.n_injected))

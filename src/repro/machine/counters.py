@@ -52,8 +52,13 @@ class CounterSet:
 
     def record(self, stream: _t.Hashable, phase: str, instructions: float, compute_time: float) -> None:
         """Accumulate one completed compute phase."""
-        per_phase = self._data.setdefault(stream, {})
-        per_phase.setdefault(phase, PhaseCounters()).add(instructions, compute_time)
+        per_phase = self._data.get(stream)
+        if per_phase is None:
+            per_phase = self._data[stream] = {}
+        counters = per_phase.get(phase)
+        if counters is None:
+            counters = per_phase[phase] = PhaseCounters()
+        counters.add(instructions, compute_time)
 
     # -- queries ----------------------------------------------------------------
 

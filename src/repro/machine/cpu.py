@@ -145,9 +145,10 @@ class CpuModel:
             instructions,
             meta={"profile": profile, "thread": thread, "stream": stream, "speed": speed},
         )
-        done = Event(self.sim, name=f"compute:{phase}")
 
         def _finish(event: Event) -> None:
+            if event._exception is not None:
+                return  # cancelled/failed: no completion bookkeeping
             end = self.sim.now
             record = ComputeRecord(
                 stream=stream,
@@ -165,10 +166,17 @@ class CpuModel:
                 tel.metrics.count("machine.compute_seconds", end - start, phase=phase)
                 tel.metrics.count("machine.instructions", instructions, phase=phase)
                 tel.metrics.observe("machine.phase_seconds", end - start, phase=phase)
-            done.succeed(record)
+            # Waiters resume off this same event; registered first, this
+            # callback swaps the task payload for the ComputeRecord they
+            # expect — one event per phase instead of a done/notify pair.
+            event._value = record
 
         task.done.add_callback(_finish)
-        return done
+        return task.done
+
+    def engine_stats(self) -> dict[str, int]:
+        """Fluid-engine counters of the contended CPU resource (manifests)."""
+        return dict(self.resource.stats())
 
     def current_ipc_of(self, stream: _t.Hashable) -> float | None:
         """Instantaneous effective IPC of a stream's running phase (or None)."""

@@ -25,8 +25,10 @@ from __future__ import annotations
 import math
 import typing as _t
 
+import numpy as np
+
 from repro.faults.injector import MpiLinkError, MpiTimeoutError
-from repro.machine.contention import waterfill
+from repro.machine.contention import waterfill, waterfill_vec
 from repro.simkit.events import Event
 from repro.simkit.fluid import FluidResource, FluidTask
 
@@ -51,11 +53,78 @@ class RankAwareAllocator:
     then the aggregate capacity is divided max-min fairly over the resulting
     demands.  Transfers without a known sender (``rank=None``) are treated as
     separate one-transfer processes.
+
+    Implements the fluid engine's batch protocol: sender ranks are interned
+    to small integer ids at submit time and the rate computation is memoized
+    on the active-set composition (the same handful of concurrent-transfer
+    mixes — one rank alone, the all-ranks alltoall burst — recurs for the
+    whole run).  Anonymous transfers are the pseudo-id ``-1``: each is its
+    own single-transfer process, demanding the full injection bandwidth.
     """
 
     def __init__(self, capacity: float, injection_bw: float):
         self.capacity = capacity
         self.injection_bw = injection_bw
+        self._rank_ids: dict[object, int] = {}
+        self._cache: dict[bytes, np.ndarray] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "alloc_cache_hits": self.cache_hits,
+            "alloc_cache_misses": self.cache_misses,
+            "alloc_cache_size": len(self._cache),
+        }
+
+    def prepare(self, task: FluidTask) -> int:
+        rank = task.meta.get("rank")
+        if rank is None:
+            return -1
+        sid = self._rank_ids.get(rank)
+        if sid is None:
+            sid = len(self._rank_ids)
+            self._rank_ids[rank] = sid
+            self._cache.clear()  # luts are sized to the known-rank space
+        return sid
+
+    def allocate_batch(self, statics: _t.Sequence[int]) -> np.ndarray:
+        n = len(statics)
+        if n == 0:
+            return np.empty(0)
+        sids = np.fromiter(statics, dtype=np.intp, count=n)
+        sorted_sids = np.sort(sids)
+        key = sorted_sids.tobytes()
+        lut = self._cache.get(key)
+        if lut is None:
+            self.cache_misses += 1
+            lut = self._rate_lut(sorted_sids)
+            self._cache[key] = lut
+        else:
+            self.cache_hits += 1
+        # ``lut[-1]`` (numpy wrap-around) is deliberately the anonymous-rank
+        # rate, so one fancy index serves interned and anonymous senders.
+        return lut[sids]
+
+    def _rate_lut(self, sorted_sids: np.ndarray) -> np.ndarray:
+        """Per-sender-id rate table for one concurrent-transfer composition.
+
+        Transfers of the same sender have identical injection demands and so
+        receive identical max-min grants; the water filling runs per unique
+        sender with the transfer count as weight.  The table's last slot
+        holds the anonymous-transfer rate (or 0 when none are present).
+        """
+        uniq, counts = np.unique(sorted_sids, return_counts=True)
+        # Demand per transfer: the sender's injection bandwidth split over
+        # its concurrent transfers; anonymous senders (-1) are one-transfer
+        # processes, so each demands the full injection bandwidth.
+        demands = self.injection_bw / counts
+        anon = uniq == -1
+        demands[anon] = self.injection_bw
+        grants = waterfill_vec(demands, self.capacity, counts)
+        lut = np.zeros(len(self._rank_ids) + 1)
+        lut[uniq] = grants  # uniq may include -1 -> wraps to the last slot
+        return lut
 
     def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
         if not tasks:
@@ -251,6 +320,10 @@ class NetworkModel:
         event.add_callback(_chain)
         return out
 
+    def engine_stats(self) -> dict[str, int]:
+        """Summed fluid-engine counters over this model's transport resources."""
+        return dict(self.resource.stats())
+
     # -- per-collective latency message counts --------------------------------
 
     @staticmethod
@@ -389,3 +462,11 @@ class ClusterNetworkModel(NetworkModel):
     def message_latency(self, ranks: _t.Sequence[int]) -> float:
         nodes = {self.node_of(r) for r in ranks}
         return self.inter_latency if len(nodes) > 1 else self.latency
+
+    def engine_stats(self) -> dict[str, int]:
+        """Counters summed over the base, per-node and fabric resources."""
+        total = super().engine_stats()
+        for res in [*self._node_resources.values(), self._fabric]:
+            for k, v in res.stats().items():
+                total[k] = total.get(k, 0) + v
+        return total

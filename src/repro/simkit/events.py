@@ -19,7 +19,16 @@ import typing as _t
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.simkit.simulator import Simulator
 
-__all__ = ["Event", "Timeout", "EventCancelled", "Interrupt", "PENDING", "TRIGGERED", "PROCESSED"]
+__all__ = [
+    "CallbackEvent",
+    "Event",
+    "Timeout",
+    "EventCancelled",
+    "Interrupt",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
 
 
 #: Sentinel for an event that has not been triggered yet.
@@ -43,6 +52,33 @@ class Interrupt(Exception):
     def __init__(self, cause: object = None):
         super().__init__(cause)
         self.cause = cause
+
+
+class CallbackEvent:
+    """Minimal pre-triggered heap entry: calls ``fn`` when dispatched.
+
+    A lightweight alternative to a full :class:`Event` for engine-internal
+    wakeups (deferred rebalances, fluid completion timers): no callback
+    list, no state machine, no value, no cancellation.  The simulator's run
+    loop only touches ``_process``, ``_exception`` and ``_defused``, so the
+    class satisfies that contract with class attributes and a single slot.
+    Exceptions raised by ``fn`` propagate directly out of the run loop.
+    """
+
+    __slots__ = ("_fn",)
+
+    _exception: BaseException | None = None
+    exception: BaseException | None = None
+    _defused = False
+
+    def __init__(self, fn: _t.Callable[[], None]):
+        self._fn = fn
+
+    def _process(self) -> None:
+        self._fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CallbackEvent {self._fn!r}>"
 
 
 class Event:

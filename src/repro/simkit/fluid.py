@@ -3,7 +3,7 @@
 A :class:`FluidResource` executes *fluid tasks*: each task carries an amount
 of abstract ``work`` and progresses continuously at a rate chosen by a
 :class:`RateAllocator`.  Whenever the set of active tasks changes (a task is
-submitted or completes), the resource
+submitted, cancelled or completes), the resource
 
 1. advances every active task's progress at its previous rate,
 2. asks the allocator for fresh rates given the *new* active set, and
@@ -16,6 +16,30 @@ behind the paper's resource-contention analysis (Tables I/II, Fig. 7).
 
 The engine is exact for piecewise-constant rates: between change points every
 task progresses linearly, and change points are processed in order.
+
+Engine layout (the contention hot path)
+---------------------------------------
+Per-task progress state lives in struct-of-arrays form — ``remaining``,
+``rate``, ``work`` and ``active_time`` are numpy arrays indexed by position in
+the active set, maintained incrementally on submit/cancel/finish — so the
+progress integration of :meth:`FluidResource._advance`, the finished-task
+scan and the completion-ETA reduction are whole-array operations instead of
+per-task Python loops.  :class:`FluidTask` objects remain the public handles;
+their ``remaining``/``rate``/``active_time`` attributes read through to the
+arrays while the task is active and are written back on detach.
+
+Changes that land at the same simulation timestamp are *coalesced*: a burst
+of k submits (an OmpSs taskloop fan-out) marks the resource dirty and defers
+one rebalance to the end of the timestep (:meth:`Simulator.defer`) instead of
+running k full reallocations.  This is semantically free — intermediate rate
+assignments would act over zero simulated time — and is counted in
+``n_coalesced`` for the run manifest.
+
+Allocators may additionally implement the *batch protocol* (``prepare`` +
+``allocate_batch``): the resource then collects one static record per task at
+submit time and hands the allocator the whole list per rebalance, so the
+allocator never re-walks task metadata (see
+:class:`~repro.machine.contention.BandwidthContentionAllocator`).
 """
 
 from __future__ import annotations
@@ -23,7 +47,9 @@ from __future__ import annotations
 import math
 import typing as _t
 
-from repro.simkit.events import Event, Timeout
+import numpy as np
+
+from repro.simkit.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.simkit.simulator import Simulator
@@ -34,6 +60,30 @@ __all__ = ["FluidTask", "RateAllocator", "EqualShareAllocator", "FluidResource"]
 _REL_EPS = 1e-12
 #: Absolute floor so zero-work tasks terminate immediately.
 _ABS_EPS = 1e-15
+
+#: Initial capacity of the struct-of-arrays buffers (doubled on demand).
+_INITIAL_CAPACITY = 16
+
+
+class _TimerEvent:
+    """Completion-timer heap entry: one slot cheaper than a lambda closure.
+
+    Satisfies the same minimal run-loop contract as
+    :class:`~repro.simkit.events.CallbackEvent`.
+    """
+
+    __slots__ = ("_res", "_version")
+
+    _exception: BaseException | None = None
+    exception: BaseException | None = None
+    _defused = False
+
+    def __init__(self, res: "FluidResource", version: int):
+        self._res = res
+        self._version = version
+
+    def _process(self) -> None:
+        self._res._on_timer(self._version)
 
 
 class FluidTask:
@@ -57,19 +107,58 @@ class FluidTask:
         Simulated time this task spent with a non-zero rate.
     """
 
-    __slots__ = ("work", "remaining", "meta", "done", "rate", "active_time", "start_time", "finish_time")
+    __slots__ = (
+        "work",
+        "_remaining",
+        "meta",
+        "done",
+        "_rate",
+        "_active_time",
+        "start_time",
+        "finish_time",
+        "_res",
+    )
 
     def __init__(self, sim: "Simulator", work: float, meta: dict | None = None):
         if work < 0:
             raise ValueError(f"negative work {work!r}")
         self.work = float(work)
-        self.remaining = float(work)
+        self._remaining = float(work)
         self.meta: dict = meta or {}
         self.done: Event = Event(sim, name="fluid-done")
-        self.rate = 0.0
-        self.active_time = 0.0
+        self._rate = 0.0
+        self._active_time = 0.0
         self.start_time: float | None = None
         self.finish_time: float | None = None
+        #: Owning resource while active (state then lives in its arrays).
+        self._res: "FluidResource | None" = None
+
+    # While a task is active its progress state lives in the owning
+    # resource's arrays; the properties read through so diagnostics and
+    # observers keep working.  Detached (finished/cancelled/never-started)
+    # tasks fall back to the plain floats written back on detach.
+
+    @property
+    def remaining(self) -> float:
+        res = self._res
+        if res is None:
+            return self._remaining
+        return float(res._remaining[res._index_of(self)])
+
+    @property
+    def rate(self) -> float:
+        res = self._res
+        if res is None:
+            return self._rate
+        return float(res._rates[res._index_of(self)])
+
+    @property
+    def active_time(self) -> float:
+        res = self._res
+        if res is None:
+            return self._active_time
+        i = res._index_of(self)
+        return (res._last_update - self.start_time) - float(res._zero_time[i])
 
     @property
     def progress(self) -> float:
@@ -83,7 +172,28 @@ class FluidTask:
 
 
 class RateAllocator(_t.Protocol):
-    """Strategy assigning progress rates to the active tasks of a resource."""
+    """Strategy assigning progress rates to the active tasks of a resource.
+
+    ``allocate`` is the required interface.  Allocators may opt into the
+    vectorized batch protocol by also providing::
+
+        def prepare(self, task: FluidTask) -> object: ...
+        def allocate_batch(self, statics: list) -> numpy.ndarray: ...
+
+    ``prepare`` is called once per task at submit time and returns an opaque
+    static record (everything the allocator needs that cannot change while
+    the task runs); ``allocate_batch`` receives the records of the current
+    active set, in order, and returns one rate per record.  The resource
+    keeps the records compacted in lockstep with the active set, so the
+    allocator never re-reads task metadata on the hot path.
+
+    Allocators that additionally declare ``static_width: int`` promise that
+    ``prepare`` returns a fixed-length tuple of ``static_width`` numbers; the
+    resource then stores the records as rows of one 2-D float array and
+    passes ``allocate_batch`` an ``(n, static_width)`` array view — no
+    per-rebalance Python iteration over records at all.  Without
+    ``static_width`` the records are kept in a plain list (opaque objects).
+    """
 
     def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
         """Return one non-negative rate per task (same order as ``tasks``)."""
@@ -110,29 +220,24 @@ class EqualShareAllocator:
         self.capacity = float(capacity)
         self.per_task_cap = per_task_cap
 
-    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
-        n = len(tasks)
+    #: Batch-protocol static record width (no per-task statics needed).
+    static_width = 0
+
+    def prepare(self, task: FluidTask) -> tuple:
+        return ()
+
+    def allocate_batch(self, statics: _t.Sequence) -> np.ndarray:
+        n = len(statics)
         if n == 0:
-            return []
+            return np.empty(0)
         share = self.capacity / n
-        if self.per_task_cap is not None:
-            # Progressive filling: capped tasks return their slack to the rest.
-            rates = [0.0] * n
-            unsat = list(range(n))
-            budget = self.capacity
-            while unsat:
-                fair = budget / len(unsat)
-                if fair < self.per_task_cap - _ABS_EPS:
-                    for i in unsat:
-                        rates[i] = fair
-                    break
-                for i in unsat:
-                    rates[i] = self.per_task_cap
-                budget -= self.per_task_cap * len(unsat)
-                # All remaining tasks saturated at the cap; nothing left to do.
-                break
-            return rates
-        return [share] * n
+        cap = self.per_task_cap
+        if cap is not None and share >= cap - _ABS_EPS:
+            share = cap
+        return np.full(n, share)
+
+    def allocate(self, tasks: _t.Sequence[FluidTask]) -> list[float]:
+        return self.allocate_batch([()] * len(tasks)).tolist()
 
 
 class FluidResource:
@@ -149,6 +254,17 @@ class FluidResource:
     observer:
         Optional callback ``observer(resource, now)`` invoked after every
         rebalance — used by the tracer to record rate/IPC changes.
+
+    Counters (exported into run manifests as the ``engine`` section)
+    ----------------------------------------------------------------
+    ``n_rebalances``
+        Allocator invocations actually performed.
+    ``n_coalesced``
+        Active-set changes absorbed into an already-pending same-timestamp
+        rebalance (the burst savings of the coalescing engine).
+    ``n_timer_skips``
+        Rebalances that left the completion deadline unchanged and therefore
+        re-used the armed timer instead of allocating a fresh one.
     """
 
     def __init__(
@@ -163,14 +279,60 @@ class FluidResource:
         self.name = name
         self.observer = observer
         self._active: list[FluidTask] = []
+        self._n = 0
+        # One (5, capacity) matrix holds all per-task progress state; the
+        # named attributes are row views, so element access stays readable
+        # while compaction on task exit is a single two-dimensional memmove.
+        # ``_zero_time`` is time spent at zero rate — active time is derived
+        # as elapsed-minus-zero-time, so the common all-rates-positive case
+        # never touches the row in :meth:`_advance`.
+        self._state = np.zeros((5, _INITIAL_CAPACITY))
+        (
+            self._remaining,
+            self._rates,
+            self._work,
+            self._zero_time,
+            #: Static part of the completion threshold (see :meth:`_settle`).
+            self._threshold,
+        ) = self._state
+        self._rates_have_zero = True
         self._last_update = sim.now
+        self._last_settled = -math.inf
         self._timer_version = 0
+        self._armed_deadline: float | None = None
+        self._dirty = False
+        prepare = getattr(allocator, "prepare", None)
+        batch = getattr(allocator, "allocate_batch", None)
+        self._prepare = prepare if (prepare is not None and batch is not None) else None
+        self._batch = batch if self._prepare is not None else None
+        self._static_width: int | None = (
+            getattr(allocator, "static_width", None) if self._batch is not None else None
+        )
+        # Optional membership hooks: allocators that track incremental state
+        # over the active set (e.g. per-core occupancy) receive every static
+        # record on entry and exit.
+        self._notify_attach = (
+            getattr(allocator, "notify_attach", None) if self._batch is not None else None
+        )
+        self._notify_detach = (
+            getattr(allocator, "notify_detach", None) if self._batch is not None else None
+        )
+        self._statics: list = []
+        if self._static_width is not None:
+            self._statics_arr = np.zeros((_INITIAL_CAPACITY, self._static_width))
+        self.n_rebalances = 0
+        self.n_coalesced = 0
+        self.n_timer_skips = 0
 
     # -- public API -----------------------------------------------------------
 
     @property
     def active_tasks(self) -> tuple[FluidTask, ...]:
-        """Snapshot of the currently executing tasks."""
+        """Snapshot of the currently executing tasks (rates up to date)."""
+        if self._dirty:
+            if self._last_update != self.sim.now:
+                self._advance()
+            self._flush()
         return tuple(self._active)
 
     def submit(self, work: float, meta: dict | None = None) -> FluidTask:
@@ -179,107 +341,314 @@ class FluidResource:
         Yield ``task.done`` from a process to wait for completion.  Zero-work
         tasks complete at the current time without entering the active set.
         """
-        task = FluidTask(self.sim, work, meta)
-        task.start_time = self.sim.now
-        if task.work <= _ABS_EPS:
-            task.finish_time = self.sim.now
+        sim = self.sim
+        now = sim._now
+        task = FluidTask(sim, work, meta)
+        task.start_time = now
+        work = task.work
+        if work <= _ABS_EPS:
+            task.finish_time = now
             task.done.succeed(task)
             return task
-        self._advance()
+        prepare = self._prepare
+        if prepare is not None:
+            # Resolve the allocator's static record first so metadata errors
+            # surface at the submit call site, before any state changes.
+            static = prepare(task)
+        if self._last_update != now:
+            self._advance()
+        i = self._n
+        if i == len(self._remaining):
+            self._grow()
+        self._remaining[i] = work
+        self._rates[i] = 0.0
+        self._work[i] = work
+        self._zero_time[i] = 0.0
+        self._threshold[i] = max(work * _REL_EPS, _ABS_EPS)
         self._active.append(task)
-        self._rebalance()
+        if prepare is not None:
+            width = self._static_width
+            if width is not None:
+                if width:
+                    self._statics_arr[i] = static
+            else:
+                self._statics.append(static)
+            notify = self._notify_attach
+            if notify is not None:
+                notify(static)
+        task._res = self
+        self._n = i + 1
+        self._mark_dirty()
         return task
 
     def cancel(self, task: FluidTask) -> None:
         """Abort an active task; its ``done`` event is cancelled."""
-        if task not in self._active:
+        if task._res is not self:
             raise ValueError(f"{task!r} is not active on {self.name!r}")
-        self._advance()
-        self._active.remove(task)
+        if self._last_update != self.sim.now:
+            self._advance()
+        i = self._active.index(task)
+        self._detach(task, i)
+        self._notify_gone(i)
+        self._remove_indices([i])
         task.done.cancel()
-        self._rebalance()
+        self._mark_dirty()
 
     def throughput(self) -> float:
         """Aggregate current rate over all active tasks."""
-        return sum(t.rate for t in self._active)
+        if self._dirty:
+            if self._last_update != self.sim.now:
+                self._advance()
+            self._flush()
+        return float(self._rates[: self._n].sum())
+
+    def stats(self) -> dict[str, int]:
+        """Engine counters for manifests/telemetry (see class docstring)."""
+        out = {
+            "n_rebalances": self.n_rebalances,
+            "n_coalesced": self.n_coalesced,
+            "n_timer_skips": self.n_timer_skips,
+        }
+        cache_info = getattr(self.allocator, "cache_info", None)
+        if cache_info is not None:
+            out.update(cache_info())
+        return out
 
     # -- engine internals -------------------------------------------------------
 
+    def _index_of(self, task: FluidTask) -> int:
+        return self._active.index(task)
+
+    def _notify_gone(self, i: int) -> None:
+        """Hand a departing task's static record to the allocator hook."""
+        notify = self._notify_detach
+        if notify is not None:
+            if self._static_width is not None:
+                notify(self._statics_arr[i])
+            else:
+                notify(self._statics[i])
+
+    def _grow(self) -> None:
+        cap = 2 * len(self._remaining)
+        new = np.zeros((5, cap))
+        new[:, : self._state.shape[1]] = self._state
+        self._state = new
+        (
+            self._remaining,
+            self._rates,
+            self._work,
+            self._zero_time,
+            self._threshold,
+        ) = new
+        if self._static_width is not None:
+            new_statics = np.zeros((cap, self._static_width))
+            new_statics[: self._statics_arr.shape[0]] = self._statics_arr
+            self._statics_arr = new_statics
+
+    def _detach(self, task: FluidTask, i: int) -> None:
+        """Write a task's array state back onto the object and release it."""
+        task._remaining = float(self._remaining[i])
+        task._rate = float(self._rates[i])
+        task._active_time = (self._last_update - task.start_time) - float(
+            self._zero_time[i]
+        )
+        task._res = None
+
+    def _remove_indices(self, gone: _t.Sequence[int]) -> None:
+        """Compact the arrays and the active/static lists, dropping ``gone``."""
+        n = self._n
+        m = n - len(gone)
+        if m == 0:
+            # Everything finished at once (a barrier): no compaction needed,
+            # the live prefix is simply empty.
+            self._active.clear()
+            self._statics.clear()
+            self._n = 0
+            return
+        if len(gone) == 1:
+            # Single finisher (the steady-state case): one strided memmove
+            # over the state matrix beats building a boolean mask.
+            i = gone[0]
+            self._state[:, i:m] = self._state[:, i + 1 : n]
+            del self._active[i]
+            if self._static_width is not None:
+                self._statics_arr[i:m] = self._statics_arr[i + 1 : n]
+            elif self._prepare is not None:
+                del self._statics[i]
+            self._n = m
+            return
+        keep = np.ones(n, dtype=bool)
+        keep[list(gone)] = False
+        self._state[:, :m] = self._state[:, :n][:, keep]
+        gone_set = set(gone)
+        self._active = [t for i, t in enumerate(self._active) if i not in gone_set]
+        if self._static_width is not None:
+            self._statics_arr[:m] = self._statics_arr[:n][keep]
+        elif self._prepare is not None:
+            self._statics = [
+                s for i, s in enumerate(self._statics) if i not in gone_set
+            ]
+        self._n = m
+
+    def _mark_dirty(self) -> None:
+        """Request a rebalance at the end of the current timestep.
+
+        Same-timestamp changes coalesce: the first change schedules one
+        deferred flush, subsequent ones only bump the ``n_coalesced``
+        counter.  Deferral is exact for the fluid model — between the change
+        and the flush zero simulated time passes, so no progress is ever
+        integrated under stale rates.
+        """
+        if self._dirty:
+            self.n_coalesced += 1
+            return
+        self._dirty = True
+        self.sim.defer(self._deferred_flush)
+
+    def _deferred_flush(self) -> None:
+        if not self._dirty:
+            return  # a same-timestamp completion timer already flushed
+        if self._last_update != self.sim._now:
+            self._advance()
+        self._flush()
+
     def _advance(self) -> None:
         """Integrate progress from the last change point to ``sim.now``."""
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._last_update
         if dt > 0.0:
-            for task in self._active:
-                if task.rate > 0.0:
-                    task.remaining -= task.rate * dt
-                    task.active_time += dt
+            n = self._n
+            if n:
+                rates = self._rates[:n]
+                self._remaining[:n] -= rates * dt
+                if self._rates_have_zero:
+                    self._zero_time[:n] += dt * (rates == 0.0)
         self._last_update = now
 
-    def _rebalance(self) -> None:
-        """Recompute rates for the active set and re-arm the completion timer."""
-        # A task is done when its residual work is below numerical noise.  The
-        # third term matters at non-dyadic clock values: integration over a dt
-        # that is off by one ulp of `now` leaves a residual of ~rate * ulp —
-        # without forgiving it, the resource would re-arm ever-shorter timers
-        # that no longer advance the clock (an infinite loop in finite time).
-        now = self.sim.now
-        ulp8 = math.ulp(now) * 8.0
-        active = self._active
-        finished: list[FluidTask] | None = None
-        for t in active:
-            # r <= max(a, b, c) unrolled to short-circuit comparisons — this
-            # scan runs once per active task per change point.
-            r = t.remaining
-            if r <= _ABS_EPS or r <= _REL_EPS * t.work or r <= t.rate * ulp8:
-                if finished is None:
-                    finished = [t]
-                else:
-                    finished.append(t)
-        if finished is not None:
-            # One filtering pass instead of per-task .remove() — the common
-            # submit path (nothing finished) never allocates here at all.
-            gone = set(finished)
-            self._active = active = [t for t in active if t not in gone]
-            for task in finished:
-                task.remaining = 0.0
-                task.finish_time = now
-                task.done.succeed(task)
+    def _settle(self) -> None:
+        """Detach and complete every task whose residual work is exhausted.
 
-        if active:
-            rates = self.allocator.allocate(active)
-            if len(rates) != len(active):
+        A task is done when its residual work is below numerical noise.  The
+        rate*ulp term matters at non-dyadic clock values: integration over a
+        dt that is off by one ulp of `now` leaves a residual of ~rate * ulp —
+        without forgiving it, the resource would re-arm ever-shorter timers
+        that no longer advance the clock (an infinite loop in finite time).
+        """
+        now = self.sim._now
+        self._last_settled = now
+        n = self._n
+        if not n:
+            return
+        threshold = self._rates[:n] * (math.ulp(now) * 8.0)
+        np.maximum(threshold, self._threshold[:n], out=threshold)
+        gone = (self._remaining[:n] <= threshold).nonzero()[0]
+        if gone.size == 0:
+            return
+        if gone.size == 1:
+            # Single finisher — the steady-state case of a pipelined drain.
+            i = int(gone[0])
+            task = self._active[i]
+            self._remaining[i] = 0.0
+            self._detach(task, i)
+            task.finish_time = now
+            self._notify_gone(i)
+            self._remove_indices((i,))
+            task.done.succeed(task)
+            return
+        finished = [self._active[i] for i in gone]
+        for i, task in zip(gone, finished):
+            self._remaining[i] = 0.0
+            self._detach(task, i)
+            task.finish_time = now
+            self._notify_gone(i)
+        self._remove_indices(gone.tolist())
+        for task in finished:
+            task.done.succeed(task)
+
+    def _flush(self) -> None:
+        """Recompute rates for the active set and re-arm the completion timer."""
+        self._dirty = False
+        self.n_rebalances += 1
+        now = self.sim._now
+        deadline = self._armed_deadline
+        if deadline is not None and now >= deadline and self._last_settled != now:
+            # Tasks can only exhaust their work at or after the armed
+            # completion deadline (rates are constant between flushes), so a
+            # flush strictly before it skips the finished-task scan.
+            self._settle()
+        n = self._n
+        if n:
+            if self._batch is not None:
+                if self._static_width is not None:
+                    statics = self._statics_arr[:n]
+                else:
+                    statics = self._statics
+                rates = self._batch(statics)
+                if not isinstance(rates, np.ndarray):
+                    rates = np.asarray(rates, dtype=float)
+            else:
+                rates = np.asarray(self.allocator.allocate(self._active), dtype=float)
+            if rates.shape != (n,):
                 raise RuntimeError(
-                    f"allocator returned {len(rates)} rates for {len(active)} tasks"
+                    f"allocator returned {rates.size} rates for {n} tasks"
                 )
-            eta = float("inf")
-            for task, rate in zip(active, rates):
-                if rate < 0:
-                    raise RuntimeError(f"allocator produced a negative rate {rate!r}")
-                task.rate = rate
-                if rate > 0.0:
-                    remaining_time = task.remaining / rate
-                    if remaining_time < eta:
-                        eta = remaining_time
+            rmin = rates.min()
+            self._rates[:n] = rates
+            if rmin > 0.0:
+                self._rates_have_zero = False
+                eta = float((self._remaining[:n] / rates).min())
+            elif rmin < 0.0:
+                raise RuntimeError(f"allocator produced a negative rate {float(rmin)!r}")
+            else:
+                self._rates_have_zero = True
+                positive = rates > 0.0
+                if positive.any():
+                    eta = float((self._remaining[:n][positive] / rates[positive]).min())
+                else:
+                    eta = float("inf")
             self._arm_timer(eta)
         else:
             self._timer_version += 1  # disarm any outstanding timer
+            self._armed_deadline = None
 
         if self.observer is not None:
             self.observer(self, now)
 
     def _arm_timer(self, eta: float) -> None:
-        self._timer_version += 1
         if eta == float("inf"):
+            self._timer_version += 1
+            self._armed_deadline = None
             return
-        version = self._timer_version
         # Never arm a timer that cannot advance the float clock.
-        eta = max(eta, math.ulp(self.sim.now))
-        timer = Timeout(self.sim, eta, name=f"{self.name}-completion")
-        timer.add_callback(lambda ev: self._on_timer(version))
+        now = self.sim._now
+        eta = max(eta, math.ulp(now))
+        deadline = now + eta
+        if self._armed_deadline is not None and self._armed_deadline == deadline:
+            # The earliest finisher did not move (e.g. a rebalance that left
+            # rates unchanged): the already-armed timer stays valid, no fresh
+            # Timeout allocation, no version churn.
+            self.n_timer_skips += 1
+            return
+        self._timer_version += 1
+        self._armed_deadline = deadline
+        self.sim._schedule_event(_TimerEvent(self, self._timer_version), eta)
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
             return  # stale timer; rates changed since it was armed
-        self._advance()
-        self._rebalance()
+        self._armed_deadline = None  # this timer is consumed
+        if self._last_update != self.sim._now:
+            self._advance()
+        # Complete the finishers now (their callbacks run at NORMAL priority)
+        # but *defer* the reallocation: completion callbacks routinely submit
+        # successor work at this very timestamp, and the deferred LAZY flush
+        # absorbs the finish and the resubmits into one allocator call — the
+        # intermediate composition is never priced at all.
+        self._settle()
+        if self._n == 0 and not self._dirty:
+            # Nothing left to price: disarm and notify observers now rather
+            # than via a deferred event a caller's `run(until=...)` may never
+            # drain.
+            self._flush()
+        else:
+            self._mark_dirty()

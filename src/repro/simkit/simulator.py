@@ -18,7 +18,7 @@ from __future__ import annotations
 import typing as _t
 from heapq import heappop, heappush
 
-from repro.simkit.events import Event, Timeout, PENDING
+from repro.simkit.events import CallbackEvent, Event, Timeout
 from repro.simkit.process import AllOf, AnyOf, Process, ProcessGenerator
 
 __all__ = ["Simulator", "SimulationError", "DeadlockError"]
@@ -39,6 +39,10 @@ class DeadlockError(SimulationError):
 #: Event priority: urgent events (resource bookkeeping) before normal ones.
 URGENT = 0
 NORMAL = 1
+#: Runs after every URGENT/NORMAL event of the same timestamp — the slot used
+#: by the fluid engine to coalesce a burst of same-time submits/cancels into a
+#: single end-of-timestep rebalance.
+LAZY = 2
 
 
 class Simulator:
@@ -104,6 +108,17 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         self._seq += 1
         heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def defer(self, fn: _t.Callable[[], None], priority: int = LAZY) -> None:
+        """Run ``fn()`` at the current time, after already-scheduled events.
+
+        With the default :data:`LAZY` priority the callback runs once every
+        URGENT/NORMAL event of the current timestamp has been processed —
+        including those scheduled *after* this call.  This is the coalescing
+        primitive of the fluid engine: k same-time changes of a resource fold
+        into one deferred rebalance instead of k immediate ones.
+        """
+        self._schedule_event(CallbackEvent(fn), 0.0, priority)
 
     # -- execution --------------------------------------------------------------
 

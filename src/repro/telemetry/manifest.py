@@ -11,6 +11,10 @@ compares against.  It captures:
 * per-phase compute aggregates (time, instructions, IPC — the "main phase
   IPC" the paper tracks is ``phases.fft_xy.ipc``),
 * per-communicator-layer MPI aggregates,
+* fluid-engine counters of the contended resources (rebalances, coalesced
+  updates, skipped timer re-arms, allocation-cache hits/misses) under
+  ``engine.cpu`` / ``engine.network`` — the observability hooks of the
+  vectorized contention engine,
 * the POP efficiency factors when the caller ran the ideal-network replay,
 * the fault-injection report (scenario, injected/recovered counts, per-
   attempt outcomes) when the run carried a fault scenario.
@@ -119,6 +123,10 @@ def build_manifest(
         },
         "phases": _phase_aggregates(result),
         "mpi": _mpi_aggregates(result),
+        "engine": {
+            "cpu": result.cpu.engine_stats(),
+            "network": result.world.network.engine_stats(),
+        },
         "average_ipc": result.average_ipc,
         "metrics": (
             result.telemetry.metrics.snapshot() if result.telemetry is not None else {}
@@ -179,6 +187,9 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("timing.phase_time_s", (int, float), True),
     ("phases", (dict,), True),
     ("mpi", (dict,), True),
+    ("engine", (dict,), False),
+    ("engine.cpu", (dict,), False),
+    ("engine.network", (dict,), False),
     ("average_ipc", (int, float), True),
     ("metrics", (dict,), True),
     ("pop", (dict,), False),
