@@ -1,28 +1,41 @@
-"""Events/s ratchet guard for the contention engine.
+"""Throughput ratchet guards for the simulator's optimized hot paths.
 
-Measures the simulator's event-dispatch throughput on the reference
-desynchronized workload (ranks=8, taskgroups=8, ``ompss_perfft`` — the
-configuration whose hot path is the vectorized fluid engine + memoized
-bandwidth water-filling) and compares it against the committed baseline
-``benchmarks/BENCH_contention.json``.
+Each *target* measures one reference workload and compares it against a
+committed baseline file:
+
+``contention``
+    Event-dispatch throughput (events/s) of the desynchronized meta-mode
+    workload (ranks=8, taskgroups=8, ``ompss_perfft``) — the configuration
+    whose hot path is the vectorized fluid engine + memoized bandwidth
+    water-filling.  Baseline: ``benchmarks/BENCH_contention.json``.
+
+``dataplane``
+    Data-mode band throughput (bands/s) of the 8x8 reference workload
+    (ecutwfc 30, alat 10, 32 bands, ``original``) — the configuration whose
+    hot path is the zero-allocation data plane: workspace arenas, cached
+    flat index maps, batched marshalling, and the direct batched-matmul FFT
+    combine.  Baseline: ``benchmarks/BENCH_dataplane.json``, which also
+    records the pre-arena throughput the optimization is measured against.
 
 Modes
 -----
 ``check``
-    Fail (exit 1) when the best-of-N throughput falls more than
-    ``--tolerance`` (default 20%) below the baseline.  CI runs this on
-    every push; the generous tolerance plus a best-of-N protocol absorbs
-    shared-runner noise while still catching real hot-path regressions.
+    Fail (exit 1) when any selected target's best-of-N throughput falls
+    more than ``--tolerance`` (default 20%) below its baseline.  CI runs
+    this on every push; the generous tolerance plus a best-of-N protocol
+    absorbs shared-runner noise while still catching real hot-path
+    regressions.
 
 ``update``
-    Re-measure and rewrite the baseline *only if faster* (a ratchet:
-    the committed number only ever goes up).  Run this after landing an
-    engine optimization and commit the result.
+    Re-measure and rewrite the baseline *only if faster* (a ratchet: the
+    committed number only ever goes up).  Run this after landing an
+    optimization and commit the result.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_guard.py check
-    PYTHONPATH=src python benchmarks/perf_guard.py update
+    PYTHONPATH=src python benchmarks/perf_guard.py check --target dataplane
+    PYTHONPATH=src python benchmarks/perf_guard.py update --target contention
 """
 
 from __future__ import annotations
@@ -33,21 +46,39 @@ import pathlib
 import sys
 import time
 
-DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "BENCH_contention.json"
-BASELINE_KIND = "repro.bench_contention"
+_HERE = pathlib.Path(__file__).resolve().parent
+
+#: Pre-optimization bands/s of the dataplane reference workload, measured at
+#: the commit before the workspace arena landed.  Kept in the baseline file
+#: so the speedup the ratchet protects stays visible next to the number.
+PRE_ARENA_BANDS_PER_S = 41.94370461713116
 
 
-def reference_config():
+def contention_config():
     from repro.core.driver import RunConfig
 
     return RunConfig(ranks=8, taskgroups=8, version="ompss_perfft")
 
 
-def measure(rounds: int = 5) -> dict:
-    """Best-of-``rounds`` event throughput of the reference workload."""
+def dataplane_config():
+    from repro.core.driver import RunConfig
+
+    return RunConfig(
+        ranks=8,
+        taskgroups=8,
+        version="original",
+        ecutwfc=30.0,
+        alat=10.0,
+        nbnd=32,
+        data_mode=True,
+    )
+
+
+def measure_contention(rounds: int = 5) -> dict:
+    """Best-of-``rounds`` event-dispatch throughput (meta mode)."""
     from repro.core.driver import run_fft_phase
 
-    cfg = reference_config()
+    cfg = contention_config()
     run_fft_phase(cfg)  # warm geometry/plan caches out of the measurement
     best = 0.0
     sim_events = 0
@@ -58,7 +89,7 @@ def measure(rounds: int = 5) -> dict:
         sim_events = result.sim.n_dispatched
         best = max(best, sim_events / wall)
     return {
-        "kind": BASELINE_KIND,
+        "kind": "repro.bench_contention",
         "config": cfg.label(),
         "events_per_s": best,
         "sim_events": sim_events,
@@ -66,33 +97,78 @@ def measure(rounds: int = 5) -> dict:
     }
 
 
-def load_baseline(path: pathlib.Path) -> dict | None:
+def measure_dataplane(rounds: int = 5) -> dict:
+    """Best-of-``rounds`` data-mode band throughput (complex bands/s)."""
+    from repro.core.driver import run_fft_phase
+
+    cfg = dataplane_config()
+    run_fft_phase(cfg)  # warm geometry/plan caches and the buffer arenas
+    best = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run_fft_phase(cfg)
+        wall = time.perf_counter() - t0
+        best = max(best, cfg.n_complex_bands / wall)
+    return {
+        "kind": "repro.bench_dataplane",
+        "config": cfg.label(),
+        "bands_per_s": best,
+        "n_complex_bands": cfg.n_complex_bands,
+        "pre_arena_bands_per_s": PRE_ARENA_BANDS_PER_S,
+        "speedup_vs_pre_arena": best / PRE_ARENA_BANDS_PER_S,
+        "rounds": rounds,
+    }
+
+
+#: target name -> (baseline path, baseline kind, throughput key, measure fn,
+#:                 regression hint)
+TARGETS = {
+    "contention": (
+        _HERE / "BENCH_contention.json",
+        "repro.bench_contention",
+        "events_per_s",
+        measure_contention,
+        "profile the fluid-engine hot path (see docs/PERFORMANCE.md)",
+    ),
+    "dataplane": (
+        _HERE / "BENCH_dataplane.json",
+        "repro.bench_dataplane",
+        "bands_per_s",
+        measure_dataplane,
+        "profile the data-plane hot path — arena reuse, index-map caching, "
+        "and the batched FFT combine (see docs/PERFORMANCE.md)",
+    ),
+}
+
+
+def load_baseline(path: pathlib.Path, kind: str) -> dict | None:
     if not path.exists():
         return None
     doc = json.loads(path.read_text())
-    if doc.get("kind") != BASELINE_KIND:
-        raise SystemExit(f"{path}: not a {BASELINE_KIND} baseline")
+    if doc.get("kind") != kind:
+        raise SystemExit(f"{path}: not a {kind} baseline")
     return doc
 
 
-def cmd_check(path: pathlib.Path, tolerance: float, rounds: int) -> int:
-    baseline = load_baseline(path)
+def check_target(name: str, path: pathlib.Path, tolerance: float, rounds: int) -> int:
+    default_path, kind, metric, measure, hint = TARGETS[name]
+    path = path or default_path
+    baseline = load_baseline(path, kind)
     if baseline is None:
-        print(f"no baseline at {path}; run 'perf_guard.py update' and commit it")
+        print(f"[{name}] no baseline at {path}; run 'perf_guard.py update' and commit it")
         return 1
     current = measure(rounds)
-    floor = baseline["events_per_s"] * (1.0 - tolerance)
-    verdict = "OK" if current["events_per_s"] >= floor else "REGRESSION"
+    floor = baseline[metric] * (1.0 - tolerance)
+    verdict = "OK" if current[metric] >= floor else "REGRESSION"
     print(
-        f"{verdict}: {current['events_per_s']:,.0f} events/s "
-        f"(baseline {baseline['events_per_s']:,.0f}, "
-        f"floor {floor:,.0f} at -{tolerance:.0%}, "
+        f"[{name}] {verdict}: {current[metric]:,.1f} {metric} "
+        f"(baseline {baseline[metric]:,.1f}, "
+        f"floor {floor:,.1f} at -{tolerance:.0%}, "
         f"best of {rounds} on {current['config']})"
     )
     if verdict != "OK":
         print(
-            "event-dispatch throughput regressed beyond tolerance; "
-            "profile the fluid-engine hot path (see docs/PERFORMANCE.md) "
+            f"[{name}] throughput regressed beyond tolerance; {hint} "
             "or, if the slowdown is intended and justified, refresh the "
             "baseline with 'perf_guard.py update --force'."
         )
@@ -100,26 +176,39 @@ def cmd_check(path: pathlib.Path, tolerance: float, rounds: int) -> int:
     return 0
 
 
-def cmd_update(path: pathlib.Path, rounds: int, force: bool) -> int:
-    baseline = load_baseline(path)
+def update_target(name: str, path: pathlib.Path, rounds: int, force: bool) -> int:
+    default_path, kind, metric, measure, _hint = TARGETS[name]
+    path = path or default_path
+    baseline = load_baseline(path, kind)
     current = measure(rounds)
     if baseline is not None and not force:
-        if current["events_per_s"] <= baseline["events_per_s"]:
+        if current[metric] <= baseline[metric]:
             print(
-                f"keeping baseline {baseline['events_per_s']:,.0f} events/s "
-                f"(measured {current['events_per_s']:,.0f}; "
+                f"[{name}] keeping baseline {baseline[metric]:,.1f} {metric} "
+                f"(measured {current[metric]:,.1f}; "
                 "the ratchet only moves up — use --force to lower it)"
             )
             return 0
     path.write_text(json.dumps(current, indent=2) + "\n")
-    print(f"wrote {path}: {current['events_per_s']:,.0f} events/s")
+    print(f"[{name}] wrote {path}: {current[metric]:,.1f} {metric}")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", choices=("check", "update"))
-    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--target",
+        choices=("all", *TARGETS),
+        default="all",
+        help="which ratchet to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="override the baseline path (single-target runs only)",
+    )
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
@@ -128,9 +217,16 @@ def main(argv: list[str] | None = None) -> int:
         help="update: overwrite even when slower than the stored baseline",
     )
     args = parser.parse_args(argv)
-    if args.mode == "check":
-        return cmd_check(args.baseline, args.tolerance, args.rounds)
-    return cmd_update(args.baseline, args.rounds, args.force)
+    names = list(TARGETS) if args.target == "all" else [args.target]
+    if args.baseline is not None and len(names) != 1:
+        parser.error("--baseline requires a single --target")
+    status = 0
+    for name in names:
+        if args.mode == "check":
+            status |= check_target(name, args.baseline, args.tolerance, args.rounds)
+        else:
+            status |= update_target(name, args.baseline, args.rounds, args.force)
+    return status
 
 
 if __name__ == "__main__":

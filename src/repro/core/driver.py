@@ -51,6 +51,7 @@ from repro.core.wave import (
     make_potential,
     potential_slab,
 )
+from repro.core.workspace import aggregate_stats, layout_workspaces, workspace_for
 from repro.faults.injector import FaultError, FaultInjector
 from repro.faults.plan import FaultScenario
 from repro.grids import Cell, DistributedLayout, FftDescriptor
@@ -109,6 +110,9 @@ class RunResult:
     failed: bool = False
     #: Driver attempts simulated (1 = no resume was needed).
     n_attempts: int = 1
+    #: Data-plane arena statistics for this run (acquire/release deltas plus
+    #: resident-byte gauges), or ``None`` for meta mode / arena disabled.
+    dataplane: dict | None = None
 
     def output_coefficients(self) -> np.ndarray:
         """Gather the distributed outputs (data mode only)."""
@@ -144,8 +148,14 @@ def run_fft_phase(
     potential: np.ndarray | None = None,
     telemetry: _telemetry.Telemetry | None = None,
     faults: FaultScenario | None = None,
+    use_workspace: bool = True,
 ) -> RunResult:
     """Run one configuration to completion on a fresh simulated node.
+
+    ``use_workspace=False`` disables the data-plane buffer arena: every
+    marshalling buffer is allocated fresh, exactly as before the arena
+    existed.  Results are bit-identical either way (the identity tests rely
+    on this switch); the arena only changes allocation behaviour.
 
     ``input_coeffs`` (``(n_complex_bands, ngw)``) and ``potential``
     (``V[iz, ix, iy]``) override the generated data — this is how a caller
@@ -210,6 +220,17 @@ def run_fft_phase(
             task_observer = tel.tracer.on_task
         else:
             task_observer = _fanout_task_observer(tel.tracer.on_task, task_observer)
+
+    # Data-plane arenas: per-(layout, process) pools shared across runs of
+    # one workload.  Snapshot before the attempts loop so the run's manifest
+    # reports this run's deltas, not the layout-lifetime totals.
+    use_arena = config.data_mode and use_workspace
+    dataplane_before: dict[str, int] | None = None
+    if use_arena:
+        existing = layout_workspaces(layout)
+        for ws in existing.values():
+            ws.begin_run()
+        dataplane_before = aggregate_stats(existing.values())
 
     # Checkpoint bookkeeping.  A "unit" is the executor's outer-loop step:
     # one iteration (original / pipelined / per-step) or one band (per-FFT /
@@ -333,6 +354,7 @@ def run_fft_phase(
                     scatter_comm=_scatter_comms[t],
                     packed=per_proc_packed[p] if per_proc_packed is not None else None,
                     v_slab=v_slabs[r] if v_slabs is not None else None,
+                    workspace=workspace_for(layout, p) if use_arena else None,
                 )
                 if completed_bands:
                     # Resumed attempt: restore the checkpointed state.
@@ -429,8 +451,18 @@ def run_fft_phase(
         injector.report.failure = last_error if failed else None
         fault_report = injector.report.to_dict()
 
+    dataplane: dict | None = None
+    if use_arena:
+        dataplane = _dataplane_summary(
+            dataplane_before or {},
+            aggregate_stats(layout_workspaces(layout).values()),
+        )
+
     if tel is not None and tel.enabled:
-        _record_run_summary(tel, config, cpu, sim, total_time, injector, world=world)
+        _record_run_summary(
+            tel, config, cpu, sim, total_time, injector, world=world,
+            dataplane=dataplane,
+        )
 
     return RunResult(
         config=config,
@@ -448,7 +480,35 @@ def run_fft_phase(
         fault_report=fault_report,
         failed=failed,
         n_attempts=n_attempts,
+        dataplane=dataplane,
     )
+
+
+#: Arena counters reported as per-run deltas; the rest are state gauges.
+_DATAPLANE_COUNTERS = (
+    "acquires",
+    "reuse_hits",
+    "alloc_misses",
+    "releases",
+    "foreign_releases",
+)
+_DATAPLANE_GAUGES = ("live", "live_peak", "pooled", "bytes_resident")
+
+
+def _dataplane_summary(before: dict, after: dict) -> dict:
+    """This run's arena activity: counter deltas + absolute byte gauges.
+
+    ``allocations_avoided`` is the headline number — pool hits that would
+    each have been an ``np.zeros``/``np.empty`` on the fresh-allocation
+    path.  Note the hit/miss split depends on arena warmth (a cold first
+    run misses where a warm rerun hits); the structural numbers (acquires,
+    releases, live_peak, bytes_resident) are warmth-invariant.
+    """
+    out = {k: int(after.get(k, 0)) - int(before.get(k, 0)) for k in _DATAPLANE_COUNTERS}
+    for k in _DATAPLANE_GAUGES:
+        out[k] = int(after.get(k, 0))
+    out["allocations_avoided"] = out["reuse_hits"]
+    return out
 
 
 def _completed_units(
@@ -482,6 +542,7 @@ def _record_run_summary(
     phase_time: float,
     injector: FaultInjector | None = None,
     world: MpiWorld | None = None,
+    dataplane: dict | None = None,
 ) -> None:
     """Close out a telemetry session: the run span and derived gauges."""
     tel.spans.add(
@@ -508,6 +569,9 @@ def _record_run_summary(
     for resource, stats in engine_sources:
         for name, value in stats.items():
             tel.metrics.set_gauge(f"engine.{name}", float(value), resource=resource)
+    if dataplane is not None:
+        for name, value in dataplane.items():
+            tel.metrics.set_gauge(f"dataplane.{name}", float(value))
     if injector is not None:
         report = injector.report
         tel.metrics.set_gauge("faults.injected", float(report.n_injected))

@@ -54,14 +54,28 @@ def _stage_a(ctx: FftPhaseContext, bands, unit_key, thread=0):
 
 
 def _issue_scatter_fw(ctx: FftPhaseContext, group, key):
-    """Charge the send-side marshal and join the Alltoall without waiting."""
+    """Charge the send-side marshal and join the Alltoall without waiting.
+
+    The parts are views of ``group``; the caller must keep the block
+    checked out until the collective's event resolves (``yield``), after
+    which the delivered payloads are independent copies.
+    """
     parts = scatter_mod.scatter_fw_parts(ctx.layout, ctx.r, group)
     return ctx.rank.alltoall(ctx.scatter_comm, parts, key=key)
 
 
 def _issue_scatter_bw(ctx: FftPhaseContext, planes, key):
-    parts = scatter_mod.scatter_bw_parts(ctx.layout, ctx.r, planes)
-    return ctx.rank.alltoall(ctx.scatter_comm, parts, key=key)
+    """Issue the backward Alltoall; returns ``(event, gather_buffer)``.
+
+    The gather buffer backs the send parts (row slices), so it rides with
+    the event and is released by the caller once the event resolves.
+    """
+    gather = None
+    if planes is not None:
+        nsticks = int(ctx.layout.scatter_stick_offsets()[-1])
+        gather = ctx.acquire("sbw_gather", (nsticks, ctx.layout.npp(ctx.r)))
+    parts = scatter_mod.scatter_bw_parts(ctx.layout, ctx.r, planes, out=gather)
+    return ctx.rank.alltoall(ctx.scatter_comm, parts, key=key), gather
 
 
 def make_pipelined_program(
@@ -104,6 +118,7 @@ def make_pipelined_program(
             ev_fw = _issue_scatter_fw(
                 ctx, group, (key(first), "sfw", bands_of(first)[ctx.t])
             )
+            fw_buf = group  # block backing ev_fw's in-flight send views
 
             next_group = None
             for it in range(start_iteration, n_iterations):
@@ -119,15 +134,28 @@ def make_pipelined_program(
                         )
 
                     received = yield ev_fw
+                    ctx.release(fw_buf)
                     yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-                    planes = scatter_mod.assemble_planes(ctx.layout, ctx.r, received)
+                    out = (
+                        ctx.acquire(
+                            "planes",
+                            (ctx.layout.npp(ctx.r), ctx.layout.desc.nr1, ctx.layout.desc.nr2),
+                        )
+                        if fw_buf is not None
+                        else None
+                    )
+                    planes = scatter_mod.assemble_planes(
+                        ctx.layout, ctx.r, received, out=out, workspace=ctx.workspace
+                    )
 
                     planes = yield from step_fft_xy(ctx, planes, +1)
                     planes = yield from step_vofr(ctx, planes)
                     planes = yield from step_fft_xy(ctx, planes, -1)
 
                     yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
-                    ev_bw = _issue_scatter_bw(ctx, planes, (key(it), "sbw", my_band))
+                    ev_bw, bw_gather = _issue_scatter_bw(
+                        ctx, planes, (key(it), "sbw", my_band)
+                    )
                     if it + 1 < n_iterations:
                         yield rank.compute(
                             "scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r)
@@ -135,8 +163,10 @@ def make_pipelined_program(
                         ev_fw = _issue_scatter_fw(
                             ctx, next_group, (key(it + 1), "sfw", bands_of(it + 1)[ctx.t])
                         )
+                        fw_buf = next_group
 
                     received = yield ev_bw
+                    ctx.release(planes, bw_gather)
                     yield rank.compute("scatter_reorder", 0.5 * cost.scatter_marshal(ctx.r))
                     group_back = _assemble_bw(ctx, received)
                     group_back = yield from step_fft_z(ctx, group_back, -1)
@@ -151,4 +181,9 @@ def make_pipelined_program(
 def _assemble_bw(ctx: FftPhaseContext, received):
     if any(isinstance(b, MetaPayload) for b in received):
         return None
-    return scatter_mod.assemble_group_block_from_planes(ctx.layout, ctx.r, received)
+    out = ctx.acquire(
+        "stick_block", (ctx.layout.nst_group(ctx.r), ctx.layout.desc.nr3)
+    )
+    return scatter_mod.assemble_group_block_from_planes(
+        ctx.layout, ctx.r, received, out=out
+    )

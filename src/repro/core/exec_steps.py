@@ -65,9 +65,10 @@ def submit_unit_tasks(
     Every stage reads its predecessor's ``state`` slot and writes its own —
     never mutating in place — so a task execution that fault injection
     discards can re-run and produce the identical value (idempotent bodies
-    are what makes bounded re-execution safe).  The per-unit intermediates
-    stay alive until the program ends; data mode is test-sized, so the
-    extra retention is cheap.
+    are what makes bounded re-execution safe).  Arena-backed intermediates
+    are popped and released in the MPI-bearing stage bodies (which the
+    fault layer never replays) once every reader of the block is finalized;
+    the remaining fresh intermediates stay alive until the program ends.
     """
     state: dict[str, object] = {}
     my_band = bands[ctx.t]
@@ -134,6 +135,10 @@ def submit_unit_tasks(
         state["planes_fw"] = yield from step_scatter_fw(
             ctx, state.get("group_zfw"), key=(unit_key, "sfw", my_band), thread=worker.thread_index
         )
+        # All readers of the pack block (the fft_z chunks) are finalized once
+        # this stage runs, and re-execution never replays MPI-bearing tasks —
+        # pop-then-release so even a hypothetical re-run releases nothing.
+        ctx.release(state.pop("group_g", None))
 
     def fft_xy_transform(src, dst, sign):
         def run():
@@ -154,6 +159,7 @@ def submit_unit_tasks(
         state["group_s"] = yield from step_scatter_bw(
             ctx, state.get("planes_xybw"), key=(unit_key, "sbw", my_band), thread=worker.thread_index
         )
+        ctx.release(state.pop("planes_fw", None))
 
     def unpack_body(worker):
         # Completion is marked when the unpack task *succeeds* (below), so a
@@ -166,6 +172,7 @@ def submit_unit_tasks(
             thread=worker.thread_index,
             mark_completed=False,
         )
+        ctx.release(state.pop("group_s", None))
 
     nst = ctx.layout.nst_group(ctx.r)
     npp = ctx.layout.npp(ctx.r)

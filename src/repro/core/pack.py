@@ -16,8 +16,6 @@ full grid columns) vanishes.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.grids.descriptor import DistributedLayout
 from repro.mpisim.datatypes import MetaPayload
 
@@ -51,7 +49,11 @@ def pack_parts(
             raise ValueError(
                 f"band {t} coefficients have shape {c.shape}; process {p} owns {ngw} G-vectors"
             )
-    return [np.ascontiguousarray(c) for c in band_coeffs]
+    # Pass the arrays through uncopied: the simulated collective copies
+    # payloads at delivery (see mpisim.datatypes.payload_like), so handing
+    # out views is safe and the old per-band ascontiguousarray was pure
+    # overhead.
+    return list(band_coeffs)
 
 
 def unpack_parts(

@@ -160,6 +160,11 @@ class FftPhaseContext:
         Output coefficients per band (filled by the unpack step).
     v_slab:
         This scatter rank's potential planes (``None`` in meta mode).
+    workspace:
+        This rank's data-plane buffer arena
+        (:class:`~repro.core.workspace.Workspace`), or ``None`` to allocate
+        every marshalling buffer fresh.  Results are bit-identical either
+        way; the arena only recycles storage.
     """
 
     def __init__(
@@ -171,6 +176,7 @@ class FftPhaseContext:
         scatter_comm: "Communicator",
         packed: np.ndarray | None,
         v_slab: np.ndarray | None,
+        workspace=None,
     ):
         self.rank = rank
         self.layout = layout
@@ -179,6 +185,7 @@ class FftPhaseContext:
         self.scatter_comm = scatter_comm
         self.packed = packed
         self.v_slab = v_slab
+        self.workspace = workspace
         self.results: dict[int, np.ndarray] = {}
         #: Bands whose full chain finished on this rank (filled by the
         #: unpack step, both modes) — the driver's checkpoint granularity.
@@ -197,6 +204,32 @@ class FftPhaseContext:
             return None
         return self.packed[band]
 
+    # -- arena helpers --------------------------------------------------------
+    #
+    # Buffer-release discipline (why releasing mid-chain is safe):
+    #
+    # * The simulated collective *copies* every ndarray payload when the
+    #   last member joins (``payload_like``), so once a rank's ``yield
+    #   alltoall`` resumes its send buffers are free to recycle.
+    # * Fault-injected task re-execution replays only communication-free
+    #   tasks (``Task.did_mpi`` exemption), immediately and from their
+    #   original (still checked-out or non-arena) inputs, so a replay never
+    #   reads a buffer its own discarded execution released downstream.
+    # * A generator killed mid-chain (attempt abort) leaks its checkouts;
+    #   the arena tracks them weakly and tolerates the loss.
+
+    def acquire(self, kind: str, shape: tuple) -> np.ndarray | None:
+        """An arena buffer of the given kind/shape, or ``None`` without an
+        arena (callees then allocate fresh — identical results)."""
+        if self.workspace is None:
+            return None
+        return self.workspace.acquire(kind, shape)
+
+    def release(self, *buffers) -> None:
+        """Return arena buffers; ``None``/foreign/double releases are ignored."""
+        if self.workspace is not None:
+            self.workspace.release(*buffers)
+
 
 # ---------------------------------------------------------------------------
 # Step generators.  Each yields compute/MPI events on the given hardware
@@ -205,12 +238,22 @@ class FftPhaseContext:
 
 
 def step_prepare(ctx: FftPhaseContext, bands: _t.Sequence[int], thread: int = 0):
-    """Gather/reorder the group's packed coefficients (the low-IPC Psi prep)."""
+    """Gather/reorder the group's packed coefficients (the low-IPC Psi prep).
+
+    Band groups are consecutive bands (``it*T + t``), so the usual result is
+    one ``(T, ngw_of(p))`` row-block view of the packed input — the batched
+    multi-band form; non-contiguous band lists fall back to per-band row
+    views.  Either way no copy is made: rows of ``ctx.packed`` are already
+    C-contiguous and the collective copies payloads at delivery.
+    """
     instructions = ctx.cost.prepare(ctx.p) * len(bands)
     yield ctx.rank.compute("prepare_psis", instructions, thread=thread)
     if not ctx.data_mode:
         return None
-    return [np.ascontiguousarray(ctx.packed[band]) for band in bands]
+    first = bands[0]
+    if list(bands) == list(range(first, first + len(bands))):
+        return ctx.packed[first : first + len(bands)]
+    return [ctx.packed[band] for band in bands]
 
 
 def step_pack(ctx: FftPhaseContext, band_coeffs: list | None, key: object, thread: int = 0):
@@ -221,25 +264,39 @@ def step_pack(ctx: FftPhaseContext, band_coeffs: list | None, key: object, threa
     rank's own coefficients is charged to the ``prepare_psis`` phase (it is
     the same scatter-write, just without the communication around it).
     """
+    layout = ctx.layout
     if ctx.pack_comm is None:
         yield ctx.rank.compute("prepare_psis", ctx.cost.pack_expand(ctx.r), thread=thread)
         if band_coeffs is None:
             return None
-        return wave_mod.expand_to_sticks(ctx.layout, ctx.p, band_coeffs[0])
-    parts = pack_mod.pack_parts(ctx.layout, ctx.p, band_coeffs)
+        out = ctx.acquire(
+            "stick_block", (len(layout.sticks_of(ctx.p)), layout.desc.nr3)
+        )
+        return wave_mod.expand_to_sticks(layout, ctx.p, band_coeffs[0], out=out)
+    parts = pack_mod.pack_parts(layout, ctx.p, band_coeffs)
     received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
     yield ctx.rank.compute("pack_sticks", ctx.cost.pack_expand(ctx.r), thread=thread)
     if any(isinstance(b, MetaPayload) for b in received):
         return None
-    return wave_mod.expand_group_block(ctx.layout, ctx.r, received)
+    out = ctx.acquire("stick_block", (layout.nst_group(ctx.r), layout.desc.nr3))
+    return wave_mod.expand_group_block(
+        layout, ctx.r, received, out=out, workspace=ctx.workspace
+    )
 
 
 def step_fft_z(ctx: FftPhaseContext, group_block, sign: int, thread: int = 0):
-    """Batched 1D transforms along z of the group sticks."""
+    """Batched 1D transforms along z of the group sticks.
+
+    The transform writes into an arena block and releases the consumed
+    input (a no-op for fresh/foreign inputs).
+    """
     yield ctx.rank.compute("fft_z", ctx.cost.fft_z(ctx.r), thread=thread)
     if group_block is None:
         return None
-    return cft_1z(group_block, sign)
+    out = ctx.acquire("stick_block", group_block.shape)
+    result = cft_1z(group_block, sign, out=out)
+    ctx.release(group_block)
+    return result
 
 
 def step_scatter_fw(ctx: FftPhaseContext, group_block, key: object, thread: int = 0):
@@ -247,7 +304,18 @@ def step_scatter_fw(ctx: FftPhaseContext, group_block, key: object, thread: int 
     yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
     parts = scatter_mod.scatter_fw_parts(ctx.layout, ctx.r, group_block)
     received = yield ctx.rank.alltoall(ctx.scatter_comm, parts, key=key, thread=thread)
-    return scatter_mod.assemble_planes(ctx.layout, ctx.r, received)
+    # The resumed yield means the collective executed and copied the send
+    # views, so the stick block is free to recycle.
+    ctx.release(group_block)
+    desc = ctx.layout.desc
+    out = (
+        ctx.acquire("planes", (ctx.layout.npp(ctx.r), desc.nr1, desc.nr2))
+        if group_block is not None
+        else None
+    )
+    return scatter_mod.assemble_planes(
+        ctx.layout, ctx.r, received, out=out, workspace=ctx.workspace
+    )
 
 
 def step_fft_xy(ctx: FftPhaseContext, planes, sign: int, thread: int = 0):
@@ -255,7 +323,9 @@ def step_fft_xy(ctx: FftPhaseContext, planes, sign: int, thread: int = 0):
     yield ctx.rank.compute("fft_xy", ctx.cost.fft_xy(ctx.r), thread=thread)
     if planes is None:
         return None
-    return cft_2xy(planes, sign)
+    result = cft_2xy(planes, sign)
+    ctx.release(planes)
+    return result
 
 
 def step_vofr(ctx: FftPhaseContext, planes, thread: int = 0):
@@ -269,9 +339,22 @@ def step_vofr(ctx: FftPhaseContext, planes, thread: int = 0):
 def step_scatter_bw(ctx: FftPhaseContext, planes, key: object, thread: int = 0):
     """Backward scatter: planes -> sticks within the scatter group."""
     yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
-    parts = scatter_mod.scatter_bw_parts(ctx.layout, ctx.r, planes)
+    layout = ctx.layout
+    gather = None
+    if planes is not None:
+        nsticks = int(layout.scatter_stick_offsets()[-1])
+        gather = ctx.acquire("sbw_gather", (nsticks, layout.npp(ctx.r)))
+    parts = scatter_mod.scatter_bw_parts(layout, ctx.r, planes, out=gather)
     received = yield ctx.rank.alltoall(ctx.scatter_comm, parts, key=key, thread=thread)
-    return scatter_mod.assemble_group_block_from_planes(ctx.layout, ctx.r, received)
+    ctx.release(planes, gather)
+    out = (
+        ctx.acquire("stick_block", (layout.nst_group(ctx.r), layout.desc.nr3))
+        if planes is not None
+        else None
+    )
+    return scatter_mod.assemble_group_block_from_planes(
+        layout, ctx.r, received, out=out
+    )
 
 
 def step_unpack(
@@ -295,13 +378,17 @@ def step_unpack(
     """
     if ctx.pack_comm is not None:
         yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack_extract(ctx.r), thread=thread)
-        member_coeffs = (
-            None
-            if group_block is None
-            else wave_mod.extract_group_coefficients(ctx.layout, ctx.r, group_block)
-        )
+        gather = None
+        member_coeffs = None
+        if group_block is not None:
+            ngw_group = int(ctx.layout.group_coeff_offsets(ctx.r)[-1])
+            gather = ctx.acquire("coeff_gather", (ngw_group,))
+            member_coeffs = wave_mod.extract_group_coefficients(
+                ctx.layout, ctx.r, group_block, out=gather
+            )
         parts = pack_mod.unpack_parts(ctx.layout, ctx.r, member_coeffs)
         received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
+        ctx.release(group_block, gather)
         yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
         if mark_completed:
             ctx.completed.update(bands)
@@ -316,7 +403,11 @@ def step_unpack(
         ctx.completed.update(bands)
     if group_block is None:
         return None
+    # The gather owns fresh storage, so the consumed block can be recycled.
+    # (In the task executors this path's input is a fresh array — the arena
+    # block release matters for the linear executors and per-band chains.)
     ctx.results[bands[0]] = extract_from_sticks(ctx.layout, ctx.p, group_block)
+    ctx.release(group_block)
     return None
 
 

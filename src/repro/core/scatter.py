@@ -34,70 +34,113 @@ def scatter_part_bytes(layout: DistributedLayout, r_from: int, r_to: int) -> flo
 def scatter_fw_parts(
     layout: DistributedLayout, r: int, group_block: np.ndarray | None
 ) -> list:
-    """Forward-scatter parts of rank ``r``: per-peer z-slabs of its sticks."""
+    """Forward-scatter parts of rank ``r``: per-peer z-slabs of its sticks.
+
+    The parts are column-slice *views* of the group block: the simulated
+    collective copies payloads at delivery (``payload_like``), so the old
+    per-peer ``ascontiguousarray`` staging copies were pure overhead.  The
+    caller must keep ``group_block`` alive until the collective executes
+    (i.e. until its ``yield`` resumes).
+    """
     if group_block is None:
         return [
             MetaPayload(scatter_part_bytes(layout, r, r_to))
             for r_to in range(layout.R)
         ]
-    return [
-        np.ascontiguousarray(group_block[:, layout.z_slice(r_to)])
-        for r_to in range(layout.R)
-    ]
+    return [group_block[:, layout.z_slice(r_to)] for r_to in range(layout.R)]
 
 
 def assemble_planes(
-    layout: DistributedLayout, r: int, received: list
+    layout: DistributedLayout,
+    r: int,
+    received: list,
+    out: np.ndarray | None = None,
+    workspace=None,
 ) -> np.ndarray | None:
     """Build rank ``r``'s xy planes from the received stick slabs.
 
     ``received[r']`` has shape ``(nst_group(r'), npp(r))``; its rows land at
     the (ix, iy) coordinates of ``group_sticks(r')``.  Result shape is
     ``(npp(r), nr1, nr2)`` with zeros off the sticks.
+
+    The peers' slabs are concatenated (into ``workspace`` staging when
+    available) and placed with one fancy put over the layout's cached plane
+    index map — each global stick appears exactly once across the peers, so
+    the single put writes the same positions/values as the old per-peer
+    loop.  ``out``, when given, is fully overwritten and returned.
     """
     if any(isinstance(b, MetaPayload) for b in received):
         return None
     desc = layout.desc
-    planes = np.zeros((layout.npp(r), desc.nr1, desc.nr2), dtype=np.complex128)
+    npp = layout.npp(r)
     for r_from, block in enumerate(received):
-        coords = layout.stick_coords(layout.group_sticks(r_from))
-        expected = (layout.nst_group(r_from), layout.npp(r))
+        expected = (layout.nst_group(r_from), npp)
         if block.shape != expected:
             raise ValueError(
                 f"scatter slab from rank {r_from} has shape {block.shape}; "
                 f"expected {expected}"
             )
-        planes[:, coords[:, 0], coords[:, 1]] = block.T
+    if out is None:
+        planes = np.zeros((npp, desc.nr1, desc.nr2), dtype=np.complex128)
+    else:
+        planes = out
+        planes.fill(0)
+    nsticks = int(layout.scatter_stick_offsets()[-1])
+    stage = (
+        workspace.acquire("scatter_stage", (nsticks, npp))
+        if workspace is not None
+        else np.empty((nsticks, npp), dtype=np.complex128)
+    )
+    np.concatenate(received, axis=0, out=stage)
+    planes.reshape(npp, desc.nr1 * desc.nr2)[:, layout.scatter_plane_index()] = stage.T
+    if workspace is not None:
+        workspace.release(stage)
     return planes
 
 
 def scatter_bw_parts(
-    layout: DistributedLayout, r: int, planes: np.ndarray | None
+    layout: DistributedLayout,
+    r: int,
+    planes: np.ndarray | None,
+    out: np.ndarray | None = None,
 ) -> list:
-    """Backward-scatter parts: extract each peer's stick values from planes."""
+    """Backward-scatter parts: extract each peer's stick values from planes.
+
+    One vectorized take over the cached plane index map gathers every
+    peer's stick values at once; the returned parts are contiguous row
+    slices of the gather.  ``out``, when given, is the ``(sum nst_group,
+    npp(r))`` gather destination — the caller owns it and must keep it
+    alive until the collective executes.
+    """
     if planes is None:
         return [
             MetaPayload(scatter_part_bytes(layout, r_to, r))
             for r_to in range(layout.R)
         ]
-    parts = []
-    for r_to in range(layout.R):
-        coords = layout.stick_coords(layout.group_sticks(r_to))
-        # (npp(r), nst_group(r_to)) -> (nst_group(r_to), npp(r))
-        parts.append(np.ascontiguousarray(planes[:, coords[:, 0], coords[:, 1]].T))
-    return parts
+    desc = layout.desc
+    npp = layout.npp(r)
+    planes2 = planes.reshape(npp, desc.nr1 * desc.nr2)
+    gathered = np.take(
+        planes2.T, layout.scatter_plane_index(), axis=0, out=out, mode="clip"
+    )
+    offsets = layout.scatter_stick_offsets()
+    return [
+        gathered[int(offsets[r_to]) : int(offsets[r_to + 1])]
+        for r_to in range(layout.R)
+    ]
 
 
 def assemble_group_block_from_planes(
-    layout: DistributedLayout, r: int, received: list
+    layout: DistributedLayout, r: int, received: list, out: np.ndarray | None = None
 ) -> np.ndarray | None:
     """Reassemble rank ``r``'s (nst_group, nr3) stick block after backward scatter.
 
-    ``received[r']`` holds this rank's sticks restricted to ``r'``'s planes.
+    ``received[r']`` holds this rank's sticks restricted to ``r'``'s planes;
+    the z-slabs are contiguous and ordered, so the assembly is a single
+    axis-1 concatenation (into ``out`` when given).
     """
     if any(isinstance(b, MetaPayload) for b in received):
         return None
-    block = np.empty((layout.nst_group(r), layout.desc.nr3), dtype=np.complex128)
     for r_from, slab in enumerate(received):
         expected = (layout.nst_group(r), layout.npp(r_from))
         if slab.shape != expected:
@@ -105,5 +148,7 @@ def assemble_group_block_from_planes(
                 f"backward slab from rank {r_from} has shape {slab.shape}; "
                 f"expected {expected}"
             )
-        block[:, layout.z_slice(r_from)] = slab
-    return block
+    if out is None:
+        out = np.empty((layout.nst_group(r), layout.desc.nr3), dtype=np.complex128)
+    np.concatenate(received, axis=1, out=out)
+    return out

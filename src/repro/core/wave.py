@@ -64,30 +64,41 @@ def distribute_coefficients(
 
     Returns one ``(n_bands, ngw_of(p))`` array per process, columns in the
     process's ascending global-G order (the packed storage convention).
+    The ``take`` gathers straight into fresh C-contiguous storage — unlike
+    ``coeffs[:, g_idx]`` (whose mixed basic/advanced indexing yields an
+    F-ordered intermediate) followed by ``ascontiguousarray``, it makes no
+    second copy.
     """
     out = []
     for p in range(layout.P):
         g_idx, _stick_local, _iz = layout.local_g_table(p)
-        out.append(np.ascontiguousarray(coeffs[:, g_idx]))
+        out.append(np.take(coeffs, g_idx, axis=1))
     return out
 
 
 def expand_to_sticks(
-    layout: DistributedLayout, p: int, packed: np.ndarray
+    layout: DistributedLayout, p: int, packed: np.ndarray, out: np.ndarray | None = None
 ) -> np.ndarray:
     """``prepare_psis``: scatter packed coefficients into stick columns.
 
     ``packed`` is ``(ngw_of(p),)``; the result is ``(nst_p, nr3)`` with
-    zeros outside the sphere.
+    zeros outside the sphere.  ``out``, when given, is the (arena-owned)
+    destination block — fully overwritten, returned in place of a fresh
+    allocation, bit-identical either way.
     """
-    _g_idx, stick_local, iz = layout.local_g_table(p)
-    if packed.shape != stick_local.shape:
+    flat = layout.local_flat_index(p)
+    if packed.shape != flat.shape:
         raise ValueError(
             f"packed coefficients have {packed.shape[0] if packed.ndim else 0} "
-            f"entries; process {p} owns {len(stick_local)} G-vectors"
+            f"entries; process {p} owns {len(flat)} G-vectors"
         )
-    block = np.zeros((len(layout.sticks_of(p)), layout.desc.nr3), dtype=np.complex128)
-    block[stick_local, iz] = packed
+    shape = (len(layout.sticks_of(p)), layout.desc.nr3)
+    if out is None:
+        block = np.zeros(shape, dtype=np.complex128)
+    else:
+        block = out
+        block.fill(0)
+    block.reshape(-1)[flat] = packed
     return block
 
 
@@ -95,15 +106,18 @@ def extract_from_sticks(
     layout: DistributedLayout, p: int, block: np.ndarray
 ) -> np.ndarray:
     """Inverse of :func:`expand_to_sticks`: gather the sphere coefficients."""
-    _g_idx, stick_local, iz = layout.local_g_table(p)
     expected = (len(layout.sticks_of(p)), layout.desc.nr3)
     if block.shape != expected:
         raise ValueError(f"stick block shape {block.shape}; expected {expected}")
-    return np.ascontiguousarray(block[stick_local, iz])
+    return np.take(block.reshape(-1), layout.local_flat_index(p))
 
 
 def expand_group_block(
-    layout: DistributedLayout, r: int, member_coeffs: list
+    layout: DistributedLayout,
+    r: int,
+    member_coeffs: list,
+    out: np.ndarray | None = None,
+    workspace=None,
 ) -> np.ndarray:
     """Expand the pack group's received coefficients into the group stick block.
 
@@ -111,35 +125,59 @@ def expand_group_block(
     ``t``'s sticks (what the pack Alltoallv delivered); each member's values
     land in its segment of the concatenated group buffer, at its own
     (stick, z) positions.  Result: ``(nst_group(r), nr3)``.
+
+    The members' values are concatenated (into ``workspace`` staging when
+    available) and written with one fancy put over the group's cached flat
+    index map — the batched form of the old per-member scatter-write loop,
+    touching exactly the same positions with the same values.
     """
-    block = np.zeros((layout.nst_group(r), layout.desc.nr3), dtype=np.complex128)
-    offsets = layout.group_offsets(r)
+    offsets = layout.group_coeff_offsets(r)
     for t, coeffs in enumerate(member_coeffs):
-        p = layout.proc_of(r, t)
-        _g, stick_local, iz = layout.local_g_table(p)
-        if coeffs.shape != stick_local.shape:
+        ngw_t = int(offsets[t + 1] - offsets[t])
+        if coeffs.shape != (ngw_t,):
             raise ValueError(
                 f"member {t} of group {r} sent {coeffs.shape} coefficients; "
-                f"owns {len(stick_local)} G-vectors"
+                f"owns {ngw_t} G-vectors"
             )
-        block[offsets[t] + stick_local, iz] = coeffs
+    shape = (layout.nst_group(r), layout.desc.nr3)
+    if out is None:
+        block = np.zeros(shape, dtype=np.complex128)
+    else:
+        block = out
+        block.fill(0)
+    ngw_group = int(offsets[-1])
+    stage = (
+        workspace.acquire("coeff_stage", (ngw_group,))
+        if workspace is not None
+        else np.empty(ngw_group, dtype=np.complex128)
+    )
+    np.concatenate(member_coeffs, out=stage)
+    block.reshape(-1)[layout.group_flat_index(r)] = stage
+    if workspace is not None:
+        workspace.release(stage)
     return block
 
 
 def extract_group_coefficients(
-    layout: DistributedLayout, r: int, block: np.ndarray
+    layout: DistributedLayout, r: int, block: np.ndarray, out: np.ndarray | None = None
 ) -> list[np.ndarray]:
-    """Inverse of :func:`expand_group_block`: per-member packed coefficients."""
+    """Inverse of :func:`expand_group_block`: per-member packed coefficients.
+
+    One vectorized take over the cached flat index map gathers all members'
+    coefficients at once; the returned per-member arrays are contiguous row
+    slices of that gather (of ``out`` when given — the caller then owns the
+    backing buffer and its lifetime).
+    """
     expected = (layout.nst_group(r), layout.desc.nr3)
     if block.shape != expected:
         raise ValueError(f"group block shape {block.shape}; expected {expected}")
-    offsets = layout.group_offsets(r)
-    out = []
-    for t in range(layout.T):
-        p = layout.proc_of(r, t)
-        _g, stick_local, iz = layout.local_g_table(p)
-        out.append(np.ascontiguousarray(block[offsets[t] + stick_local, iz]))
-    return out
+    # mode="clip" skips numpy's bounds-check buffering of the out array; the
+    # cached index map is in range by construction, so values are identical.
+    gathered = np.take(block.reshape(-1), layout.group_flat_index(r), out=out, mode="clip")
+    offsets = layout.group_coeff_offsets(r)
+    return [
+        gathered[int(offsets[t]) : int(offsets[t + 1])] for t in range(layout.T)
+    ]
 
 
 def potential_slab(layout: DistributedLayout, r: int, potential: np.ndarray) -> np.ndarray:

@@ -73,34 +73,50 @@ def fwfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return _along_axis(x, axis, sign=-1) / n
 
 
-def cft_1z(sticks: np.ndarray, sign: int) -> np.ndarray:
+def cft_1z(
+    sticks: np.ndarray, sign: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Batched 1D z-transforms of a stick block ``(nsticks, nz)``.
 
     ``sign=+1``: G -> R (unscaled); ``sign=-1``: R -> G (scaled by 1/nz).
+    ``out``, when given, receives the result and is returned — the R -> G
+    scaling then divides in place (same operation, same bits as the fresh
+    quotient).
     """
     sticks = np.asarray(sticks)
     if sticks.ndim != 2:
         raise ValueError(f"cft_1z expects (nsticks, nz), got shape {sticks.shape}")
     _check_sign(sign)
-    out = _along_axis(sticks, -1, sign=sign)
+    res = _along_axis(sticks, -1, sign=sign, out=out)
     if sign == -1:
-        out = out / sticks.shape[-1]
-    return out
+        if out is not None:
+            np.divide(res, sticks.shape[-1], out=res)
+        else:
+            res = res / sticks.shape[-1]
+    return res
 
 
-def cft_2xy(planes: np.ndarray, sign: int) -> np.ndarray:
+def cft_2xy(
+    planes: np.ndarray, sign: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Batched 2D xy-transforms of a plane block ``(nplanes, nx, ny)``.
 
     ``sign=+1``: G -> R (unscaled); ``sign=-1``: R -> G (scaled by 1/(nx*ny)).
+    ``out``, when given, receives a copy of the result (the two-axis
+    composition cannot write its final pass in place); the hot pipeline
+    path therefore takes the fresh result instead of passing ``out``.
     """
     planes = np.asarray(planes)
     if planes.ndim != 3:
         raise ValueError(f"cft_2xy expects (nplanes, nx, ny), got shape {planes.shape}")
     _check_sign(sign)
-    out = _along_axis(_along_axis(planes, -1, sign=sign), -2, sign=sign)
+    res = _along_axis(_along_axis(planes, -1, sign=sign), -2, sign=sign)
     if sign == -1:
-        out = out / (planes.shape[-1] * planes.shape[-2])
-    return out
+        res = res / (planes.shape[-1] * planes.shape[-2])
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res
 
 
 def cfft3d(field: np.ndarray, sign: int) -> np.ndarray:
@@ -127,13 +143,19 @@ def _check_sign(sign: int) -> None:
         raise ValueError(f"sign must be -1 or +1, got {sign}")
 
 
-def _along_axis(x: np.ndarray, axis: int, sign: int) -> np.ndarray:
+def _along_axis(
+    x: np.ndarray, axis: int, sign: int, out: np.ndarray | None = None
+) -> np.ndarray:
     x = np.asarray(x, dtype=np.complex128)
     _check_sign(sign)
     if x.ndim == 0:
         raise ValueError("FFT input must have at least one axis")
     axis = axis % x.ndim
     if axis == x.ndim - 1:
-        return fft_last_axis(x, sign)
+        return fft_last_axis(x, sign, out=out)
     moved = np.moveaxis(x, axis, -1)
-    return np.moveaxis(fft_last_axis(np.ascontiguousarray(moved), sign), -1, axis)
+    res = np.moveaxis(fft_last_axis(np.ascontiguousarray(moved), sign), -1, axis)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res

@@ -23,27 +23,74 @@ from repro.fft.plan import Plan, get_plan
 
 __all__ = ["execute_plan", "fft_last_axis"]
 
+# numpy's einsum executes every two-operand contraction through its (shape-
+# cached) batched-matmul helper — after re-parsing the subscripts and path
+# on every call.  The combine below is the same contraction every time, so
+# dispatch to the helper directly when it exists; per call this skips the
+# whole einsum_path/parse layer while running the identical kernel (bit-for-
+# bit the einsum result).  Older/newer numpys without the helper fall back
+# to einsum with the plan's precomputed contraction path.
+try:  # pragma: no cover - exercised implicitly on the pinned numpy
+    from numpy._core.einsumfunc import bmm_einsum as _bmm_einsum
+except Exception:  # pragma: no cover
+    _bmm_einsum = None
 
-def fft_last_axis(x: np.ndarray, sign: int) -> np.ndarray:
-    """Unnormalised DFT along the last axis (any batch shape)."""
+_BATCH_LETTERS = "abcdefghij"
+
+
+def _combine(radix_dft: np.ndarray, z: np.ndarray, path, out=None) -> np.ndarray:
+    """``X[..., k, m] = sum_s D[k, s] z[..., s, m]`` (the level combine)."""
+    nbatch = z.ndim - 2
+    if _bmm_einsum is not None and nbatch <= len(_BATCH_LETTERS):
+        # Operand order matters for bit-identity: einsum's path executor
+        # contracts this pair as "(z, D)" — mirror it exactly.
+        batch = _BATCH_LETTERS[:nbatch]
+        return _bmm_einsum(f"{batch}sm,ks->{batch}km", z, radix_dft, out=out)
+    if out is not None:
+        return np.einsum("ks,...sm->...km", radix_dft, z, optimize=path, out=out)
+    return np.einsum("ks,...sm->...km", radix_dft, z, optimize=path)
+
+
+def fft_last_axis(
+    x: np.ndarray, sign: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Unnormalised DFT along the last axis (any batch shape).
+
+    ``out``, when given, receives the result (and is returned) — the outer
+    combine writes straight into it, so a caller holding a reusable buffer
+    skips the result allocation.  Values are bit-identical either way.
+    """
     x = np.asarray(x)
     if x.ndim < 1:
         raise ValueError("fft_last_axis needs at least one axis")
     n = x.shape[-1]
     plan = get_plan(n, sign)
-    return execute_plan(x.astype(np.complex128, copy=False), plan)
+    return execute_plan(x.astype(np.complex128, copy=False), plan, out=out)
 
 
-def execute_plan(x: np.ndarray, plan: Plan) -> np.ndarray:
+def execute_plan(
+    x: np.ndarray, plan: Plan, out: np.ndarray | None = None
+) -> np.ndarray:
     """Run ``plan`` over the last axis of ``x`` (complex input)."""
     if x.shape[-1] != plan.n:
         raise ValueError(f"array last axis {x.shape[-1]} != plan size {plan.n}")
-    return _recurse(x, plan, 0)
+    if out is not None and not (
+        out.shape == x.shape
+        and out.dtype == np.complex128
+        and out.flags.c_contiguous
+    ):
+        # The direct-write path needs a reshapeable destination; anything
+        # else gets the computed result copied in.
+        np.copyto(out, _recurse(x, plan, 0))
+        return out
+    return _recurse(x, plan, 0, out=out)
 
 
-def _recurse(x: np.ndarray, plan: Plan, level: int) -> np.ndarray:
+def _recurse(
+    x: np.ndarray, plan: Plan, level: int, out: np.ndarray | None = None
+) -> np.ndarray:
     if level == len(plan.levels):
-        return _base_case(x, plan)
+        return _base_case(x, plan, out=out)
     lvl = plan.levels[level]
     batch = x.shape[:-1]
     # (..., m, r): y[..., j1, s] = x[..., j1*r + s]; move residues in front of
@@ -52,19 +99,35 @@ def _recurse(x: np.ndarray, plan: Plan, level: int) -> np.ndarray:
     y = np.swapaxes(y, -1, -2)  # (..., r, m)
     sub = _recurse(y, plan, level + 1)  # FFT_m along last axis
     z = sub * lvl.twiddles  # broadcast (r, m)
-    # Combine: X[..., k2, k1] = sum_s D[k2, s] * z[..., s, k1]
-    out = np.einsum("ks,...sm->...km", lvl.radix_dft, z, optimize=True)
-    return out.reshape(*batch, lvl.n)
+    # Combine: X[..., k2, k1] = sum_s D[k2, s] * z[..., s, k1].
+    if out is not None:
+        _combine(
+            lvl.radix_dft, z, lvl.contract_path, out=out.reshape(*batch, lvl.r, lvl.m)
+        )
+        return out
+    res = _combine(lvl.radix_dft, z, lvl.contract_path)
+    return res.reshape(*batch, lvl.n)
 
 
-def _base_case(x: np.ndarray, plan: Plan) -> np.ndarray:
+def _base_case(
+    x: np.ndarray, plan: Plan, out: np.ndarray | None = None
+) -> np.ndarray:
     if plan.base_matrix is not None:
         if plan.base_n == 1:
+            if out is not None:
+                np.copyto(out, x)
+                return out
             return x
         # X[..., k] = sum_j x[..., j] W[j, k]
+        if out is not None:
+            return np.matmul(x, plan.base_matrix, out=out)
         return x @ plan.base_matrix
     # Large prime base: chirp-z. Imported lazily to avoid a module cycle
     # (bluestein itself uses power-of-two plans through this kernel).
     from repro.fft.bluestein import bluestein_last_axis
 
-    return bluestein_last_axis(x, plan.sign)
+    res = bluestein_last_axis(x, plan.sign)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res

@@ -11,7 +11,8 @@ dimension.
 from __future__ import annotations
 
 import dataclasses
-import functools
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro import telemetry as _telemetry
 from repro.fft.goodfft import factorize
 from repro.fft.twiddle import dft_matrix, twiddle_block
 
-__all__ = ["Plan", "PlanLevel", "get_plan"]
+__all__ = ["Plan", "PlanLevel", "get_plan", "plan_cache_stats", "clear_plan_cache"]
 
 #: Radix preference for each decomposition level (8/4 amortise Python-level
 #: overhead; larger first keeps the recursion shallow).
@@ -38,6 +39,11 @@ class PlanLevel:
     m: int
     twiddles: np.ndarray  # (r, m) read-only
     radix_dft: np.ndarray  # (r, r) read-only
+    #: Precomputed ``np.einsum_path`` for the level's combine contraction —
+    #: computed once at plan build, so the kernel skips the per-call
+    #: ``optimize=True`` path search.  The same optimized-path machinery
+    #: executes the contraction, so results are bit-identical.
+    contract_path: list = dataclasses.field(default_factory=list)
 
 
 class Plan:
@@ -75,13 +81,24 @@ class Plan:
             if r is None:
                 break  # prime (or stubborn) remainder: Bluestein base case
             sub = m // r
+            radix_dft = dft_matrix(r, sign)
+            # The contraction path is shape-class independent for a
+            # two-operand einsum; a 1-batch probe operand stands in for any
+            # batch at execution time.
+            path = np.einsum_path(
+                "ks,...sm->...km",
+                radix_dft,
+                np.empty((1, r, sub), dtype=np.complex128),
+                optimize=True,
+            )[0]
             self.levels.append(
                 PlanLevel(
                     n=m,
                     r=r,
                     m=sub,
                     twiddles=twiddle_block(m, r, sub, sign),
-                    radix_dft=dft_matrix(r, sign),
+                    radix_dft=radix_dft,
+                    contract_path=path,
                 )
             )
             m = sub
@@ -117,28 +134,75 @@ class Plan:
         return f"<Plan {self.describe()} sign={self.sign:+d}>"
 
 
-@functools.lru_cache(maxsize=512)
-def _cached_plan(n: int, sign: int) -> Plan:
-    return Plan(n, sign)
+# Explicit LRU plan cache.  functools.lru_cache is itself thread-safe, but
+# the telemetry accounting around it (cache_info deltas) raced under the
+# sweep thread executor, and an unbounded survey of exotic sizes could pin
+# arbitrary twiddle memory.  One lock covers lookup, construction, insertion
+# and eviction: concurrent callers of the same size always receive the same
+# Plan object.
+_PLAN_CACHE_MAX = 512
+_plan_lock = threading.Lock()
+_plan_cache: "OrderedDict[tuple[int, int], Plan]" = OrderedDict()
+_plan_hits = 0
+_plan_misses = 0
+_plan_evictions = 0
 
 
 def get_plan(n: int, sign: int) -> Plan:
-    """Cached plan lookup (the public entry point).
+    """Cached plan lookup (the public entry point) — thread-safe, bounded.
 
     Hit/miss counts feed the ``fft.plan_cache_hits`` / ``fft.plan_cache_misses``
     telemetry metrics — the simulated analogue of FFTW wisdom reuse, and the
-    witness that a run amortises planning across its 64 band FFTs.
+    witness that a run amortises planning across its 64 band FFTs; evictions
+    of the LRU bound land on ``fft.plan_cache_evictions``.
     """
+    global _plan_hits, _plan_misses, _plan_evictions
+    key = (n, sign)
+    evicted = False
+    with _plan_lock:
+        plan = _plan_cache.get(key)
+        hit = plan is not None
+        if hit:
+            _plan_cache.move_to_end(key)
+            _plan_hits += 1
+        else:
+            # Built inside the lock so two threads racing on a new size both
+            # receive the same Plan object (identity matters to plan tests).
+            plan = Plan(n, sign)
+            _plan_cache[key] = plan
+            _plan_misses += 1
+            if len(_plan_cache) > _PLAN_CACHE_MAX:
+                _plan_cache.popitem(last=False)
+                _plan_evictions += 1
+                evicted = True
     tel = _telemetry.current()
-    if not tel.enabled:
-        return _cached_plan(n, sign)
-    misses_before = _cached_plan.cache_info().misses
-    plan = _cached_plan(n, sign)
-    if _cached_plan.cache_info().misses > misses_before:
-        tel.metrics.count("fft.plan_cache_misses")
-    else:
-        tel.metrics.count("fft.plan_cache_hits")
+    if tel.enabled:
+        tel.metrics.count("fft.plan_cache_hits" if hit else "fft.plan_cache_misses")
+        if evicted:
+            tel.metrics.count("fft.plan_cache_evictions")
     return plan
+
+
+def plan_cache_stats() -> dict:
+    """Cache counters (hits, misses, evictions, size, maxsize)."""
+    with _plan_lock:
+        return {
+            "hits": _plan_hits,
+            "misses": _plan_misses,
+            "evictions": _plan_evictions,
+            "size": len(_plan_cache),
+            "maxsize": _PLAN_CACHE_MAX,
+        }
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset counters (test isolation hook)."""
+    global _plan_hits, _plan_misses, _plan_evictions
+    with _plan_lock:
+        _plan_cache.clear()
+        _plan_hits = 0
+        _plan_misses = 0
+        _plan_evictions = 0
 
 
 def largest_prime_factor(n: int) -> int:

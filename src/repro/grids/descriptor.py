@@ -125,6 +125,16 @@ class DistributedLayout:
         self._z_offset = np.zeros(self.R + 1, dtype=np.int64)
         self._z_offset[1:] = np.cumsum(self._npp)
 
+        # Flat index maps (data-plane): built lazily on first data-mode use,
+        # then shared by every pack/scatter/wave helper for the layout's
+        # lifetime.  Meta-mode runs never pay for them.
+        self._g_tables: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+        self._local_flat: list[np.ndarray] = []
+        self._group_coeff_offsets: dict[int, np.ndarray] = {}
+        self._group_flat: dict[int, np.ndarray] = {}
+        self._scatter_stick_offsets: np.ndarray | None = None
+        self._scatter_plane_flat: np.ndarray | None = None
+
     # -- process grid -------------------------------------------------------
 
     def proc_of(self, r: int, t: int) -> int:
@@ -185,20 +195,123 @@ class DistributedLayout:
 
     # -- data-mode index helpers --------------------------------------------------
 
+    def _ensure_g_tables(self) -> None:
+        """One vectorized pass building every process's G-table.
+
+        Replaces the per-call ``np.isin`` + ``searchsorted`` scan (the old
+        ``local_g_table`` body, O(ngw * log) *per call* and the dominant
+        data-mode hot spot) with a single stable argsort of the G-vectors by
+        owning process, done once per layout.
+        """
+        if self._g_tables is not None:
+            return
+        desc = self.desc
+        stick_of_g = desc.sticks.stick_of_g
+        g_owner = self.stick_owner[stick_of_g]
+        # Stable sort keeps ascending global-G order within each owner —
+        # exactly the packed-coefficient storage convention.
+        order = np.argsort(g_owner, kind="stable")
+        counts = np.bincount(g_owner, minlength=self.P)
+        splits = np.zeros(self.P + 1, dtype=np.int64)
+        splits[1:] = np.cumsum(counts)
+        local_of_stick = np.empty(desc.sticks.nsticks, dtype=np.int64)
+        for sticks in self._sticks_of:
+            local_of_stick[sticks] = np.arange(len(sticks), dtype=np.int64)
+        iz_all = desc.grid_idx[:, 2]
+        nr3 = desc.nr3
+        tables = []
+        flat = []
+        for p in range(self.P):
+            g_idx = order[splits[p] : splits[p + 1]]
+            stick_local = local_of_stick[stick_of_g[g_idx]]
+            iz = iz_all[g_idx]
+            tables.append((g_idx, stick_local, iz))
+            flat.append(stick_local * nr3 + iz)
+        self._g_tables = tables
+        self._local_flat = flat
+
     def local_g_table(self, p: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index tables for expanding process ``p``'s packed coefficients.
 
         Returns ``(g_indices, stick_local, iz)``: the sphere positions of
         ``p``'s G-vectors (ascending, i.e. their order within the packed
         coefficient array), the local index of each G's stick within
-        ``sticks_of(p)``, and its z grid coordinate.
+        ``sticks_of(p)``, and its z grid coordinate.  Cached; computed for
+        all processes in one vectorized pass on first use.
         """
-        sticks = self._sticks_of[p]
-        mask = np.isin(self.desc.sticks.stick_of_g, sticks)
-        g_indices = np.flatnonzero(mask)
-        stick_local = np.searchsorted(sticks, self.desc.sticks.stick_of_g[g_indices])
-        iz = self.desc.grid_idx[g_indices, 2]
-        return g_indices, stick_local, iz
+        self._ensure_g_tables()
+        assert self._g_tables is not None
+        return self._g_tables[p]
+
+    def local_flat_index(self, p: int) -> np.ndarray:
+        """Raveled ``(stick_local, iz)`` positions of ``p``'s G-vectors.
+
+        Flat indices into process ``p``'s own ``(nst_p, nr3)`` stick block
+        (C order), in packed-coefficient order — the single-take/put twin of
+        :meth:`local_g_table`.
+        """
+        self._ensure_g_tables()
+        return self._local_flat[p]
+
+    def group_coeff_offsets(self, r: int) -> np.ndarray:
+        """``(T+1,)`` offsets of each member's coefficients in the group's
+        concatenated packed-coefficient buffer (``ngw_of`` cumsum)."""
+        cached = self._group_coeff_offsets.get(r)
+        if cached is None:
+            cached = np.zeros(self.T + 1, dtype=np.int64)
+            cached[1:] = np.cumsum(
+                [self.ngw_of(self.proc_of(r, t)) for t in range(self.T)]
+            )
+            self._group_coeff_offsets[r] = cached
+        return cached
+
+    def group_flat_index(self, r: int) -> np.ndarray:
+        """Raveled positions of pack group ``r``'s G-vectors in its block.
+
+        Flat indices into the ``(nst_group(r), nr3)`` group stick block
+        (C order), member segments concatenated in t order — one fancy
+        take/put with these indices replaces the per-member expand/extract
+        loop.
+        """
+        cached = self._group_flat.get(r)
+        if cached is None:
+            self._ensure_g_tables()
+            offsets = self.group_offsets(r)
+            nr3 = self.desc.nr3
+            parts = []
+            for t in range(self.T):
+                _g, stick_local, iz = self.local_g_table(self.proc_of(r, t))
+                parts.append((offsets[t] + stick_local) * nr3 + iz)
+            cached = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+            self._group_flat[r] = cached
+        return cached
+
+    def scatter_stick_offsets(self) -> np.ndarray:
+        """``(R+1,)`` offsets of each scatter rank's group sticks in the
+        concatenated all-ranks stick order (``nst_group`` cumsum)."""
+        if self._scatter_stick_offsets is None:
+            offsets = np.zeros(self.R + 1, dtype=np.int64)
+            offsets[1:] = np.cumsum([self.nst_group(r) for r in range(self.R)])
+            self._scatter_stick_offsets = offsets
+        return self._scatter_stick_offsets
+
+    def scatter_plane_index(self) -> np.ndarray:
+        """Raveled ``(ix, iy)`` plane positions of all group sticks.
+
+        Flat indices into an ``(nr1 * nr2)``-raveled xy plane, for the
+        concatenation of ``group_sticks(r')`` over ``r' = 0..R-1`` — the
+        take/put map of the scatter's plane assembly/extraction.
+        """
+        if self._scatter_plane_flat is None:
+            coords = self.desc.sticks.coords[
+                np.concatenate([self._group_sticks[r] for r in range(self.R)])
+                if self.R
+                else np.empty(0, dtype=np.int64)
+            ]
+            self._scatter_plane_flat = coords[:, 0] * self.desc.nr2 + coords[:, 1]
+        return self._scatter_plane_flat
 
     def stick_coords(self, stick_indices: np.ndarray) -> np.ndarray:
         """(ix, iy) grid coordinates of the given global sticks."""

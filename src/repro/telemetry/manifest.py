@@ -17,7 +17,10 @@ compares against.  It captures:
   vectorized contention engine,
 * the POP efficiency factors when the caller ran the ideal-network replay,
 * the fault-injection report (scenario, injected/recovered counts, per-
-  attempt outcomes) when the run carried a fault scenario.
+  attempt outcomes) when the run carried a fault scenario,
+* the data-plane arena statistics (buffer acquires/reuse-hits/releases,
+  allocations avoided, bytes resident) under ``dataplane`` when the run
+  executed in data mode with the workspace arena enabled.
 
 Validation is hand-rolled (:func:`validate_manifest`) so the repository
 needs no jsonschema dependency; ``docs/run_manifest.schema.json`` mirrors
@@ -141,6 +144,8 @@ def build_manifest(
         manifest["fault_report"] = result.fault_report
         manifest["timing"]["n_attempts"] = result.n_attempts
         manifest["failed"] = result.failed
+    if result.dataplane is not None:
+        manifest["dataplane"] = result.dataplane
     return manifest
 
 
@@ -196,6 +201,7 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("fault_report", (dict,), False),
     ("fault_report.scenario", (dict,), False),
     ("failed", (bool,), False),
+    ("dataplane", (dict,), False),
 ]
 
 

@@ -1,0 +1,178 @@
+"""Plan cache (thread-safe bounded LRU) and precomputed contraction paths."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.fft.batched import cft_1z, cft_2xy
+from repro.fft.mixed_radix import execute_plan, fft_last_axis
+from repro.fft.plan import Plan, clear_plan_cache, get_plan, plan_cache_stats
+
+RNG = np.random.default_rng(42)
+
+
+def random_complex(*shape):
+    return RNG.standard_normal(shape) + 1j * RNG.standard_normal(shape)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestBoundedLru:
+    def test_identity_and_counters(self):
+        a = get_plan(48, -1)
+        assert get_plan(48, -1) is a
+        stats = plan_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+        assert stats["evictions"] == 0
+
+    def test_clear_resets(self):
+        get_plan(48, -1)
+        clear_plan_cache()
+        stats = plan_cache_stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "size": 0,
+            "maxsize": stats["maxsize"],
+        }
+
+    def test_capacity_bound_evicts_lru(self, monkeypatch):
+        import repro.fft.plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_PLAN_CACHE_MAX", 4)
+        first = get_plan(8, -1)
+        for n in (16, 32, 64, 128):
+            get_plan(n, -1)
+        stats = plan_cache_stats()
+        assert stats["size"] == 4
+        assert stats["evictions"] == 1
+        # The evicted entry (8, the LRU end) is rebuilt on next use.
+        assert get_plan(8, -1) is not first
+        assert plan_cache_stats()["misses"] == 6
+
+    def test_lru_order_refreshed_by_hits(self, monkeypatch):
+        import repro.fft.plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_PLAN_CACHE_MAX", 2)
+        a = get_plan(8, -1)
+        get_plan(16, -1)
+        assert get_plan(8, -1) is a  # refresh 8: now 16 is the LRU entry
+        get_plan(32, -1)  # evicts 16, not 8
+        assert get_plan(8, -1) is a
+        assert plan_cache_stats()["evictions"] == 1
+
+    def test_eviction_metric_counted(self, monkeypatch):
+        import repro.fft.plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_PLAN_CACHE_MAX", 1)
+        with telemetry.session() as tel:
+            get_plan(8, -1)
+            get_plan(16, -1)
+        snapshot = tel.metrics.snapshot()
+        assert snapshot["fft.plan_cache_misses"]["series"][0]["value"] == 2
+        assert snapshot["fft.plan_cache_evictions"]["series"][0]["value"] == 1
+
+    def test_hit_miss_metrics_preserved(self):
+        with telemetry.session() as tel:
+            get_plan(48, -1)
+            get_plan(48, -1)
+        snapshot = tel.metrics.snapshot()
+        assert snapshot["fft.plan_cache_hits"]["series"][0]["value"] == 1
+        assert snapshot["fft.plan_cache_misses"]["series"][0]["value"] == 1
+
+    def test_concurrent_lookups_share_one_plan(self):
+        sizes = [12, 18, 24, 30, 36, 48, 60, 96]
+        results: dict[int, list] = {n: [] for n in sizes}
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                for n in sizes:
+                    results[n].append(get_plan(n, -1))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for n in sizes:
+            assert all(p is results[n][0] for p in results[n])
+        stats = plan_cache_stats()
+        assert stats["hits"] + stats["misses"] == 8 * 50 * len(sizes)
+        assert stats["misses"] == len(sizes)
+
+
+class TestContractPath:
+    def test_levels_carry_precomputed_path(self):
+        plan = get_plan(60, -1)
+        assert plan.levels
+        for lvl in plan.levels:
+            # A usable einsum path: accepted verbatim by np.einsum.
+            z = random_complex(3, lvl.r, lvl.m)
+            with_path = np.einsum(
+                "ks,...sm->...km", lvl.radix_dft, z, optimize=lvl.contract_path
+            )
+            searched = np.einsum("ks,...sm->...km", lvl.radix_dft, z, optimize=True)
+            np.testing.assert_array_equal(with_path, searched)
+
+    def test_direct_plan_construction_matches_cached(self):
+        direct = Plan(48, -1)
+        cached = get_plan(48, -1)
+        x = random_complex(5, 48)
+        np.testing.assert_array_equal(execute_plan(x, direct), execute_plan(x, cached))
+
+
+class TestOutBuffers:
+    """out= destinations must be bit-identical to fresh results."""
+
+    @pytest.mark.parametrize("n", [8, 15, 30, 35, 48, 97])
+    @pytest.mark.parametrize("sign", [-1, 1])
+    def test_fft_last_axis_out(self, n, sign):
+        x = random_complex(7, n)
+        fresh = fft_last_axis(x, sign)
+        out = np.empty_like(x)
+        got = fft_last_axis(x, sign, out=out)
+        assert got is out
+        np.testing.assert_array_equal(
+            fresh.view(np.float64), out.view(np.float64)
+        )
+
+    def test_execute_plan_noncontiguous_out_falls_back(self):
+        x = random_complex(4, 24)
+        fresh = execute_plan(x, get_plan(24, -1))
+        out = np.empty((4, 48), dtype=np.complex128)[:, ::2]
+        assert not out.flags.c_contiguous
+        got = execute_plan(x, get_plan(24, -1), out=out)
+        assert got is out
+        np.testing.assert_array_equal(np.ascontiguousarray(got), fresh)
+
+    @pytest.mark.parametrize("sign", [-1, 1])
+    def test_cft_1z_out(self, sign):
+        sticks = random_complex(11, 30)
+        fresh = cft_1z(sticks, sign)
+        out = np.empty_like(sticks)
+        got = cft_1z(sticks, sign, out=out)
+        assert got is out
+        np.testing.assert_array_equal(fresh.view(np.float64), out.view(np.float64))
+
+    @pytest.mark.parametrize("sign", [-1, 1])
+    def test_cft_2xy_out(self, sign):
+        planes = random_complex(3, 12, 10)
+        fresh = cft_2xy(planes, sign)
+        out = np.empty_like(planes)
+        got = cft_2xy(planes, sign, out=out)
+        assert got is out
+        np.testing.assert_array_equal(
+            np.ascontiguousarray(fresh).view(np.float64), out.view(np.float64)
+        )
