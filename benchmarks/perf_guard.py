@@ -150,6 +150,42 @@ def load_baseline(path: pathlib.Path, kind: str) -> dict | None:
     return doc
 
 
+def baseline_provenance(path: pathlib.Path, baseline: dict) -> str:
+    """Where the committed baseline came from: file mtime plus the commit
+    recorded at update time (older baselines predate the commit field)."""
+    parts = []
+    try:
+        mtime = path.stat().st_mtime
+        parts.append(
+            "mtime " + time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(mtime))
+        )
+    except OSError:
+        parts.append("mtime unknown")
+    commit = baseline.get("commit")
+    parts.append(f"commit {commit}" if commit else "commit not recorded")
+    if baseline.get("recorded_at"):
+        parts.append(f"recorded {baseline['recorded_at']}")
+    return f"{path} ({', '.join(parts)})"
+
+
+def _current_commit() -> str | None:
+    """Best-effort git HEAD of the working tree (None outside a checkout)."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_HERE,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
 def check_target(name: str, path: pathlib.Path, tolerance: float, rounds: int) -> int:
     default_path, kind, metric, measure, hint = TARGETS[name]
     path = path or default_path
@@ -167,6 +203,7 @@ def check_target(name: str, path: pathlib.Path, tolerance: float, rounds: int) -
         f"best of {rounds} on {current['config']})"
     )
     if verdict != "OK":
+        print(f"[{name}] baseline provenance: {baseline_provenance(path, baseline)}")
         print(
             f"[{name}] throughput regressed beyond tolerance; {hint} "
             "or, if the slowdown is intended and justified, refresh the "
@@ -189,6 +226,10 @@ def update_target(name: str, path: pathlib.Path, rounds: int, force: bool) -> in
                 "the ratchet only moves up — use --force to lower it)"
             )
             return 0
+    commit = _current_commit()
+    if commit is not None:
+        current["commit"] = commit
+    current["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     path.write_text(json.dumps(current, indent=2) + "\n")
     print(f"[{name}] wrote {path}: {current[metric]:,.1f} {metric}")
     return 0

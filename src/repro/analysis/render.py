@@ -1,0 +1,349 @@
+"""Text / markdown rendering of analysis artifacts.
+
+All renderers take the JSON-level dict forms (what :func:`analyze_manifest`
+returns, ``TriageReport.to_dict()``, :func:`analyze_sweep` rows) so the CLI
+can feed either live objects or reloaded files; JSON output is plain
+``json.dumps`` of the same dicts and needs no renderer.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "render_analysis_text",
+    "render_analysis_markdown",
+    "render_triage_text",
+    "render_triage_markdown",
+    "render_sweep_text",
+    "render_sweep_markdown",
+]
+
+
+def _fmt(value: _t.Any, spec: str = ".4f", missing: str = "-") -> str:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, spec)
+    return missing
+
+
+def _ms(value: _t.Any) -> str:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value * 1e3:.3f} ms"
+    return "-"
+
+
+# ---------------------------------------------------------------------------
+# Single-run analysis
+
+
+def _analysis_rows(info: dict) -> dict:
+    section = info.get("analysis") or {}
+    return {
+        "pop": section.get("pop") or {},
+        "critical_path": section.get("critical_path"),
+        "task_graph": section.get("task_graph"),
+        "unclosed_spans": section.get("unclosed_spans", 0),
+    }
+
+
+def render_analysis_text(info: dict) -> str:
+    """Human-readable report of one run's analysis section."""
+    rows = _analysis_rows(info)
+    pop = rows["pop"]
+    lines = [
+        f"run: {info.get('label', '?')}",
+        f"phase runtime: {_ms(info.get('phase_time_s'))}",
+        "",
+        "POP efficiency factors",
+        "-" * 46,
+    ]
+    for name in (
+        "parallel_efficiency",
+        "load_balance",
+        "serialization_efficiency",
+        "transfer_efficiency",
+        "communication_efficiency",
+    ):
+        lines.append(f"  {name.replace('_', ' '):<28}{_fmt(pop.get(name)):>8}")
+    if pop.get("split_source"):
+        lines.append(
+            f"  (serialization/transfer split: {pop['split_source']}, "
+            f"ideal runtime {_ms(pop.get('ideal_runtime_s'))})"
+        )
+    phases = pop.get("phases") or {}
+    if phases:
+        lines += [
+            "",
+            f"  {'phase':<18}{'load bal':>9}{'max':>12}{'mean':>12}",
+            "  " + "-" * 51,
+        ]
+        for name in sorted(phases):
+            p = phases[name]
+            lines.append(
+                f"  {name:<18}{_fmt(p.get('load_balance'), '.3f'):>9}"
+                f"{_ms(p.get('time_max_s')):>12}{_ms(p.get('time_mean_s')):>12}"
+            )
+    layers = pop.get("comm_layers") or {}
+    if layers:
+        lines += [
+            "",
+            f"  {'MPI layer':<18}{'time':>12}{'sync':>12}{'transfer':>12}",
+            "  " + "-" * 54,
+        ]
+        for name in sorted(layers):
+            c = layers[name]
+            lines.append(
+                f"  {name:<18}{_ms(c.get('time_s')):>12}"
+                f"{_ms(c.get('sync_s')):>12}{_ms(c.get('transfer_s')):>12}"
+            )
+    crit = rows["critical_path"]
+    if crit:
+        lines += ["", "Critical path", "-" * 46]
+        lines.append(
+            f"  length {_ms(crit.get('length_s'))} over "
+            f"{crit.get('n_segments', 0)} segment(s) "
+            f"(makespan {_ms(crit.get('makespan_s'))})"
+        )
+        by_kind = crit.get("by_kind") or {}
+        for kind in sorted(by_kind, key=lambda k: -by_kind[k]):
+            lines.append(f"  {kind:<18}{_ms(by_kind[kind]):>12}")
+        top = sorted(
+            (crit.get("by_label") or {}).items(), key=lambda kv: -kv[1]
+        )[:5]
+        if top:
+            lines.append("  top contributors:")
+            for label, t in top:
+                lines.append(f"    {label:<20}{_ms(t):>12}")
+    graph = rows["task_graph"]
+    if graph:
+        lines += ["", "Task graph (ompss)", "-" * 46]
+        lines.append(
+            f"  {graph.get('n_tasks', 0)} tasks, {graph.get('n_edges', 0)} edges; "
+            f"longest chain {_ms(graph.get('length_s'))} "
+            f"({graph.get('chain_len', 0)} tasks)"
+        )
+        for entry in graph.get("top_critical") or []:
+            lines.append(
+                f"    {entry.get('name', '?'):<20}{_ms(entry.get('duration_s')):>12}"
+                f"  slack {_ms(entry.get('slack_s'))}"
+            )
+    if rows["unclosed_spans"]:
+        lines += [
+            "",
+            f"WARNING: {rows['unclosed_spans']} span(s) never closed — "
+            "the span tree is truncated.",
+        ]
+    return "\n".join(lines)
+
+
+def render_analysis_markdown(info: dict) -> str:
+    """Markdown report of one run's analysis section (the CI artifact)."""
+    rows = _analysis_rows(info)
+    pop = rows["pop"]
+    lines = [
+        f"# Analysis: {info.get('label', '?')}",
+        "",
+        f"Simulated phase runtime: **{_ms(info.get('phase_time_s'))}**",
+        "",
+        "## POP efficiency factors",
+        "",
+        "| factor | value |",
+        "| --- | ---: |",
+    ]
+    for name in (
+        "parallel_efficiency",
+        "load_balance",
+        "serialization_efficiency",
+        "transfer_efficiency",
+        "communication_efficiency",
+    ):
+        lines.append(f"| {name.replace('_', ' ')} | {_fmt(pop.get(name))} |")
+    if pop.get("split_source"):
+        lines += [
+            "",
+            f"Serialization/transfer split source: `{pop['split_source']}` "
+            f"(ideal runtime {_ms(pop.get('ideal_runtime_s'))}).",
+        ]
+    phases = pop.get("phases") or {}
+    if phases:
+        lines += [
+            "",
+            "## Per-phase load balance",
+            "",
+            "| phase | load balance | max | mean |",
+            "| --- | ---: | ---: | ---: |",
+        ]
+        for name in sorted(phases):
+            p = phases[name]
+            lines.append(
+                f"| {name} | {_fmt(p.get('load_balance'), '.3f')} | "
+                f"{_ms(p.get('time_max_s'))} | {_ms(p.get('time_mean_s'))} |"
+            )
+    layers = pop.get("comm_layers") or {}
+    if layers:
+        lines += [
+            "",
+            "## MPI layers",
+            "",
+            "| layer | time | sync | transfer |",
+            "| --- | ---: | ---: | ---: |",
+        ]
+        for name in sorted(layers):
+            c = layers[name]
+            lines.append(
+                f"| {name} | {_ms(c.get('time_s'))} | {_ms(c.get('sync_s'))} | "
+                f"{_ms(c.get('transfer_s'))} |"
+            )
+    crit = rows["critical_path"]
+    if crit:
+        lines += [
+            "",
+            "## Critical path",
+            "",
+            f"Length **{_ms(crit.get('length_s'))}** over "
+            f"{crit.get('n_segments', 0)} segment(s) "
+            f"(makespan {_ms(crit.get('makespan_s'))}).",
+            "",
+            "| resource | time |",
+            "| --- | ---: |",
+        ]
+        by_kind = crit.get("by_kind") or {}
+        for kind in sorted(by_kind, key=lambda k: -by_kind[k]):
+            lines.append(f"| {kind} | {_ms(by_kind[kind])} |")
+    graph = rows["task_graph"]
+    if graph:
+        lines += [
+            "",
+            "## Task graph",
+            "",
+            f"{graph.get('n_tasks', 0)} tasks, {graph.get('n_edges', 0)} edges; "
+            f"longest dependency chain {_ms(graph.get('length_s'))}.",
+        ]
+    if rows["unclosed_spans"]:
+        lines += [
+            "",
+            f"> **Warning:** {rows['unclosed_spans']} span(s) never closed — "
+            "the span tree is truncated.",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Triage (A/B)
+
+
+def render_triage_text(report: dict, top: int = 8) -> str:
+    """Human-readable blame report (``TriageReport.to_dict()`` form)."""
+    rel = report.get("runtime_relative")
+    rel_str = f"{rel * 100:+.1f}%" if isinstance(rel, (int, float)) else "new"
+    lines = [
+        f"A: {report.get('label_a', '?')}",
+        f"B: {report.get('label_b', '?')}",
+        f"verdict: {report.get('verdict', '?').upper()} "
+        f"({_ms(report.get('runtime_a_s'))} -> {_ms(report.get('runtime_b_s'))}, "
+        f"{rel_str}; threshold {report.get('threshold', 0) * 100:.1f}%)",
+    ]
+    if report.get("dominant_phase"):
+        lines.append(f"dominant phase:  {report['dominant_phase']}")
+    if report.get("dominant_factor"):
+        lines.append(f"dominant factor: {report['dominant_factor']}")
+    findings = report.get("findings") or []
+    if findings:
+        lines += ["", f"{'kind':<18}{'subject':<26}{'delta':>12}  detail", "-" * 78]
+        for f in findings[:top]:
+            delta = f.get("delta")
+            if f.get("kind") in ("phase", "mpi_layer", "runtime"):
+                delta_str = (
+                    f"{delta * 1e3:+.3f}ms" if isinstance(delta, (int, float)) else "-"
+                )
+            else:
+                delta_str = _fmt(delta, "+.4f")
+            lines.append(
+                f"{f.get('kind', '?'):<18}{f.get('subject', '?'):<26}"
+                f"{delta_str:>12}  {f.get('detail', '')}"
+            )
+        if len(findings) > top:
+            lines.append(f"... and {len(findings) - top} more finding(s)")
+    return "\n".join(lines)
+
+
+def render_triage_markdown(report: dict, top: int = 8) -> str:
+    """Markdown blame report."""
+    rel = report.get("runtime_relative")
+    rel_str = f"{rel * 100:+.1f}%" if isinstance(rel, (int, float)) else "new"
+    lines = [
+        f"# Triage: {report.get('label_a', '?')} → {report.get('label_b', '?')}",
+        "",
+        f"**Verdict: {report.get('verdict', '?').upper()}** — "
+        f"{_ms(report.get('runtime_a_s'))} → {_ms(report.get('runtime_b_s'))} "
+        f"({rel_str}).",
+    ]
+    if report.get("dominant_phase") or report.get("dominant_factor"):
+        lines.append("")
+        if report.get("dominant_phase"):
+            lines.append(f"- Dominant phase: `{report['dominant_phase']}`")
+        if report.get("dominant_factor"):
+            lines.append(f"- Dominant factor: `{report['dominant_factor']}`")
+    findings = report.get("findings") or []
+    if findings:
+        lines += [
+            "",
+            "| kind | subject | A | B | Δ | detail |",
+            "| --- | --- | ---: | ---: | ---: | --- |",
+        ]
+        for f in findings[:top]:
+            lines.append(
+                f"| {f.get('kind', '?')} | {f.get('subject', '?')} | "
+                f"{_fmt(f.get('value_a'), '.6g')} | {_fmt(f.get('value_b'), '.6g')} | "
+                f"{_fmt(f.get('delta'), '+.6g')} | {f.get('detail', '')} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Sweep efficiency series
+
+
+_SWEEP_COLUMNS = (
+    ("parallel_efficiency", "par eff"),
+    ("load_balance", "load bal"),
+    ("serialization_efficiency", "serial"),
+    ("transfer_efficiency", "transfer"),
+)
+
+
+def render_sweep_text(rows: _t.Sequence[dict]) -> str:
+    """Efficiency scaling series of a sweep manifest, as an ASCII table."""
+    header = f"{'point':<34}{'time':>12}" + "".join(
+        f"{title:>10}" for _, title in _SWEEP_COLUMNS
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = "".join(
+            f"{_fmt(row.get(key), '.4f'):>10}" for key, _ in _SWEEP_COLUMNS
+        )
+        flag = " (FAILED)" if row.get("failed") else ""
+        lines.append(
+            f"{row.get('point', '?'):<34}{_ms(row.get('phase_time_s')):>12}"
+            f"{cells}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_markdown(rows: _t.Sequence[dict]) -> str:
+    """Efficiency scaling series as a markdown table."""
+    lines = [
+        "# Sweep efficiency series",
+        "",
+        "| point | time | par eff | load bal | serialization | transfer |",
+        "| --- | ---: | ---: | ---: | ---: | ---: |",
+    ]
+    for row in rows:
+        cells = " | ".join(
+            _fmt(row.get(key), ".4f") for key, _ in _SWEEP_COLUMNS
+        )
+        point = row.get("point", "?")
+        if row.get("failed"):
+            point = f"{point} ⚠"
+        lines.append(f"| {point} | {_ms(row.get('phase_time_s'))} | {cells} |")
+    return "\n".join(lines) + "\n"

@@ -14,6 +14,9 @@
     fftxlib-repro faults validate scenario.json
     fftxlib-repro perf diff baseline.json candidate.json
     fftxlib-repro perf check --baseline baseline.json candidate.json
+    fftxlib-repro analyze run.json
+    fftxlib-repro analyze baseline.json candidate.json --format markdown
+    fftxlib-repro analyze sweep.json --out efficiency.md --format markdown
 
 ``--quick`` shrinks the workload (30 Ry / 10 Bohr / 32 bands and a reduced
 rank sweep) so every experiment finishes in seconds; the full workload is
@@ -22,6 +25,14 @@ works offline on run-manifest JSON files (see
 :mod:`repro.telemetry.manifest`): ``diff`` prints the runtime/IPC report,
 ``check`` exits non-zero on a regression beyond the threshold, ``validate``
 checks a manifest against the schema (run *or* sweep manifests).
+
+``analyze`` is the POP analytics front end (:mod:`repro.analysis`): one run
+manifest prints its efficiency factors, critical path and task-graph view;
+two manifests produce the A/B triage report (which phase, which factor,
+which counter moved); a sweep manifest prints the efficiency scaling
+series.  ``--format text|json|markdown`` picks the renderer, ``--out``
+writes to a file, and ``--check`` (two manifests) exits 1 on a regression
+verdict.
 
 ``sweep`` expands a ranks x version x taskgroups grid and executes the
 points concurrently through :mod:`repro.sweep` (``--jobs N``, process pool
@@ -246,10 +257,44 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--threshold", type=float, default=0.05,
         help="relative slowdown tolerated before failing (default 0.05)",
     )
+    p_check.add_argument(
+        "--triage", metavar="PATH", default=None,
+        help="write the structured triage (blame) report JSON here on failure",
+    )
     p_validate = perf_sub.add_parser(
         "validate", help="check a manifest file against the schema"
     )
     p_validate.add_argument("manifest")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="POP analytics over manifests: one run, an A/B pair, or a sweep",
+    )
+    p_analyze.add_argument(
+        "manifests", nargs="+", metavar="MANIFEST",
+        help="one run/sweep manifest, or two run manifests (baseline candidate)",
+    )
+    p_analyze.add_argument(
+        "--format", choices=["text", "json", "markdown"], default="text",
+        dest="fmt", help="output renderer (default text)",
+    )
+    p_analyze.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report here instead of stdout",
+    )
+    p_analyze.add_argument(
+        "--threshold", type=float, default=0.02,
+        help="A/B: relative runtime change below which the verdict is "
+        "neutral (default 0.02)",
+    )
+    p_analyze.add_argument(
+        "--top", type=int, default=8,
+        help="A/B: findings shown in text/markdown output (default 8)",
+    )
+    p_analyze.add_argument(
+        "--check", action="store_true",
+        help="A/B: exit 1 when the verdict is a regression",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="trace two versions and print the phase-delta table"
@@ -553,28 +598,139 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             print(f"{args.manifest}: valid run manifest")
             return 0
         if args.perf_command == "diff":
+            from repro.analysis import analyze_pair
             from repro.perf import diff_manifests, format_manifest_diff
 
-            diff = diff_manifests(_load(args.manifest_a), _load(args.manifest_b))
-            print(format_manifest_diff(diff))
+            doc_a, doc_b = _load(args.manifest_a), _load(args.manifest_b)
+            print(format_manifest_diff(diff_manifests(doc_a, doc_b)))
+            report = analyze_pair(doc_a, doc_b)
+            dom = report.dominant
+            line = f"\ntriage: {report.verdict.upper()}"
+            if dom is not None:
+                line += f" — dominant mover: {dom.kind} {dom.subject} ({dom.detail})"
+            print(line)
+            if report.dominant_factor:
+                print(f"triage: dominant efficiency factor: {report.dominant_factor}")
             return 0
         # perf check
         from repro.perf import manifest_regressions
 
+        baseline_doc = _load(args.baseline)
+        candidate_doc = _load(args.candidate)
         violations = manifest_regressions(
-            _load(args.baseline),
-            _load(args.candidate),
+            baseline_doc,
+            candidate_doc,
             threshold=args.threshold,
         )
         if violations:
+            from repro.analysis import analyze_pair
+            from repro.analysis.render import render_triage_text
+
             for v in violations:
                 print(f"REGRESSION: {v}", file=sys.stderr)
+            report = analyze_pair(
+                baseline_doc, candidate_doc, threshold=args.threshold
+            )
+            print("\n" + render_triage_text(report.to_dict()), file=sys.stderr)
+            if args.triage:
+                import pathlib
+
+                pathlib.Path(args.triage).write_text(
+                    json.dumps(report.to_dict(), indent=2) + "\n"
+                )
+                print(f"triage report written: {args.triage}", file=sys.stderr)
             return 1
         print(
             f"{args.candidate}: no regression vs {args.baseline} "
             f"(threshold {args.threshold * 100:.1f}%)"
         )
         return 0
+
+    if args.command == "analyze":
+        import json
+        import pathlib
+
+        from repro import analysis as _analysis
+        from repro.analysis import render as _render
+        from repro.telemetry.manifest import ManifestError, load_manifest
+
+        if len(args.manifests) > 2:
+            print(
+                "error: analyze takes one manifest (run or sweep) or two run "
+                f"manifests (baseline candidate); got {len(args.manifests)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.check and len(args.manifests) != 2:
+            print("error: --check needs two manifests (A/B mode)", file=sys.stderr)
+            return 2
+
+        def _load_doc(path: str) -> dict:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except FileNotFoundError:
+                raise SystemExit(f"error: no such manifest: {path}")
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"error: {path} is not JSON: {exc}")
+            if not isinstance(doc, dict):
+                raise SystemExit(f"error: {path} is not a manifest object")
+            return doc
+
+        def _load_run(path: str) -> dict:
+            try:
+                return load_manifest(path)
+            except FileNotFoundError:
+                raise SystemExit(f"error: no such manifest: {path}")
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"error: {path} is not JSON: {exc}")
+            except ManifestError as exc:
+                raise SystemExit(f"error: {exc}")
+
+        exit_code = 0
+        if len(args.manifests) == 2:
+            report = _analysis.analyze_pair(
+                _load_run(args.manifests[0]),
+                _load_run(args.manifests[1]),
+                threshold=args.threshold,
+            ).to_dict()
+            if args.fmt == "json":
+                output = json.dumps(report, indent=2) + "\n"
+            elif args.fmt == "markdown":
+                output = _render.render_triage_markdown(report, top=args.top)
+            else:
+                output = _render.render_triage_text(report, top=args.top) + "\n"
+            if args.check and report["verdict"] == "regression":
+                exit_code = 1
+        else:
+            doc = _load_doc(args.manifests[0])
+            if doc.get("kind") == "repro.sweep_manifest":
+                rows = _analysis.analyze_sweep(doc)
+                if args.fmt == "json":
+                    output = json.dumps(rows, indent=2) + "\n"
+                elif args.fmt == "markdown":
+                    output = _render.render_sweep_markdown(rows)
+                else:
+                    output = _render.render_sweep_text(rows) + "\n"
+            else:
+                run_doc = _load_run(args.manifests[0])
+                try:
+                    info = _analysis.analyze_manifest(run_doc)
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                if args.fmt == "json":
+                    output = json.dumps(info, indent=2) + "\n"
+                elif args.fmt == "markdown":
+                    output = _render.render_analysis_markdown(info)
+                else:
+                    output = _render.render_analysis_text(info) + "\n"
+        if args.out:
+            pathlib.Path(args.out).write_text(output)
+            print(f"analysis written: {args.out}")
+        else:
+            sys.stdout.write(output)
+        return exit_code
 
     if args.command == "compare":
         from repro.machine import knl_parameters

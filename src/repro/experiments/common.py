@@ -12,7 +12,13 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.perf.tracer import Trace
     from repro.sweep.engine import SweepTask
 
-__all__ = ["ExperimentReport", "paper_config", "reduce_timing", "sweep_summaries"]
+__all__ = [
+    "ExperimentReport",
+    "paper_config",
+    "reduce_timing",
+    "reduce_efficiency",
+    "sweep_summaries",
+]
 
 
 @dataclasses.dataclass
@@ -57,6 +63,41 @@ def reduce_timing(
         "average_ipc": result.average_ipc,
         "failed": result.failed,
     }
+
+
+def reduce_efficiency(
+    task: "SweepTask",
+    result: "RunResult",
+    ideal: "RunResult | None",
+    trace: "Trace | None",
+) -> dict:
+    """Timing reduction plus the point's POP efficiency factors.
+
+    Factors come from :func:`repro.analysis.analyze_run`: the full
+    sync/transfer split when the point carried a trace or an ideal-network
+    replay, the counters-only decomposition (load balance + communication
+    efficiency, neutral transfer) otherwise.
+    """
+    from repro.analysis import analyze_run
+
+    out = reduce_timing(task, result, ideal, trace)
+    analysis = analyze_run(
+        result, ideal_time_s=ideal.phase_time if ideal is not None else None
+    )
+    pop = analysis.pop
+    out["efficiency"] = (
+        {
+            "parallel_efficiency": pop.parallel_efficiency,
+            "load_balance": pop.load_balance,
+            "serialization_efficiency": pop.serialization_efficiency,
+            "transfer_efficiency": pop.transfer_efficiency,
+            "communication_efficiency": pop.communication_efficiency,
+            "split_source": pop.split_source,
+        }
+        if pop is not None
+        else None
+    )
+    return out
 
 
 def sweep_summaries(

@@ -18,7 +18,7 @@ from repro.sweep import SweepTask
 
 __all__ = ["run_fig6"]
 
-TIMING_REDUCER = "repro.experiments.common:reduce_timing"
+TIMING_REDUCER = "repro.experiments.common:reduce_efficiency"
 
 
 def run_fig6(
@@ -37,10 +37,18 @@ def run_fig6(
     summaries = sweep_summaries(tasks, jobs=jobs)
     original: dict[str, float] = {}
     ompss: dict[str, float] = {}
+    efficiency: dict[str, dict[str, dict | None]] = {
+        "original": {},
+        "ompss_perfft": {},
+    }
     for n in ranks:
         label = f"{n}x8"
         original[label] = summaries[f"ranks={n},version=original"]["phase_time_s"]
         ompss[label] = summaries[f"ranks={n},version=ompss_perfft"]["phase_time_s"]
+        for version in ("original", "ompss_perfft"):
+            efficiency[version][label] = summaries[
+                f"ranks={n},version={version}"
+            ].get("efficiency")
 
     speedups = {
         label: 1.0 - ompss[label] / original[label]
@@ -78,6 +86,14 @@ def run_fig6(
         + ", ".join(f"{l}: {speedups[l] * 100:.1f}%" for l in no_ht if l in speedups)
         + ")"
     )
+    for version, title in (("original", "orig"), ("ompss_perfft", "ompss")):
+        cells = [
+            f"{label}: {eff['parallel_efficiency']:.3f}"
+            for label, eff in efficiency[version].items()
+            if eff is not None
+        ]
+        if cells:
+            lines.append(f"POP parallel efficiency ({title}): " + ", ".join(cells))
     return ExperimentReport(
         name="fig6",
         data={
@@ -88,6 +104,7 @@ def run_fig6(
             "best_ompss": best_ompss,
             "best_vs_best": best_vs_best,
             "ht_gain_ompss": ht_gain,
+            "efficiency": efficiency,
         },
         text="\n".join(lines),
     )

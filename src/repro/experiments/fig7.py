@@ -64,11 +64,29 @@ def reduce_fig7(task, result, ideal, trace) -> dict:
     total = weights.sum()
     mean = float((weights * centers).sum() / total) if total > 0 else 0.0
     var = float((weights * (centers - mean) ** 2).sum() / total) if total > 0 else 0.0
-    return {
+    out = {
         "mean_ipc": mean,
         "ipc_std": float(np.sqrt(var)),
         "synchrony": synchrony_index(trace, MAIN_PHASES),
+        "efficiency": None,
     }
+    # The traced records carry the full sync/transfer split, so the POP
+    # factors here are the trace-estimated decomposition, not the neutral
+    # counters-only one.
+    from repro.analysis import decompose, timelines_from_trace
+
+    timelines = timelines_from_trace(trace) if trace is not None else []
+    if timelines and result.phase_time > 0:
+        pop = decompose(timelines, result.phase_time)
+        out["efficiency"] = {
+            "parallel_efficiency": pop.parallel_efficiency,
+            "load_balance": pop.load_balance,
+            "serialization_efficiency": pop.serialization_efficiency,
+            "transfer_efficiency": pop.transfer_efficiency,
+            "communication_efficiency": pop.communication_efficiency,
+            "split_source": pop.split_source,
+        }
+    return out
 
 
 def run_fig7(ranks: int = 8, jobs: int = 1, **overrides: _t.Any) -> ExperimentReport:
@@ -100,6 +118,14 @@ def run_fig7(ranks: int = 8, jobs: int = 1, **overrides: _t.Any) -> ExperimentRe
         f"synchrony index:  original {stats['original']['synchrony']:.2f} -> "
         f"OmpSs {stats['ompss_perfft']['synchrony']:.2f} (paper: synchronized blocks -> asynchronous)",
     ]
+    for version, title in (("original", "original"), ("ompss_perfft", "OmpSs   ")):
+        eff = stats[version].get("efficiency")
+        if eff:
+            lines.append(
+                f"POP factors ({title}): parallel {eff['parallel_efficiency']:.3f} = "
+                f"LB {eff['load_balance']:.3f} x ser {eff['serialization_efficiency']:.3f}"
+                f" x xfer {eff['transfer_efficiency']:.3f}"
+            )
     return ExperimentReport(
         name="fig7",
         data=stats,

@@ -36,11 +36,12 @@ VARIANTS: tuple[tuple[str, str, bool | None], ...] = (
 
 
 def reduce_multinode(task, result, ideal, trace) -> dict:
-    """Runtime plus the inter-node fabric traffic of one cluster run."""
-    return {
-        "phase_time_s": result.phase_time,
-        "inter_bytes": getattr(result.world.network, "inter_bytes", 0.0),
-    }
+    """Runtime, inter-node fabric traffic and POP factors of one cluster run."""
+    from repro.experiments.common import reduce_efficiency
+
+    out = reduce_efficiency(task, result, ideal, trace)
+    out["inter_bytes"] = getattr(result.world.network, "inter_bytes", 0.0)
+    return out
 
 
 def run_multinode(
@@ -61,11 +62,15 @@ def run_multinode(
     summaries = sweep_summaries(tasks, jobs=jobs)
     runtimes: dict[str, dict[int, float]] = {label: {} for label, _v, _t2 in VARIANTS}
     inter_bytes: dict[int, float] = {}
+    efficiency: dict[str, dict[int, dict | None]] = {
+        label: {} for label, _v, _t2 in VARIANTS
+    }
     for n in nodes:
         for label, _version, _switching in VARIANTS:
             summary = summaries[f"nodes={n},variant={label}"]
             runtimes[label][n] = summary["phase_time_s"]
             inter_bytes[n] = summary["inter_bytes"]
+            efficiency[label][n] = summary.get("efficiency")
 
     speedups = {
         label: {
@@ -94,6 +99,17 @@ def run_multinode(
         "",
         "fabric traffic: "
         + ", ".join(f"{n}n: {inter_bytes[n] / 1e6:.0f} MB" for n in nodes),
+        "POP parallel efficiency per node count:",
+    ]
+    for label, per_node in efficiency.items():
+        cells = [
+            f"{n}n: {eff['parallel_efficiency']:.3f} (LB {eff['load_balance']:.3f})"
+            for n, eff in per_node.items()
+            if eff is not None
+        ]
+        if cells:
+            lines.append(f"  {label:<14} " + "  ".join(cells))
+    lines += [
         "paper §IV: Opt 1 (overlap) targets communication-dominated scales;",
         "Opt 2 (de-sync) targets compute-dominated ones — watch the crossover.",
     ]
@@ -103,6 +119,7 @@ def run_multinode(
             "runtime_s": runtimes,
             "speedups": speedups,
             "inter_bytes": inter_bytes,
+            "efficiency": efficiency,
         },
         text="\n".join(lines),
     )

@@ -24,11 +24,21 @@ class TaskGraph:
     ----------
     on_ready:
         Callback invoked with each task the moment it becomes ready.
+    on_edge:
+        Optional callback invoked with ``(predecessor, successor)`` for
+        every dependency edge as it is discovered — the analysis layer's
+        export hook (the edges are not recoverable from task records alone
+        once the run finishes).
     """
 
-    def __init__(self, on_ready: _t.Callable[[Task], None]):
+    def __init__(
+        self,
+        on_ready: _t.Callable[[Task], None],
+        on_edge: _t.Callable[[Task, Task], None] | None = None,
+    ):
         self._tracker = DependencyTracker()
         self._on_ready = on_ready
+        self._on_edge = on_edge
         self.n_created = 0
         self.n_finished = 0
         self.n_edges = 0
@@ -41,6 +51,8 @@ class TaskGraph:
         self.n_edges += len(predecessors)
         for pred in predecessors:
             pred.successors.append(task)
+            if self._on_edge is not None:
+                self._on_edge(pred, task)
         if task.n_pending == 0:
             self._make_ready(task)
 

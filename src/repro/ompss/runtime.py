@@ -107,7 +107,7 @@ class TaskRuntime:
         #: collective that cannot complete until *this* rank joins another.
         self.mpi_task_switching = mpi_task_switching
         self.queue = make_queue(policy, n_workers=self.n_workers)
-        self.graph = TaskGraph(on_ready=self._on_ready)
+        self.graph = TaskGraph(on_ready=self._on_ready, on_edge=self._on_edge)
         self._next_tid = 0
         self._idle: dict[int, Event] = {}
         self._started = False
@@ -236,6 +236,11 @@ class TaskRuntime:
         self.queue.push(task)
         self._sample_queue_depth()
         self._wake_one()
+
+    def _on_edge(self, pred: Task, succ: Task) -> None:
+        tel = _telemetry.current()
+        if tel.enabled:
+            tel.task_edges.append((self.rank.rank, pred.tid, succ.tid))
 
     def _sample_queue_depth(self) -> None:
         tel = _telemetry.current()

@@ -76,6 +76,13 @@ class Telemetry:
         #: ``(sim_time, rank, depth)`` task-queue samples from the OmpSs
         #: runtime — the Chrome-trace counter track's data.
         self.queue_samples: list[tuple[float, int, int]] = []
+        #: ``(rank, pred_tid, succ_tid)`` dependency edges exported by the
+        #: OmpSs task graph — the substrate of the analysis layer's
+        #: task-graph critical path (tids are rank-local).
+        self.task_edges: list[tuple[int, int, int]] = []
+        #: The run's :class:`repro.analysis.RunAnalysis`, stashed by the
+        #: driver at finalization (``None`` until then).
+        self.analysis = None
 
     def span(
         self,

@@ -146,7 +146,31 @@ def build_manifest(
         manifest["failed"] = result.failed
     if result.dataplane is not None:
         manifest["dataplane"] = result.dataplane
+    analysis = _run_analysis(result, ideal_time_s)
+    if analysis is not None:
+        manifest["analysis"] = analysis
     return manifest
+
+
+def _run_analysis(result: "RunResult", ideal_time_s: float | None) -> dict | None:
+    """The ``analysis`` section: the session's stashed analytics, or a fresh
+    computation for telemetry-enabled runs that bypassed the driver summary.
+
+    Import is deferred — the analysis package consumes telemetry, not the
+    other way round, and the manifest module must stay importable first.
+    """
+    tel = result.telemetry
+    if tel is None or not tel.enabled:
+        return None
+    from repro import analysis as _analysis
+
+    stashed = getattr(tel, "analysis", None)
+    if stashed is None:
+        stashed = _analysis.analyze_session(
+            tel, result.phase_time, counters=result.cpu.counters,
+            ideal_time_s=ideal_time_s,
+        )
+    return stashed.to_dict()
 
 
 def _factor_items(factors: "FactorSet") -> list[tuple[str, float]]:
@@ -202,6 +226,12 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("fault_report.scenario", (dict,), False),
     ("failed", (bool,), False),
     ("dataplane", (dict,), False),
+    ("analysis", (dict,), False),
+    ("analysis.schema_version", (int,), False),
+    ("analysis.unclosed_spans", (int,), False),
+    ("analysis.pop", (dict, type(None)), False),
+    ("analysis.critical_path", (dict, type(None)), False),
+    ("analysis.task_graph", (dict, type(None)), False),
 ]
 
 
@@ -246,4 +276,26 @@ def validate_manifest(manifest: object) -> list[str]:
             for field in ("scenario", "injected", "recovered_events", "attempts"):
                 if field not in report:
                     errors.append(f"fault_report missing field {field!r}")
+        analysis = manifest.get("analysis")
+        if analysis is not None and isinstance(analysis, dict):
+            for field in (
+                "schema_version",
+                "unclosed_spans",
+                "pop",
+                "critical_path",
+                "task_graph",
+            ):
+                if field not in analysis:
+                    errors.append(f"analysis missing field {field!r}")
+            pop = analysis.get("pop")
+            if isinstance(pop, dict):
+                for field in (
+                    "parallel_efficiency",
+                    "load_balance",
+                    "serialization_efficiency",
+                    "transfer_efficiency",
+                    "phases",
+                ):
+                    if field not in pop:
+                        errors.append(f"analysis.pop missing field {field!r}")
     return errors

@@ -1,0 +1,180 @@
+"""Acceptance: the analysis pipeline end-to-end on live runs.
+
+The ISSUE gate: on a telemetry-enabled run the reported critical path
+length equals the simulated makespan within float tolerance, the POP
+factors multiply out exactly, and the manifest carries a schema-valid
+``analysis`` section.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    FACTOR_KEYS,
+    analyze_manifest,
+    analyze_run,
+    analyze_session,
+    analyze_sweep,
+    efficiency_summary,
+)
+from repro.core import RunConfig, run_fft_phase
+from repro.telemetry.manifest import build_manifest, validate_manifest
+
+QUICK = dict(ecutwfc=30.0, alat=10.0, nbnd=32)
+RTOL = 1e-9
+
+
+def _run(version="original", **overrides):
+    config = RunConfig(
+        ranks=4, taskgroups=4, version=version, telemetry=True, **QUICK, **overrides
+    )
+    return run_fft_phase(config)
+
+
+@pytest.fixture(scope="module")
+def original():
+    return _run()
+
+
+@pytest.fixture(scope="module")
+def steps():
+    return _run("ompss_steps")
+
+
+class TestAnalyzeRun:
+    def test_critical_path_length_equals_makespan(self, original):
+        analysis = analyze_run(original)
+        path = analysis.critical_path
+        assert path is not None
+        assert path.length_s == pytest.approx(original.phase_time, rel=RTOL)
+        assert path.makespan_s == pytest.approx(original.phase_time, rel=RTOL)
+
+    def test_pop_identity_on_live_run(self, original):
+        pop = analyze_run(original).pop
+        assert pop is not None
+        product = (
+            pop.load_balance
+            * pop.serialization_efficiency
+            * pop.transfer_efficiency
+        )
+        assert product == pytest.approx(pop.parallel_efficiency, rel=1e-12)
+        assert 0.0 < pop.parallel_efficiency <= 1.0 + 1e-12
+        assert pop.split_source == "estimate"  # MPI records, no replay
+        assert {p.phase for p in pop.phases} >= {"fft_z", "fft_xy"}
+
+    def test_driver_stashes_analysis_on_session(self, original):
+        tel = original.telemetry
+        assert tel.analysis is not None
+        assert analyze_run(original) is tel.analysis
+        gauges = tel.metrics.snapshot()
+        assert "analysis.parallel_efficiency" in gauges
+        assert "analysis.critical_path_seconds" in gauges
+
+    def test_task_graph_on_ompss_steps(self, steps):
+        graph = analyze_run(steps).task_graph
+        assert graph is not None
+        assert graph.n_edges > 0
+        assert graph.length_s > 0
+        assert graph.chain  # a non-trivial critical chain exists
+        # per-step tasks expose low-cardinality kinds, not instance names
+        assert all("(" not in name for name in graph.by_name)
+
+    def test_counters_fallback_without_telemetry(self):
+        config = RunConfig(ranks=2, taskgroups=2, telemetry=False, **QUICK)
+        result = run_fft_phase(config)
+        analysis = analyze_run(result)
+        assert analysis.critical_path is None and analysis.task_graph is None
+        pop = analysis.pop
+        assert pop is not None
+        assert pop.split_source == "neutral"
+        assert 0.0 < pop.parallel_efficiency <= 1.0 + 1e-12
+
+    def test_ideal_override_recomputes(self, original):
+        fresh = analyze_run(original, ideal_time_s=original.phase_time * 0.9)
+        assert fresh is not original.telemetry.analysis
+        assert fresh.pop.split_source == "replay"
+        assert fresh.pop.transfer_efficiency == pytest.approx(0.9)
+
+
+class TestUnclosedSpans:
+    def test_warning_and_count_on_open_span(self, original):
+        tel = original.telemetry
+        handle = tel.spans.begin("test", "straggler", "test", original.phase_time)
+        try:
+            with pytest.warns(RuntimeWarning, match="still open"):
+                analysis = analyze_session(
+                    tel, original.phase_time, counters=original.cpu.counters
+                )
+            assert analysis.unclosed_spans == 1
+        finally:
+            tel.spans.end(handle, original.phase_time)
+
+    def test_clean_session_has_no_warning(self, original):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            analysis = analyze_session(
+                original.telemetry,
+                original.phase_time,
+                counters=original.cpu.counters,
+            )
+        assert analysis.unclosed_spans == 0
+
+
+class TestManifestIntegration:
+    def test_manifest_analysis_section_is_schema_valid(self, original):
+        manifest = build_manifest(original, created="2026-01-01T00:00:00")
+        assert validate_manifest(manifest) == []
+        section = manifest["analysis"]
+        assert section["schema_version"] == 1
+        assert section["unclosed_spans"] == 0
+        assert section["pop"]["phases"]
+        assert section["critical_path"]["length_s"] == pytest.approx(
+            original.phase_time, rel=RTOL
+        )
+
+    def test_analyze_manifest_extracts_context(self, original):
+        manifest = build_manifest(original, created="2026-01-01T00:00:00")
+        info = analyze_manifest(manifest)
+        assert info["label"] == original.config.label()
+        assert info["phase_time_s"] == pytest.approx(original.phase_time)
+        assert info["analysis"]["pop"]["parallel_efficiency"] > 0
+
+    def test_analyze_manifest_rejects_pre_analysis_manifest(self, original):
+        manifest = build_manifest(original, created="2026-01-01T00:00:00")
+        del manifest["analysis"]
+        with pytest.raises(ValueError, match="analysis"):
+            analyze_manifest(manifest)
+
+    def test_untraced_manifest_has_no_analysis_section(self):
+        config = RunConfig(ranks=2, taskgroups=2, telemetry=False, **QUICK)
+        manifest = build_manifest(
+            run_fft_phase(config), created="2026-01-01T00:00:00"
+        )
+        assert "analysis" not in manifest
+        assert validate_manifest(manifest) == []
+
+
+class TestSweepAnalysis:
+    def test_sweep_rows_carry_factors(self, original):
+        manifest = build_manifest(original, created="(stable)")
+        sweep = {
+            "kind": "repro.sweep_manifest",
+            "points": {
+                "ranks=4": {
+                    "phase_time_s": original.phase_time,
+                    "failed": False,
+                    "summary": manifest,
+                },
+                "bare": {"phase_time_s": 1.0, "failed": False, "summary": {}},
+            },
+        }
+        rows = analyze_sweep(sweep)
+        assert [r["point"] for r in rows] == ["ranks=4", "bare"]
+        assert rows[0]["parallel_efficiency"] > 0
+        assert all(rows[1][k] is None for k in FACTOR_KEYS)
+
+    def test_efficiency_summary_selects_headline_keys(self):
+        pop = {k: 0.5 for k in FACTOR_KEYS}
+        pop["makespan_s"] = 1.0
+        assert set(efficiency_summary(pop)) == set(FACTOR_KEYS)
