@@ -17,6 +17,9 @@
     fftxlib-repro analyze run.json
     fftxlib-repro analyze baseline.json candidate.json --format markdown
     fftxlib-repro analyze sweep.json --out efficiency.md --format markdown
+    fftxlib-repro serve --requests requests.jsonl --manifest service.json
+    fftxlib-repro loadgen --mode soak --rate 50 --duration 4 --chaos chaos.json
+    fftxlib-repro loadgen --mode live --rate 25 --duration 3 --report slo.json
 
 ``--quick`` shrinks the workload (30 Ry / 10 Bohr / 32 bands and a reduced
 rank sweep) so every experiment finishes in seconds; the full workload is
@@ -33,6 +36,14 @@ which counter moved); a sweep manifest prints the efficiency scaling
 series.  ``--format text|json|markdown`` picks the renderer, ``--out``
 writes to a file, and ``--check`` (two manifests) exits 1 on a regression
 verdict.
+
+``serve`` runs the resilient async front end (:mod:`repro.service`) over a
+JSON-lines request stream; ``loadgen`` replays a seeded open-loop arrival
+process against it — ``--mode live`` on the wall clock, ``--mode soak`` on
+a deterministic virtual clock whose service manifests are byte-identical
+for a given (seed, chaos plan).  Both accept ``--chaos plan.json``
+(``repro.service_chaos``) for worker failures and executor outages; see
+docs/RESILIENCE.md for the full resilience model and exit-code contract.
 
 ``sweep`` expands a ranks x version x taskgroups grid and executes the
 points concurrently through :mod:`repro.sweep` (``--jobs N``, process pool
@@ -305,6 +316,80 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_cmp.add_argument("--taskgroups", type=int, default=8)
     p_cmp.add_argument("--quick", action="store_true", help="reduced workload")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a JSONL stream of run requests through the async front end",
+    )
+    p_serve.add_argument(
+        "--requests", metavar="PATH", default="-",
+        help="JSON-lines request file ('-' = stdin, the default)",
+    )
+    p_serve.add_argument(
+        "--responses", metavar="PATH", default=None,
+        help="write per-request verdict JSON lines here (default stdout)",
+    )
+    p_serve.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the (live) service manifest JSON after drain",
+    )
+    p_serve.add_argument(
+        "--chaos", metavar="PATH", default=None,
+        help="service-chaos plan JSON to inject (see docs/RESILIENCE.md)",
+    )
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N")
+    p_serve.add_argument("--queue-depth", type=int, default=32, metavar="N")
+    p_serve.add_argument(
+        "--deadline", type=float, default=2.0, metavar="S",
+        help="default per-request latency budget in seconds (default 2.0)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop load generator (live service or virtual soak)",
+    )
+    p_loadgen.add_argument(
+        "--mode", choices=["live", "soak"], default="soak",
+        help="'soak' = deterministic virtual-time replica (default); "
+        "'live' = real asyncio service on the wall clock",
+    )
+    p_loadgen.add_argument(
+        "--rate", type=float, default=20.0, metavar="RPS",
+        help="mean Poisson arrival rate (default 20 req/s)",
+    )
+    p_loadgen.add_argument(
+        "--duration", type=float, default=5.0, metavar="S",
+        help="arrival window in seconds; the service drains at its end",
+    )
+    p_loadgen.add_argument(
+        "--mix", default="small=0.7,medium=0.25,large=0.05",
+        help="grid-class weights, e.g. 'small=0.8,large=0.2'",
+    )
+    p_loadgen.add_argument(
+        "--versions", default="original,ompss_perfft",
+        help="comma-separated executor versions drawn uniformly",
+    )
+    p_loadgen.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request latency budget (default: the service default)",
+    )
+    p_loadgen.add_argument(
+        "--chaos", metavar="PATH", default=None,
+        help="service-chaos plan JSON to inject",
+    )
+    p_loadgen.add_argument("--workers", type=int, default=2, metavar="N")
+    p_loadgen.add_argument("--queue-depth", type=int, default=32, metavar="N")
+    p_loadgen.add_argument("--seed", type=int, default=42)
+    p_loadgen.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the service manifest JSON (soak manifests are stable: "
+        "same seed + chaos => byte-identical)",
+    )
+    p_loadgen.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the SLO report JSON here (also printed)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -313,9 +398,35 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "faults":
-        from repro.faults import ScenarioError, load_scenario
+        import json
 
-        # faults validate
+        from repro.faults import (
+            SERVICE_CHAOS_KIND,
+            ScenarioError,
+            load_chaos,
+            load_scenario,
+        )
+
+        # faults validate (machine-level scenarios and service chaos plans)
+        try:
+            with open(args.scenario, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            kind = doc.get("kind") if isinstance(doc, dict) else None
+        except (OSError, json.JSONDecodeError):
+            kind = None
+        if kind == SERVICE_CHAOS_KIND:
+            try:
+                chaos = load_chaos(args.scenario)
+            except (ScenarioError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"{args.scenario}: valid service chaos plan "
+                f"({len(chaos.outages)} outage(s), "
+                f"failure_rate {chaos.failure_rate:g}, "
+                f"fault_fraction {chaos.fault_fraction:g})"
+            )
+            return 0
         try:
             scenario = load_scenario(args.scenario)
         except (ScenarioError, OSError) as exc:
@@ -330,6 +441,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             f"task_failure_rate {scenario.task_failure_rate:g})"
         )
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
 
     if args.command == "run":
         import dataclasses
@@ -590,6 +707,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                     return 1
                 print(f"{args.manifest}: valid sweep manifest")
                 return 0
+            if kind == "repro.service_manifest":
+                from repro.service.manifest import (
+                    ServiceManifestError,
+                    load_service_manifest,
+                )
+
+                try:
+                    load_service_manifest(args.manifest)
+                except ServiceManifestError as exc:
+                    print(f"INVALID: {exc}", file=sys.stderr)
+                    return 1
+                print(f"{args.manifest}: valid service manifest")
+                return 0
             try:
                 _load(args.manifest)
             except ManifestError as exc:
@@ -766,6 +896,183 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             kwargs["jobs"] = args.jobs
         report = fn(**kwargs)
         print(f"\n{'=' * 72}\n{report.text}")
+    return 0
+
+
+def _load_chaos_arg(path: str | None):
+    """Load a --chaos plan, or exit 2 on bad input (returns (chaos, code))."""
+    if path is None:
+        return None, None
+    from repro.faults import ScenarioError, load_chaos
+
+    try:
+        return load_chaos(path), None
+    except (ScenarioError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _parse_mix(text: str) -> dict[str, float]:
+    mix: dict[str, float] = {}
+    for part in text.split(","):
+        name, _, weight = part.partition("=")
+        mix[name.strip()] = float(weight)
+    return mix
+
+
+def _cmd_serve(args) -> int:
+    """Serve a JSONL request stream through the live async front end."""
+    import asyncio
+    import json
+
+    from repro.service import AsyncService, ServiceConfig, request_from_dict
+    from repro.service.manifest import build_service_manifest, write_service_manifest
+    from repro.service.request import RequestError
+
+    chaos, code = _load_chaos_arg(args.chaos)
+    if code is not None:
+        return code
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            max_queue_depth=args.queue_depth,
+            default_deadline_s=args.deadline,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+        source = "<stdin>"
+    else:
+        try:
+            with open(args.requests, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read requests: {exc}", file=sys.stderr)
+            return 2
+        source = args.requests
+    requests = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            requests.append(request_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, RequestError) as exc:
+            print(f"error: {source}:{lineno}: {exc}", file=sys.stderr)
+            return 2
+
+    async def run() -> tuple[list[dict], dict]:
+        service = AsyncService(config, chaos)
+        await service.start()
+        results = await asyncio.gather(*[service.submit(r) for r in requests])
+        report = await service.drain()
+        if args.manifest:
+            write_service_manifest(
+                args.manifest,
+                build_service_manifest(
+                    service.core, load={"source": source}, stable=False, slo=report
+                ),
+            )
+        return list(results), report
+
+    results, report = asyncio.run(run())
+    out = open(args.responses, "w", encoding="utf-8") if args.responses else sys.stdout
+    try:
+        for response in results:
+            out.write(json.dumps(response, sort_keys=True) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    counts = report["counts"]
+    print(
+        f"served {report['served']}/{counts['submitted']} request(s) at "
+        f"{report['requests_per_s']:g} req/s "
+        f"(shed {counts['shed']}, failed {counts['failed']}, "
+        f"expired {counts['expired']})",
+        file=sys.stderr,
+    )
+    if args.manifest:
+        print(f"service manifest written: {args.manifest}", file=sys.stderr)
+    # Exit contract: 0 only when every request was served (ok / memoized /
+    # batched); degraded-but-completed sessions report 1 for scripting.
+    return 0 if report["served"] == counts["submitted"] else 1
+
+
+def _cmd_loadgen(args) -> int:
+    """Open-loop load generation: live wall-clock or deterministic soak."""
+    import asyncio
+    import json
+
+    from repro.service import (
+        AsyncService,
+        LoadSpec,
+        ServiceConfig,
+        SoakEngine,
+        generate_arrivals,
+        run_loadgen,
+    )
+    from repro.service.manifest import build_service_manifest, write_service_manifest
+    from repro.service.request import RequestError
+    from repro.service.server import latency_percentiles
+
+    chaos, code = _load_chaos_arg(args.chaos)
+    if code is not None:
+        return code
+    try:
+        spec = LoadSpec(
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            mix=_parse_mix(args.mix),
+            versions=tuple(v.strip() for v in args.versions.split(",") if v.strip()),
+            deadline_s=args.deadline,
+            seed=args.seed,
+        )
+        config = ServiceConfig(
+            workers=args.workers,
+            max_queue_depth=args.queue_depth,
+            seed=args.seed,
+        )
+    except (RequestError, ValueError) as exc:
+        print(f"error: invalid load spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.mode == "soak":
+        engine = SoakEngine(config, chaos)
+        core = engine.run(generate_arrivals(spec, chaos), drain_at=spec.duration_s)
+        report = {
+            "mode": "soak",
+            "virtual_makespan_s": round(engine.makespan, 9),
+            "latency": latency_percentiles(core.latencies),
+            "counts": dict(core.counts),
+            "shed_reasons": dict(core.shed_reasons),
+            "breaker_trips": core.breakers.total_trips(),
+        }
+        manifest = build_service_manifest(core, load=spec.to_dict(), stable=True)
+    else:
+
+        async def run() -> tuple[dict, _t.Any]:
+            service = AsyncService(config, chaos)
+            await service.start()
+            slo = await run_loadgen(service, spec, chaos)
+            return slo, service.core
+
+        slo, core = asyncio.run(run())
+        report = {"mode": "live", **slo}
+        manifest = build_service_manifest(
+            core, load=spec.to_dict(), stable=False, slo=slo
+        )
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    if args.manifest:
+        write_service_manifest(args.manifest, manifest)
+        print(f"service manifest written: {args.manifest}", file=sys.stderr)
     return 0
 
 

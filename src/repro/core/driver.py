@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import time as _time
 import typing as _t
+import warnings
 
 import numpy as np
 
@@ -61,7 +63,19 @@ from repro.mpisim import MpiWorld, NetworkModel
 from repro.mpisim.network import ClusterNetworkModel
 from repro.simkit import Simulator
 
-__all__ = ["RunResult", "run_fft_phase", "build_geometry"]
+__all__ = ["RunCancelled", "RunResult", "run_fft_phase", "build_geometry"]
+
+
+class RunCancelled(RuntimeError):
+    """The run was aborted by its caller's cancellation hook.
+
+    Raised out of :func:`run_fft_phase` when the ``cancel`` callable returns
+    true or the wall-clock ``deadline`` passes — checked at attempt
+    boundaries and, via :attr:`repro.simkit.Simulator.interrupt`,
+    periodically inside the simulation loop.  This is the mechanism the
+    service front end (:mod:`repro.service`) uses to reclaim workers from
+    requests whose latency budget expired.
+    """
 
 
 @functools.lru_cache(maxsize=32)
@@ -149,6 +163,8 @@ def run_fft_phase(
     telemetry: _telemetry.Telemetry | None = None,
     faults: FaultScenario | None = None,
     use_workspace: bool = True,
+    cancel: _t.Callable[[], bool] | None = None,
+    deadline: float | None = None,
 ) -> RunResult:
     """Run one configuration to completion on a fresh simulated node.
 
@@ -168,6 +184,13 @@ def run_fft_phase(
 
     ``faults`` overrides ``config.faults``; with a scenario active the
     driver checkpoints and resumes as described in the module docstring.
+
+    ``cancel`` (a callable returning true to abort) and ``deadline`` (an
+    absolute ``time.monotonic()`` timestamp) install a cooperative
+    cancellation hook: it is checked before every attempt and every
+    :data:`~repro.simkit.simulator.INTERRUPT_STRIDE` simulator events, and
+    trips by raising :class:`RunCancelled`.  With both left ``None`` (the
+    default) the simulation loop pays a single ``is None`` check per event.
     """
     knl = knl or KnlParameters()
     if (input_coeffs is not None or potential is not None) and not config.data_mode:
@@ -177,6 +200,15 @@ def run_fft_phase(
         tel = _telemetry.Telemetry(enabled=True)
     scenario = faults if faults is not None else config.faults
     injector = FaultInjector(scenario, config.seed) if scenario is not None else None
+
+    check_interrupt: _t.Callable[[], None] | None = None
+    if cancel is not None or deadline is not None:
+
+        def check_interrupt() -> None:
+            if cancel is not None and cancel():
+                raise RunCancelled("run cancelled by caller")
+            if deadline is not None and _time.monotonic() >= deadline:
+                raise RunCancelled("run deadline exceeded")
 
     # 1. Geometry and costs (geometry cached per process; see build_geometry).
     _cell, desc, layout = build_geometry(
@@ -260,9 +292,12 @@ def run_fft_phase(
 
     for attempt in range(1, max_attempts + 1):
         n_attempts = attempt
+        if check_interrupt is not None:
+            check_interrupt()
 
         # 3. Machine + world (fresh per attempt; the injector persists).
         sim = Simulator()
+        sim.interrupt = check_interrupt
         topo: _t.Any = knl_topology(knl)
         if config.n_nodes > 1:
             topo = ClusterTopology(topo, config.n_nodes)
@@ -457,6 +492,15 @@ def run_fft_phase(
             dataplane_before or {},
             aggregate_stats(layout_workspaces(layout).values()),
         )
+        if dataplane["workspace_leaks"] > 0:
+            warnings.warn(
+                f"run leaked {dataplane['workspace_leaks']} workspace "
+                "checkout(s): buffers were garbage-collected without a "
+                "release (arena bleed; harmless once, a drift under "
+                "sustained service traffic)",
+                ResourceWarning,
+                stacklevel=2,
+            )
 
     if tel is not None and tel.enabled:
         _record_run_summary(
@@ -491,6 +535,7 @@ _DATAPLANE_COUNTERS = (
     "alloc_misses",
     "releases",
     "foreign_releases",
+    "workspace_leaks",
 )
 _DATAPLANE_GAUGES = ("live", "live_peak", "pooled", "bytes_resident")
 

@@ -84,6 +84,11 @@ class Workspace:
         self.alloc_misses = 0
         self.releases = 0
         self.foreign_releases = 0
+        #: Checkouts whose buffer was garbage-collected without a release —
+        #: pruned entries plus (in :meth:`stats`) currently-dead refs.  A
+        #: monotonic counter: under sustained service traffic a silent leak
+        #: becomes a steady drift, not an invisible prune.
+        self.leaked = 0
         self.live = 0
         self.live_peak = 0
 
@@ -138,6 +143,7 @@ class Workspace:
         for i in dead:
             del self._out[i]
         self.live -= len(dead)
+        self.leaked += len(dead)
 
     def begin_run(self) -> None:
         """Reset the peak tracker at a run boundary (counters keep running)."""
@@ -157,12 +163,14 @@ class Workspace:
                 for key, ref in self._out.values()
                 if ref() is not None
             )
+            dead_out = sum(1 for _key, ref in self._out.values() if ref() is None)
             return {
                 "acquires": self.acquires,
                 "reuse_hits": self.reuse_hits,
                 "alloc_misses": self.alloc_misses,
                 "releases": self.releases,
                 "foreign_releases": self.foreign_releases,
+                "workspace_leaks": self.leaked + dead_out,
                 "live": self.live,
                 "live_peak": self.live_peak,
                 "pooled": pooled,

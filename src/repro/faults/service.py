@@ -1,0 +1,239 @@
+"""Service-level chaos: what goes wrong *around* the runs, and when.
+
+:class:`~repro.faults.plan.FaultScenario` perturbs the machine inside one
+simulation; :class:`ServiceChaos` perturbs the *service* hosting many —
+worker attempts that fail, executors that black out for a window (the
+input that trips circuit breakers), and a fraction of requests carrying
+an embedded machine-level scenario so real injected faults flow through
+the retry path too.
+
+Like fault scenarios, chaos plans are frozen, seed-reproducible and
+round-trip through flat JSON (kind ``repro.service_chaos``)::
+
+    {
+      "kind": "repro.service_chaos",
+      "name": "rush-hour",
+      "seed": 7,
+      "failure_rate": 0.1,
+      "class_failure_rates": {"large": 0.3},
+      "outages": [{"version": "ompss_perfft", "start_s": 2.0, "duration_s": 1.5}],
+      "fault_fraction": 0.2,
+      "run_faults": {"kind": "repro.fault_scenario", "links": [...]}
+    }
+
+All draws go through a caller-supplied ``random.Random`` so the soak
+engine's single-threaded schedule stays byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import random
+import typing as _t
+
+from repro.faults.plan import ScenarioError, scenario_from_dict
+
+__all__ = [
+    "SERVICE_CHAOS_KIND",
+    "Outage",
+    "ServiceChaos",
+    "chaos_from_dict",
+    "chaos_to_dict",
+    "load_chaos",
+    "dump_chaos",
+]
+
+SERVICE_CHAOS_KIND = "repro.service_chaos"
+
+
+@dataclasses.dataclass(frozen=True)
+class Outage:
+    """One executor blackout window (``version=None`` = every executor).
+
+    During ``[start_s, start_s + duration_s)`` — measured from service
+    start — every attempt on the executor fails deterministically.  This
+    is the designed input of the circuit breaker: consecutive failures
+    trip it, and the half-open probe succeeds once the window has passed.
+    """
+
+    version: str | None = None
+    start_s: float = 0.0
+    duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ScenarioError(f"outage start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ScenarioError(
+                f"outage duration_s must be > 0, got {self.duration_s}"
+            )
+
+    def covers(self, version: str, now: float) -> bool:
+        """Whether an attempt on ``version`` at ``now`` falls in the window."""
+        if self.version is not None and self.version != version:
+            return False
+        return self.start_s <= now < self.start_s + self.duration_s
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceChaos:
+    """A complete, seed-reproducible service-level chaos plan."""
+
+    #: Display name (embedded in service manifests).
+    name: str = "chaos"
+    #: Chaos-local seed; the service combines it with its own seed so one
+    #: plan yields independent draws under different service seeds.
+    seed: int = 0
+    #: Per-attempt probability a worker attempt fails (service-injected).
+    failure_rate: float = 0.0
+    #: Per-grid-class overrides of ``failure_rate``.
+    class_failure_rates: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Executor blackout windows.
+    outages: tuple[Outage, ...] = ()
+    #: Fraction of generated requests that carry ``run_faults`` (the load
+    #: generator applies this; direct submitters attach faults themselves).
+    fault_fraction: float = 0.0
+    #: Machine-level scenario (flat ``repro.fault_scenario`` dict) attached
+    #: to that fraction, or ``None``.
+    run_faults: dict | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outages", tuple(self.outages))
+        if not self.name:
+            raise ScenarioError("chaos name must be non-empty")
+        if self.seed < 0:
+            raise ScenarioError(f"chaos seed must be >= 0, got {self.seed}")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ScenarioError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        for cls, rate in self.class_failure_rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise ScenarioError(
+                    f"class_failure_rates[{cls!r}] must be in [0, 1), got {rate}"
+                )
+        if not 0.0 <= self.fault_fraction <= 1.0:
+            raise ScenarioError(
+                f"fault_fraction must be in [0, 1], got {self.fault_fraction}"
+            )
+        if self.run_faults is not None:
+            # Validate eagerly so a bad embedded scenario fails at load
+            # time, not on the unlucky request that drew it.
+            scenario_from_dict(self.run_faults)
+        if self.fault_fraction > 0.0 and self.run_faults is None:
+            raise ScenarioError("fault_fraction > 0 requires run_faults")
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan perturbs anything at all."""
+        return (
+            self.failure_rate > 0.0
+            or bool(self.class_failure_rates)
+            or bool(self.outages)
+            or self.fault_fraction > 0.0
+        )
+
+    def rate_for(self, grid_class: str) -> float:
+        """Per-attempt failure probability for a grid class."""
+        return self.class_failure_rates.get(grid_class, self.failure_rate)
+
+    def attempt_fails(
+        self, rng: random.Random, grid_class: str, version: str, now: float
+    ) -> str | None:
+        """Failure cause of an attempt, or ``None`` when it may proceed.
+
+        Outage windows are checked first (deterministic in ``now``); the
+        stochastic rate draws one value from ``rng`` *only when the rate
+        is positive*, keeping clean classes from consuming draws.
+        """
+        for outage in self.outages:
+            if outage.covers(version, now):
+                return f"outage:{outage.version or 'all'}"
+        rate = self.rate_for(grid_class)
+        if rate > 0.0 and rng.random() < rate:
+            return "chaos"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip (same shape as fault scenarios).
+# ---------------------------------------------------------------------------
+
+_SCALAR_FIELDS = ("name", "seed", "failure_rate", "fault_fraction")
+
+
+def chaos_from_dict(doc: object) -> ServiceChaos:
+    """Build a validated chaos plan from a (JSON-decoded) dict."""
+    if not isinstance(doc, dict):
+        raise ScenarioError(f"chaos must be a JSON object, got {type(doc).__name__}")
+    kind = doc.get("kind")
+    if kind is not None and kind != SERVICE_CHAOS_KIND:
+        raise ScenarioError(f"kind must be {SERVICE_CHAOS_KIND!r}, got {kind!r}")
+    known = set(_SCALAR_FIELDS) | {
+        "kind",
+        "class_failure_rates",
+        "outages",
+        "run_faults",
+    }
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise ScenarioError(f"unknown chaos field(s): {', '.join(unknown)}")
+    kwargs: dict[str, _t.Any] = {k: doc[k] for k in _SCALAR_FIELDS if k in doc}
+    rates = doc.get("class_failure_rates", {})
+    if not isinstance(rates, dict):
+        raise ScenarioError("class_failure_rates must be a JSON object")
+    try:
+        outages = tuple(
+            Outage(**o) if isinstance(o, dict) else _reject_outage(o)
+            for o in doc.get("outages", [])
+        )
+        return ServiceChaos(
+            class_failure_rates=dict(rates),
+            outages=outages,
+            run_faults=doc.get("run_faults"),
+            **kwargs,
+        )
+    except TypeError as exc:
+        raise ScenarioError(str(exc)) from None
+
+
+def _reject_outage(entry: object) -> _t.NoReturn:
+    raise ScenarioError(
+        f"outage entry must be a JSON object, got {type(entry).__name__}"
+    )
+
+
+def chaos_to_dict(chaos: ServiceChaos) -> dict:
+    """Flat JSON-ready dict (inverse of :func:`chaos_from_dict`)."""
+    doc: dict[str, _t.Any] = {"kind": SERVICE_CHAOS_KIND}
+    doc.update({k: getattr(chaos, k) for k in _SCALAR_FIELDS})
+    doc["class_failure_rates"] = dict(chaos.class_failure_rates)
+    doc["outages"] = [dataclasses.asdict(o) for o in chaos.outages]
+    doc["run_faults"] = chaos.run_faults
+    return doc
+
+
+def load_chaos(path: str | pathlib.Path) -> ServiceChaos:
+    """Read and validate a chaos JSON file."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read chaos plan {path}: {exc}") from None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path} is not valid JSON: {exc}") from None
+    try:
+        return chaos_from_dict(doc)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from None
+
+
+def dump_chaos(path: str | pathlib.Path, chaos: ServiceChaos) -> pathlib.Path:
+    """Write a chaos plan as JSON; returns the written path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(chaos_to_dict(chaos), indent=2) + "\n")
+    return path

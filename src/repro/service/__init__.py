@@ -1,0 +1,86 @@
+"""FFT-as-a-service: a resilient front end over the simulation driver.
+
+ROADMAP open item 1: the driver is one-shot (build layout, run, exit);
+this package turns it into an always-on service that bears a stream of
+concurrent run requests and defends itself end to end.  The defence
+layers, in the order a request meets them (``docs/RESILIENCE.md`` has the
+full model):
+
+1. **Admission** (:mod:`~repro.service.admission`) — bounded queue and
+   load-shedding when depth or the estimated backlog exceeds the
+   request's deadline-derived budget; oversized requests are downgraded
+   to a queued batch lane instead of rejected.
+2. **Deadlines** — every accepted request carries a latency budget that
+   propagates into the worker as a cooperative cancellation hook
+   (:class:`repro.core.driver.RunCancelled`); expiry mid-run aborts the
+   simulation within one interrupt stride.
+3. **Retry** (:mod:`~repro.service.retry`) — failed attempts back off
+   exponentially with seeded jitter, capped by a per-grid-class retry
+   budget so a failing class cannot amplify load.
+4. **Circuit breaker** (:mod:`~repro.service.retry`) — per
+   (grid-class, executor) breaker trips on consecutive failures, cools
+   down, then half-opens with a probe quota.
+5. **Degradation** (:mod:`~repro.service.degrade`) — under pressure the
+   service serves memoized results for identical request digests (the
+   sweep engine's canonical sha256 digests) and switches to the
+   telemetry-off fast path that leans on the process plan/layout caches.
+6. **Drain** — shutdown rejects new work but completes every accepted
+   request (the zero accepted-then-lost invariant, pinned in CI).
+
+Two engines drive one policy core (:class:`~repro.service.server.
+ServiceCore`): the asyncio live engine (:class:`~repro.service.server.
+AsyncService`) on the wall clock, and a single-threaded virtual-time soak
+engine (:class:`~repro.service.server.SoakEngine`) whose manifests are
+byte-identical for a given seed + scenario — the service analogue of the
+chaos CI job's reproducibility pin.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.degrade import MemoCache
+from repro.service.loadgen import LoadSpec, generate_arrivals, run_loadgen
+from repro.service.manifest import (
+    SERVICE_MANIFEST_KIND,
+    ServiceManifestError,
+    validate_service_manifest,
+)
+from repro.service.request import (
+    GRID_CLASSES,
+    RequestError,
+    ServiceRequest,
+    cost_units,
+    grid_class_of,
+    preset_request,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.service.retry import BreakerBoard, CircuitBreaker, RetryPolicy
+from repro.service.server import AsyncService, ServiceConfig, ServiceCore, SoakEngine
+
+__all__ = [
+    "GRID_CLASSES",
+    "SERVICE_MANIFEST_KIND",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AsyncService",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "LoadSpec",
+    "MemoCache",
+    "RequestError",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceManifestError",
+    "ServiceRequest",
+    "SoakEngine",
+    "cost_units",
+    "generate_arrivals",
+    "grid_class_of",
+    "preset_request",
+    "request_from_dict",
+    "request_to_dict",
+    "run_loadgen",
+    "validate_service_manifest",
+]

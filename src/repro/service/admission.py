@@ -1,0 +1,144 @@
+"""Admission control: the bounded front door.
+
+The controller prices every arriving request (:func:`~repro.service.
+request.estimate_seconds`) and keeps a running estimate of the backlog —
+the seconds of work already admitted but not yet finished.  A request is
+shed when serving it would blow its own deadline anyway; shedding early
+is strictly kinder than accepting work the deadline layer would kill
+half-done (the load generator's SLO report counts both, so the trade is
+observable).
+
+Decision order (first match wins; the server consults the memo cache and
+breaker board *before* asking the controller, see
+:meth:`~repro.service.server.ServiceCore.submit`):
+
+1. draining → shed ``shutdown``;
+2. main queue at ``max_queue_depth`` → batch lane for large requests
+   (bounded by ``batch_depth``), shed ``queue_full`` otherwise;
+3. estimated backlog + this request's cost > its deadline → batch lane
+   for large requests, shed ``backlog`` otherwise;
+4. accept into the main lane.
+
+The controller is pure bookkeeping — no clock, no I/O — so the asyncio
+live engine and the virtual-time soak engine share one instance and one
+policy.  All mutation happens under the server's single-threaded control
+(asyncio event loop or the soak heap), so there is no internal lock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.service.request import ServiceRequest, estimate_seconds
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    #: ``accept`` (main lane), ``batch`` (deadline-waived lane) or ``shed``.
+    action: str
+    #: Shed reason (``queue_full`` / ``backlog`` / ``shutdown``), else ``""``.
+    reason: str = ""
+    #: Estimated attempt cost in seconds (recorded for the manifest).
+    est_cost_s: float = 0.0
+
+
+class AdmissionController:
+    """Bounded-queue admission with a deadline-derived backlog budget."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 32,
+        batch_depth: int = 64,
+        default_deadline_s: float = 2.0,
+        overhead_s: float = 0.012,
+        per_unit_s: float = 3.0e-9,
+        workers: int = 1,
+    ) -> None:
+        if max_queue_depth < 1 or batch_depth < 0:
+            raise ValueError("max_queue_depth >= 1 and batch_depth >= 0 required")
+        self.max_queue_depth = max_queue_depth
+        self.batch_depth = batch_depth
+        self.default_deadline_s = default_deadline_s
+        self.overhead_s = overhead_s
+        self.per_unit_s = per_unit_s
+        self.workers = max(1, workers)
+        #: Requests admitted to the main lane and not yet finished.
+        self.depth = 0
+        #: Batch-lane occupancy.
+        self.batch_occupancy = 0
+        #: Seconds of admitted-but-unfinished work (both lanes).
+        self.backlog_s = 0.0
+        self.draining = False
+        #: High-water marks for the manifest.
+        self.depth_peak = 0
+        self.backlog_peak_s = 0.0
+
+    # -- pricing ---------------------------------------------------------------
+
+    def price(self, request: ServiceRequest) -> float:
+        """Estimated seconds one attempt of ``request`` costs."""
+        return estimate_seconds(request.units, self.overhead_s, self.per_unit_s)
+
+    def deadline_of(self, request: ServiceRequest) -> float:
+        """The request's latency budget (service default when unset)."""
+        return request.deadline_s if request.deadline_s is not None else self.default_deadline_s
+
+    # -- the decision ----------------------------------------------------------
+
+    def decide(self, request: ServiceRequest) -> AdmissionDecision:
+        """Admit, batch or shed; updates occupancy on accept/batch."""
+        cost = self.price(request)
+        if self.draining:
+            return AdmissionDecision("shed", "shutdown", cost)
+        is_large = request.grid_class == "large"
+        if self.depth >= self.max_queue_depth:
+            if is_large and self.batch_occupancy < self.batch_depth:
+                return self._admit_batch(cost)
+            return AdmissionDecision("shed", "queue_full", cost)
+        # The backlog is drained by `workers` lanes in parallel; a request's
+        # wait is roughly backlog / workers, plus its own service time.
+        wait_s = self.backlog_s / self.workers + cost
+        if wait_s > self.deadline_of(request):
+            if is_large and self.batch_occupancy < self.batch_depth:
+                return self._admit_batch(cost)
+            return AdmissionDecision("shed", "backlog", cost)
+        self.depth += 1
+        self.depth_peak = max(self.depth_peak, self.depth)
+        self._add_backlog(cost)
+        return AdmissionDecision("accept", "", cost)
+
+    def _admit_batch(self, cost: float) -> AdmissionDecision:
+        self.batch_occupancy += 1
+        self._add_backlog(cost)
+        return AdmissionDecision("batch", "", cost)
+
+    def _add_backlog(self, cost: float) -> None:
+        self.backlog_s += cost
+        self.backlog_peak_s = max(self.backlog_peak_s, self.backlog_s)
+
+    # -- completion bookkeeping ------------------------------------------------
+
+    def finish(self, decision: AdmissionDecision) -> None:
+        """Release the occupancy an accept/batch decision reserved."""
+        if decision.action == "accept":
+            self.depth -= 1
+        elif decision.action == "batch":
+            self.batch_occupancy -= 1
+        else:
+            return
+        self.backlog_s = max(0.0, self.backlog_s - decision.est_cost_s)
+
+    def stats(self) -> dict:
+        """Occupancy snapshot for gauges and the manifest."""
+        return {
+            "depth": self.depth,
+            "depth_peak": self.depth_peak,
+            "batch_occupancy": self.batch_occupancy,
+            "backlog_s": round(self.backlog_s, 9),
+            "backlog_peak_s": round(self.backlog_peak_s, 9),
+            "draining": self.draining,
+        }

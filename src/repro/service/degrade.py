@@ -1,0 +1,98 @@
+"""Graceful degradation: do less per request instead of refusing requests.
+
+Two mechanisms, both observable in the manifest:
+
+* :class:`MemoCache` — an LRU of completed result summaries keyed by the
+  request's canonical sha256 digest (:attr:`~repro.service.request.
+  ServiceRequest.digest`).  Identical digests provably yield identical
+  results (the whole simulation is seed-deterministic), so a hit is
+  served instantly with verdict ``memoized`` — the cheapest possible way
+  to absorb a retry storm of identical requests.
+
+* :func:`should_degrade` — under queue pressure the worker switches to
+  the fast path: telemetry off, leaning fully on the process-cached
+  layouts and FFT plan LRU.  The run result is identical (telemetry is
+  observational); only per-request observability is sacrificed, which is
+  the correct thing to shed last.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+__all__ = ["MemoCache", "should_degrade"]
+
+
+class MemoCache:
+    """Digest-keyed LRU of completed result summaries."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: collections.OrderedDict[str, dict] = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> dict | None:
+        """The memoized summary for ``digest``, or ``None`` (counts both)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        return entry
+
+    def put(self, digest: str, summary: dict) -> None:
+        """Insert/refresh a summary (evicts the LRU entry at capacity)."""
+        if self.max_entries == 0:
+            return
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+        self._entries[digest] = summary
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "max_entries": self.max_entries,
+        }
+
+
+def should_degrade(
+    depth: int, max_depth: int, threshold: float = 0.5
+) -> bool:
+    """Switch to the telemetry-off fast path above this queue-pressure knee.
+
+    ``threshold`` is the occupied fraction of the main queue at which the
+    service stops paying per-request telemetry.  0 degrades always, 1
+    effectively never (only at a completely full queue).
+    """
+    if max_depth <= 0:
+        return False
+    return depth >= max_depth * threshold
+
+
+def summarize_result(result: _t.Any) -> dict:
+    """Reduce a :class:`~repro.core.driver.RunResult` to a memoizable dict.
+
+    Only simulation outputs (deterministic for a digest) — never wall
+    times or process-warmth counters, which would poison the memo.
+    """
+    return {
+        "phase_time_s": result.phase_time,
+        "failed": bool(result.failed),
+        "n_attempts": int(result.n_attempts),
+        "fault_failure": (result.fault_report or {}).get("failure"),
+    }

@@ -1,0 +1,146 @@
+"""Seeded open-loop load generation.
+
+Open-loop means arrivals are scheduled from a Poisson process fixed in
+advance — the generator does *not* wait for responses, so an overloaded
+service faces mounting pressure exactly as real traffic would (a
+closed-loop generator self-throttles and hides overload; see the
+admission layer it is meant to exercise).
+
+:func:`generate_arrivals` is pure and seed-deterministic: the same
+:class:`LoadSpec` always yields the same ``(time, request)`` schedule.
+The soak engine replays it on the virtual clock; :func:`run_loadgen`
+replays it on the wall clock against a live :class:`~repro.service.
+server.AsyncService`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as _t
+
+from repro.faults.service import ServiceChaos
+from repro.service.request import (
+    GRID_CLASSES,
+    RequestError,
+    ServiceRequest,
+    preset_request,
+)
+
+__all__ = ["LoadSpec", "generate_arrivals", "run_loadgen"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadSpec:
+    """One load scenario: how much traffic, of what shape, for how long."""
+
+    #: Mean arrival rate (requests/second, Poisson).
+    rate_rps: float = 20.0
+    #: Arrival window (seconds); the service drains at its end.
+    duration_s: float = 5.0
+    #: Grid-class mix (weights, normalized internally).
+    mix: dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"small": 0.7, "medium": 0.25, "large": 0.05}
+    )
+    #: Executor versions drawn uniformly.
+    versions: tuple[str, ...] = ("original", "ompss_perfft")
+    #: Per-request latency budget (``None`` = service default).
+    deadline_s: float | None = None
+    #: Ranks/taskgroups of every generated request (kept small: the
+    #: service's unit of work is one modest simulation, many times).
+    ranks: int = 2
+    taskgroups: int = 2
+    #: Fraction of requests repeating an earlier digest (memo food).
+    repeat_fraction: float = 0.2
+    #: Arrival-schedule seed.
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0 or self.duration_s <= 0:
+            raise RequestError("rate_rps and duration_s must be > 0")
+        if not self.mix:
+            raise RequestError("mix must name at least one grid class")
+        for cls in self.mix:
+            if cls not in GRID_CLASSES:
+                raise RequestError(f"unknown grid class in mix: {cls!r}")
+        if not self.versions:
+            raise RequestError("versions must be non-empty")
+        if not 0.0 <= self.repeat_fraction < 1.0:
+            raise RequestError(
+                f"repeat_fraction must be in [0, 1), got {self.repeat_fraction}"
+            )
+
+    def to_dict(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["versions"] = list(self.versions)
+        return doc
+
+
+def generate_arrivals(
+    spec: LoadSpec, chaos: ServiceChaos | None = None
+) -> list[tuple[float, ServiceRequest]]:
+    """The deterministic ``(arrival_time, request)`` schedule of ``spec``.
+
+    ``chaos.fault_fraction`` tags that fraction of requests with the
+    plan's embedded machine-level scenario.  Repeats re-issue an earlier
+    request verbatim (same digest ⇒ memoizable).
+    """
+    rng = random.Random(spec.seed)
+    classes = sorted(spec.mix)
+    weights = [spec.mix[c] for c in classes]
+    arrivals: list[tuple[float, ServiceRequest]] = []
+    issued: list[ServiceRequest] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(spec.rate_rps)
+        if t >= spec.duration_s:
+            break
+        if issued and rng.random() < spec.repeat_fraction:
+            request = issued[rng.randrange(len(issued))]
+        else:
+            grid_class = rng.choices(classes, weights)[0]
+            faults = None
+            if (
+                chaos is not None
+                and chaos.run_faults is not None
+                and rng.random() < chaos.fault_fraction
+            ):
+                faults = chaos.run_faults
+            request = preset_request(
+                grid_class,
+                ranks=spec.ranks,
+                taskgroups=spec.taskgroups,
+                version=spec.versions[rng.randrange(len(spec.versions))],
+                deadline_s=spec.deadline_s,
+                # Distinct seeds keep non-repeat requests un-memoizable;
+                # bounded so the digest space still collides across runs.
+                seed=2017 + rng.randrange(10_000),
+                faults=faults,
+            )
+            issued.append(request)
+        arrivals.append((round(t, 9), request))
+    return arrivals
+
+
+async def run_loadgen(
+    service: _t.Any, spec: LoadSpec, chaos: ServiceChaos | None = None
+) -> dict:
+    """Replay ``spec`` open-loop against a started live service, then drain.
+
+    Returns the service's SLO report.  Submission times follow the
+    schedule on the wall clock; responses are gathered but never waited
+    on in-line (open-loop).
+    """
+    import asyncio
+    import time
+
+    arrivals = generate_arrivals(spec, chaos)
+    t0 = time.monotonic()
+    tasks = []
+    for t, request in arrivals:
+        delay = t0 + t - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(service.submit(request)))
+    await asyncio.gather(*tasks)
+    return await service.drain()

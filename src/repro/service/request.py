@@ -1,0 +1,206 @@
+"""Service requests: the unit of work the front end admits, runs and bills.
+
+A :class:`ServiceRequest` names a workload (cutoff, lattice, bands), an
+executor, a latency budget and optionally a fault scenario to inject.  It
+is frozen so it can sit in queues, key memo caches and embed verbatim in
+the service manifest.
+
+Cost model
+----------
+Admission control needs to price a request before running it.  The FFT
+phase's work scales with the number of (band, stick/plane) elements, which
+the workload parameters determine as::
+
+    units = nbnd * alat**3 * ecutwfc**1.5
+
+(``alat**3`` tracks the real-space grid volume, ``ecutwfc**1.5`` the
+G-vector sphere).  Measured wall time is affine in units — a fixed
+~10 ms geometry/setup overhead plus ~3 ns/unit of marshalling and event
+dispatch — which :func:`estimate_seconds` encodes; the soak engine uses
+the same formula as its deterministic virtual service time, so live and
+virtual runs share one admission policy.
+
+Digests
+-------
+``ServiceRequest.digest`` is a sha256 over the canonical JSON of every
+result-determining field (workload, executor, seed, faults — not the
+deadline), the same construction as the sweep engine's point digests.
+Identical digests ⇒ identical results, which is what makes memoization
+(:mod:`~repro.service.degrade`) sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing as _t
+
+__all__ = [
+    "GRID_CLASSES",
+    "REQUEST_KIND",
+    "VERDICTS",
+    "SHED_REASONS",
+    "RequestError",
+    "ServiceRequest",
+    "cost_units",
+    "estimate_seconds",
+    "grid_class_of",
+    "preset_request",
+    "request_from_dict",
+    "request_to_dict",
+]
+
+REQUEST_KIND = "repro.service_request"
+
+
+class RequestError(ValueError):
+    """A service request failed validation or could not be parsed."""
+
+
+#: Named workload presets the load generator mixes.  Units span ~125x so
+#: the classes exercise genuinely different admission/batching paths.
+GRID_CLASSES: dict[str, dict[str, _t.Any]] = {
+    "small": {"ecutwfc": 12.0, "alat": 5.0, "nbnd": 8},
+    "medium": {"ecutwfc": 20.0, "alat": 8.0, "nbnd": 16},
+    "large": {"ecutwfc": 30.0, "alat": 10.0, "nbnd": 32},
+}
+
+#: Class boundaries in cost units (small < first, large >= second).
+_CLASS_BOUNDS = (1.0e5, 2.0e6)
+
+#: Terminal verdicts a request can end with.  Exactly one per request;
+#: ``submitted == sum(verdict counts)`` is the service's conservation law.
+VERDICTS = ("ok", "memoized", "batched", "shed", "expired", "failed")
+
+#: Why admission refused a request.
+SHED_REASONS = ("queue_full", "backlog", "breaker_open", "shutdown")
+
+
+def cost_units(ecutwfc: float, alat: float, nbnd: int) -> float:
+    """Workload size in cost units (see module docstring)."""
+    return float(nbnd) * float(alat) ** 3 * float(ecutwfc) ** 1.5
+
+
+def estimate_seconds(
+    units: float, overhead_s: float = 0.012, per_unit_s: float = 3.0e-9
+) -> float:
+    """Predicted wall seconds for one attempt (affine calibration)."""
+    return overhead_s + units * per_unit_s
+
+
+def grid_class_of(units: float) -> str:
+    """Bucket a request's cost units into small / medium / large."""
+    if units < _CLASS_BOUNDS[0]:
+        return "small"
+    if units < _CLASS_BOUNDS[1]:
+        return "medium"
+    return "large"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceRequest:
+    """One run request as submitted to the service front end."""
+
+    #: Wave-function cutoff (Ry).
+    ecutwfc: float = 12.0
+    #: Lattice parameter (Bohr).
+    alat: float = 5.0
+    #: Real bands (even — bands pack in pairs).
+    nbnd: int = 8
+    #: First-layer MPI ranks.
+    ranks: int = 2
+    #: Task groups / OmpSs threads.
+    taskgroups: int = 2
+    #: Executor version (original / ompss_perfft / ...).
+    version: str = "original"
+    #: Latency budget in seconds from admission (``None`` = the service
+    #: default).  Batch-lane requests have their deadline waived.
+    deadline_s: float | None = None
+    #: Base seed of the run (retries bump it per attempt so a retry is a
+    #: fresh draw, not a pointless deterministic replay).
+    seed: int = 2017
+    #: Fault scenario to inject (flat JSON dict as in ``repro.faults``),
+    #: or ``None`` for a clean run.
+    faults: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.ecutwfc <= 0 or self.alat <= 0:
+            raise RequestError(
+                f"ecutwfc/alat must be > 0, got {self.ecutwfc}/{self.alat}"
+            )
+        if self.nbnd < 2 or self.nbnd % 2:
+            raise RequestError(f"nbnd must be even and >= 2, got {self.nbnd}")
+        if self.ranks < 1 or self.taskgroups < 1:
+            raise RequestError(
+                f"ranks/taskgroups must be >= 1, got {self.ranks}/{self.taskgroups}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise RequestError(f"deadline_s must be > 0 or null, got {self.deadline_s}")
+        if self.seed < 0:
+            raise RequestError(f"seed must be >= 0, got {self.seed}")
+        if self.faults is not None and not isinstance(self.faults, dict):
+            raise RequestError("faults must be a JSON object or null")
+
+    @property
+    def units(self) -> float:
+        """Cost units of one attempt."""
+        return cost_units(self.ecutwfc, self.alat, self.nbnd)
+
+    @property
+    def grid_class(self) -> str:
+        """small / medium / large bucket (admission + breaker key)."""
+        return grid_class_of(self.units)
+
+    @property
+    def digest(self) -> str:
+        """Canonical sha256 identity over result-determining fields."""
+        payload = {
+            "ecutwfc": self.ecutwfc,
+            "alat": self.alat,
+            "nbnd": self.nbnd,
+            "ranks": self.ranks,
+            "taskgroups": self.taskgroups,
+            "version": self.version,
+            "seed": self.seed,
+            "faults": self.faults,
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return "sha256:" + hashlib.sha256(text.encode()).hexdigest()
+
+
+def preset_request(grid_class: str, **overrides: _t.Any) -> ServiceRequest:
+    """A :class:`ServiceRequest` from a named :data:`GRID_CLASSES` preset."""
+    try:
+        preset = GRID_CLASSES[grid_class]
+    except KeyError:
+        raise RequestError(
+            f"unknown grid class {grid_class!r} (have {', '.join(GRID_CLASSES)})"
+        ) from None
+    return ServiceRequest(**{**preset, **overrides})
+
+
+_FIELDS = tuple(f.name for f in dataclasses.fields(ServiceRequest))
+
+
+def request_from_dict(doc: object) -> ServiceRequest:
+    """Build a validated request from a (JSON-decoded) dict."""
+    if not isinstance(doc, dict):
+        raise RequestError(f"request must be a JSON object, got {type(doc).__name__}")
+    kind = doc.get("kind")
+    if kind is not None and kind != REQUEST_KIND:
+        raise RequestError(f"kind must be {REQUEST_KIND!r}, got {kind!r}")
+    unknown = sorted(set(doc) - set(_FIELDS) - {"kind"})
+    if unknown:
+        raise RequestError(f"unknown request field(s): {', '.join(unknown)}")
+    try:
+        return ServiceRequest(**{k: doc[k] for k in _FIELDS if k in doc})
+    except TypeError as exc:
+        raise RequestError(str(exc)) from None
+
+
+def request_to_dict(request: ServiceRequest) -> dict:
+    """Flat JSON-ready dict (inverse of :func:`request_from_dict`)."""
+    doc: dict[str, _t.Any] = {"kind": REQUEST_KIND}
+    doc.update(dataclasses.asdict(request))
+    return doc

@@ -1,0 +1,204 @@
+"""Retry with bounded budgets, and the per-(grid-class, executor) breaker.
+
+Retries amplify load exactly when the system can least afford it, so both
+mechanisms here are *budgeted*:
+
+* :class:`RetryPolicy` — exponential backoff with seeded jitter, capped
+  per attempt count, and spent from a per-grid-class token bucket that
+  only successful completions refill.  A class failing 100% of the time
+  exhausts its bucket and fails fast instead of doubling traffic.
+* :class:`CircuitBreaker` — the classic three-state machine per
+  (grid-class, executor): ``closed`` (counting consecutive failures) →
+  ``open`` after ``failure_threshold`` (requests shed without running) →
+  ``half_open`` after ``cooldown_s`` (up to ``probe_quota`` probes run;
+  one success closes, one failure re-opens).
+
+Both are clock-free except through ``now`` values the caller passes, so
+the wall-clock live engine and the virtual-time soak engine reuse them
+unchanged — and the soak engine's decisions stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "BreakerBoard"]
+
+
+class RetryPolicy:
+    """Exponential backoff + jitter, spent from per-class token buckets."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 1.0,
+        jitter: float = 0.25,
+        budget_cap: float = 8.0,
+        refill_per_success: float = 0.2,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self.budget_cap = budget_cap
+        self.refill_per_success = refill_per_success
+        #: grid class -> remaining retry tokens (starts full).
+        self._tokens: dict[str, float] = {}
+        #: grid class -> retries denied because the bucket was empty.
+        self.budget_denials: dict[str, int] = {}
+
+    def _bucket(self, grid_class: str) -> float:
+        return self._tokens.setdefault(grid_class, self.budget_cap)
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), with jitter."""
+        base = min(
+            self.max_backoff_s, self.base_backoff_s * self.multiplier ** (attempt - 1)
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+    def try_spend(self, grid_class: str, attempt: int) -> bool:
+        """Whether a retry may run; spends one token when allowed."""
+        if attempt >= self.max_attempts:
+            return False
+        tokens = self._bucket(grid_class)
+        if tokens < 1.0:
+            self.budget_denials[grid_class] = self.budget_denials.get(grid_class, 0) + 1
+            return False
+        self._tokens[grid_class] = tokens - 1.0
+        return True
+
+    def record_success(self, grid_class: str) -> None:
+        """Refill the class bucket a little (never past the cap)."""
+        tokens = self._bucket(grid_class)
+        self._tokens[grid_class] = min(self.budget_cap, tokens + self.refill_per_success)
+
+    def stats(self) -> dict:
+        """Bucket levels + denial counts, keyed by grid class."""
+        return {
+            "tokens": {k: round(v, 6) for k, v in sorted(self._tokens.items())},
+            "budget_denials": dict(sorted(self.budget_denials.items())),
+        }
+
+
+class CircuitBreaker:
+    """closed → open → half_open state machine for one (class, executor)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 1.0,
+        probe_quota: int = 1,
+    ) -> None:
+        if failure_threshold < 1 or probe_quota < 1:
+            raise ValueError("failure_threshold and probe_quota must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.probe_quota = probe_quota
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probes_in_flight = 0
+        #: Lifetime trip count and transition log (``(now, from, to)``).
+        self.trips = 0
+        self.transitions: list[tuple[float, str, str]] = []
+
+    def _move(self, now: float, state: str) -> None:
+        self.transitions.append((round(now, 9), self.state, state))
+        self.state = state
+
+    def allow(self, now: float) -> bool:
+        """May an attempt run now?  Half-opens an expired ``open`` breaker."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self.opened_at < self.cooldown_s:
+                return False
+            self._move(now, self.HALF_OPEN)
+            self.probes_in_flight = 0
+        # half-open: admit up to probe_quota concurrent probes.
+        if self.probes_in_flight < self.probe_quota:
+            self.probes_in_flight += 1
+            return True
+        return False
+
+    def release_probe(self) -> None:
+        """Hand back a half-open probe slot that never ran (shed upstream)."""
+        if self.state == self.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._move(now, self.CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._trip(now)
+        elif self.state == self.CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.trips += 1
+        self.opened_at = now
+        self._move(now, self.OPEN)
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": len(self.transitions),
+        }
+
+
+class BreakerBoard:
+    """All the service's breakers, keyed ``(grid_class, executor)``."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 1.0,
+        probe_quota: int = 1,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.probe_quota = probe_quota
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+
+    def breaker(self, grid_class: str, version: str) -> CircuitBreaker:
+        key = (grid_class, version)
+        brk = self._breakers.get(key)
+        if brk is None:
+            brk = CircuitBreaker(
+                self.failure_threshold, self.cooldown_s, self.probe_quota
+            )
+            self._breakers[key] = brk
+        return brk
+
+    def items(self) -> _t.Iterator[tuple[tuple[str, str], CircuitBreaker]]:
+        return iter(sorted(self._breakers.items()))
+
+    def stats(self) -> dict:
+        """Per-breaker snapshot keyed ``"class/executor"`` (sorted, stable)."""
+        return {f"{c}/{v}": brk.stats() for (c, v), brk in self.items()}
+
+    def total_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())

@@ -1,0 +1,735 @@
+"""The service engines: one policy core, two clocks.
+
+:class:`ServiceCore` owns every resilience decision — admission, memo,
+deadline accounting, retry budgets, breakers — and all request-level
+bookkeeping, but never reads a clock or touches I/O: engines feed it
+``now`` values.  Two engines drive it:
+
+* :class:`AsyncService` — the live asyncio front end.  Requests arrive
+  via :meth:`~AsyncService.submit`, workers fan out over a thread pool
+  (the simulator releases the GIL rarely, but runs are milliseconds and
+  the pool gives real overlap of marshalling with policy work), each
+  attempt carries its wall-clock deadline into
+  :func:`repro.core.driver.run_fft_phase` as a cooperative cancellation
+  hook, and :meth:`~AsyncService.drain` completes all accepted work
+  before returning (the zero accepted-then-lost invariant).
+
+* :class:`SoakEngine` — a single-threaded virtual-time replica used for
+  deterministic chaos soaks.  Service times come from the calibrated
+  cost model instead of wall clock, every stochastic draw comes from one
+  seeded generator consumed in event-heap order, and the resulting
+  service manifest is byte-identical for a given (seed, load spec,
+  chaos plan) — the service-layer analogue of the chaos CI job's
+  reproducibility pin.  Machine-level fault scenarios embedded in
+  requests are *modelled* here (a deterministic service-time surcharge),
+  not injected; the live engine injects them for real.
+
+Accounting conservation law (validated by the manifest checker)::
+
+    submitted == ok + memoized + batched + shed + expired + failed
+    accepted  == ok + batched + expired + failed
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import random
+import typing as _t
+
+from repro import telemetry as _telemetry
+from repro.faults.service import ServiceChaos
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.degrade import MemoCache, should_degrade, summarize_result
+from repro.service.request import SHED_REASONS, ServiceRequest
+from repro.service.retry import BreakerBoard, RetryPolicy
+
+__all__ = ["ServiceConfig", "Admitted", "ServiceCore", "AsyncService", "SoakEngine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Every policy knob of the service, in one embeddable object."""
+
+    #: Concurrent worker lanes.
+    workers: int = 2
+    #: Main-lane queue bound (admission sheds past it).
+    max_queue_depth: int = 32
+    #: Batch-lane bound (deadline-waived downgrades for large requests).
+    batch_depth: int = 64
+    #: Latency budget for requests that do not name one.
+    default_deadline_s: float = 2.0
+    #: Cost-model calibration (see :func:`repro.service.request.estimate_seconds`).
+    overhead_s: float = 0.012
+    per_unit_s: float = 3.0e-9
+    #: Retry policy.
+    retry_max_attempts: int = 3
+    retry_base_backoff_s: float = 0.05
+    retry_multiplier: float = 2.0
+    retry_max_backoff_s: float = 1.0
+    retry_jitter: float = 0.25
+    retry_budget_cap: float = 8.0
+    retry_refill_per_success: float = 0.2
+    #: Circuit breaker per (grid-class, executor).
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    breaker_probe_quota: int = 1
+    #: Degradation.
+    memo_entries: int = 256
+    degrade_threshold: float = 0.5
+    #: Service seed (combined with the chaos plan's seed for all draws).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 <= self.degrade_threshold <= 1.0:
+            raise ValueError(
+                f"degrade_threshold must be in [0, 1], got {self.degrade_threshold}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class Admitted:
+    """One accepted request's mutable in-flight state."""
+
+    rid: str
+    request: ServiceRequest
+    decision: AdmissionDecision
+    t_submit: float
+    #: Absolute deadline on the engine's clock (``None`` = batch lane).
+    abs_deadline: float | None
+    attempts: int = 0
+    degraded: bool = False
+    #: Failure cause of the last attempt (manifest breadcrumb).
+    last_cause: str | None = None
+
+
+class ServiceCore:
+    """Engine-agnostic resilience policy + request accounting."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        chaos: ServiceChaos | None = None,
+        telemetry: _telemetry.Telemetry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.chaos = chaos
+        self.tel = telemetry
+        cfg = self.config
+        self.admission = AdmissionController(
+            max_queue_depth=cfg.max_queue_depth,
+            batch_depth=cfg.batch_depth,
+            default_deadline_s=cfg.default_deadline_s,
+            overhead_s=cfg.overhead_s,
+            per_unit_s=cfg.per_unit_s,
+            workers=cfg.workers,
+        )
+        self.retry = RetryPolicy(
+            max_attempts=cfg.retry_max_attempts,
+            base_backoff_s=cfg.retry_base_backoff_s,
+            multiplier=cfg.retry_multiplier,
+            max_backoff_s=cfg.retry_max_backoff_s,
+            jitter=cfg.retry_jitter,
+            budget_cap=cfg.retry_budget_cap,
+            refill_per_success=cfg.retry_refill_per_success,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=cfg.breaker_failure_threshold,
+            cooldown_s=cfg.breaker_cooldown_s,
+            probe_quota=cfg.breaker_probe_quota,
+        )
+        self.memo = MemoCache(cfg.memo_entries)
+        #: One seeded stream for every stochastic decision (jitter, chaos).
+        chaos_seed = chaos.seed if chaos is not None else 0
+        self.rng = random.Random((cfg.seed << 20) ^ chaos_seed ^ 0x5F3759DF)
+        self.counts: dict[str, int] = {
+            "submitted": 0,
+            "accepted": 0,
+            "ok": 0,
+            "memoized": 0,
+            "batched": 0,
+            "shed": 0,
+            "expired": 0,
+            "failed": 0,
+            "retries": 0,
+            "degraded": 0,
+            "cancelled_mid_run": 0,
+        }
+        self.shed_reasons: dict[str, int] = {r: 0 for r in SHED_REASONS}
+        self.records: list[dict] = []
+        self.latencies: list[float] = []
+        self._next_rid = 0
+
+    # -- telemetry plumbing ----------------------------------------------------
+
+    def _count(self, name: str, **labels: _t.Any) -> None:
+        if self.tel is not None and self.tel.enabled:
+            self.tel.metrics.count(name, 1, **labels)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.tel is not None and self.tel.enabled:
+            self.tel.metrics.gauge(name).set(value)
+
+    def _sync_gauges(self) -> None:
+        if self.tel is None or not self.tel.enabled:
+            return
+        adm = self.admission
+        self._gauge("service.queue_depth", adm.depth)
+        self._gauge("service.batch_occupancy", adm.batch_occupancy)
+        self._gauge("service.backlog_s", adm.backlog_s)
+        # Distinct from the labeled `service.breaker_trips` counter: one
+        # registry name cannot be both a counter and a gauge.
+        self._gauge("service.breaker_trips_total", self.breakers.total_trips())
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(
+        self, request: ServiceRequest, now: float
+    ) -> tuple[str, Admitted | dict | str]:
+        """Admit one request.
+
+        Returns ``("memo", summary)``, ``("shed", reason)``, or
+        ``("accept" | "batch", admitted)``.
+        """
+        self.counts["submitted"] += 1
+        rid = f"r{self._next_rid:05d}"
+        self._next_rid += 1
+
+        hit = self.memo.get(request.digest)
+        if hit is not None:
+            self.counts["memoized"] += 1
+            self.counts["accepted"] += 1
+            self._count("service.memo_hits")
+            self._record(
+                rid, request, "memoized", "", lane="memo", attempts=0,
+                t_submit=now, t_done=now,
+            )
+            return ("memo", hit)
+
+        breaker = self.breakers.breaker(request.grid_class, request.version)
+        if not breaker.allow(now):
+            return ("shed", self._shed(rid, request, "breaker_open", now))
+
+        decision = self.admission.decide(request)
+        if decision.action == "shed":
+            # Hand back the probe slot allow() may have reserved half-open.
+            breaker.release_probe()
+            return ("shed", self._shed(rid, request, decision.reason, now))
+
+        self.counts["accepted"] += 1
+        deadline = (
+            None
+            if decision.action == "batch"
+            else now + self.admission.deadline_of(request)
+        )
+        self._count("service.accepted", lane=decision.action)
+        self._sync_gauges()
+        return (
+            decision.action,
+            Admitted(rid, request, decision, now, deadline),
+        )
+
+    def _shed(self, rid: str, request: ServiceRequest, reason: str, now: float) -> str:
+        self.counts["shed"] += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        self._count("service.shed", reason=reason)
+        self._record(
+            rid, request, "shed", reason, lane="", attempts=0,
+            t_submit=now, t_done=now,
+        )
+        return reason
+
+    # -- attempt outcomes ------------------------------------------------------
+
+    def should_degrade(self) -> bool:
+        """Current queue pressure says: run the telemetry-off fast path."""
+        return should_degrade(
+            self.admission.depth,
+            self.admission.max_queue_depth,
+            self.config.degrade_threshold,
+        )
+
+    def retry_backoff(self, admitted: Admitted, now: float) -> float | None:
+        """Backoff before the next attempt, or ``None`` for a final failure.
+
+        A retry must fit the request's remaining deadline (batch lane has
+        none), stay under ``retry_max_attempts`` and win a token from the
+        per-class budget.
+        """
+        backoff = self.retry.backoff_s(admitted.attempts, self.rng)
+        if admitted.abs_deadline is not None:
+            remaining = admitted.abs_deadline - now
+            if backoff + admitted.decision.est_cost_s > remaining:
+                return None
+        if not self.retry.try_spend(admitted.request.grid_class, admitted.attempts):
+            return None
+        self.counts["retries"] += 1
+        self._count("service.retries", grid_class=admitted.request.grid_class)
+        return backoff
+
+    def finish(
+        self,
+        admitted: Admitted,
+        verdict: str,
+        now: float,
+        summary: dict | None = None,
+        cancelled_mid_run: bool = False,
+    ) -> None:
+        """Record a terminal verdict for an accepted request."""
+        request = admitted.request
+        breaker = self.breakers.breaker(request.grid_class, request.version)
+        if verdict in ("ok", "batched"):
+            breaker.record_success(now)
+            self.retry.record_success(request.grid_class)
+            if summary is not None:
+                self.memo.put(request.digest, summary)
+            self.latencies.append(now - admitted.t_submit)
+        elif verdict == "failed":
+            breaker.record_failure(now)
+            if breaker.state == "open" and breaker.transitions and (
+                breaker.transitions[-1][0] == round(now, 9)
+            ):
+                self._count(
+                    "service.breaker_trips",
+                    grid_class=request.grid_class,
+                    version=request.version,
+                )
+        elif verdict == "expired":
+            # Expiry is the service's fault (admission mispricing), not the
+            # backend's — it does not count against the breaker, but a
+            # half-open probe slot it held must come back.
+            breaker.release_probe()
+            if cancelled_mid_run:
+                self.counts["cancelled_mid_run"] += 1
+        self.counts[verdict] += 1
+        if admitted.degraded:
+            self.counts["degraded"] += 1
+            self._count("service.degraded")
+        self.admission.finish(admitted.decision)
+        self._count("service.finished", verdict=verdict)
+        self._sync_gauges()
+        self._record(
+            admitted.rid, request, verdict,
+            admitted.last_cause or "", lane=admitted.decision.action,
+            attempts=admitted.attempts, t_submit=admitted.t_submit, t_done=now,
+            degraded=admitted.degraded,
+        )
+
+    def _record(
+        self,
+        rid: str,
+        request: ServiceRequest,
+        verdict: str,
+        reason: str,
+        lane: str,
+        attempts: int,
+        t_submit: float,
+        t_done: float,
+        degraded: bool = False,
+    ) -> None:
+        self.records.append(
+            {
+                "rid": rid,
+                "grid_class": request.grid_class,
+                "version": request.version,
+                "digest": request.digest,
+                "verdict": verdict,
+                "reason": reason,
+                "lane": lane,
+                "attempts": attempts,
+                "degraded": degraded,
+                "faulted": request.faults is not None,
+                "t_submit": round(t_submit, 9),
+                "t_done": round(t_done, 9),
+                "latency_s": round(t_done - t_submit, 9),
+            }
+        )
+
+
+# ---------------------------------------------------------------------------
+# Live engine (asyncio + thread pool, wall clock).
+# ---------------------------------------------------------------------------
+
+
+class AsyncService:
+    """The live asyncio front end over :func:`repro.core.driver.run_fft_phase`.
+
+    Lifecycle::
+
+        service = AsyncService(config, chaos=None)
+        await service.start()
+        verdict = await service.submit(request)   # dict: verdict + summary
+        report = await service.drain()            # completes accepted work
+
+    ``submit`` resolves when the request reaches a terminal verdict —
+    memo hits and sheds immediately, everything else after its run (and
+    retries) finish.  Workers prefer the main lane and only take batch
+    work when the main queue is empty.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        chaos: ServiceChaos | None = None,
+        telemetry: _telemetry.Telemetry | None = None,
+    ) -> None:
+        self.core = ServiceCore(config, chaos, telemetry)
+        self._started_mono = 0.0
+        self._workers: list = []
+        self._pending: _t.Any = None  # asyncio.Queue-like signal
+        self._main: list = []
+        self._batch: list = []
+        self._inflight: set = set()
+        self._drained = False
+        self._executor = None
+
+    # Imports deferred so the module stays importable in contexts that
+    # never touch the live engine (the soak path is pure computation).
+    def _now(self) -> float:
+        import time
+
+        return time.monotonic() - self._started_mono
+
+    async def start(self) -> None:
+        import asyncio
+        import concurrent.futures
+        import time
+
+        self._started_mono = time.monotonic()
+        self._pending = asyncio.Condition()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.core.config.workers,
+            thread_name_prefix="fft-service",
+        )
+        self._workers = [
+            asyncio.create_task(self._worker_loop(i))
+            for i in range(self.core.config.workers)
+        ]
+
+    async def submit(self, request: ServiceRequest) -> dict:
+        """Admit and (eventually) serve one request; returns its verdict."""
+        import asyncio
+
+        now = self._now()
+        action, payload = self.core.submit(request, now)
+        if action == "memo":
+            return {"verdict": "memoized", "summary": payload}
+        if action == "shed":
+            return {"verdict": "shed", "reason": payload}
+        admitted: Admitted = payload
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        item = (admitted, future)
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        async with self._pending:
+            (self._main if action == "accept" else self._batch).append(item)
+            self._pending.notify()
+        return await future
+
+    async def _take(self) -> tuple[Admitted, _t.Any] | None:
+        async with self._pending:
+            while not self._main and not self._batch:
+                if self._drained:
+                    return None
+                await self._pending.wait()
+            return self._main.pop(0) if self._main else self._batch.pop(0)
+
+    async def _worker_loop(self, index: int) -> None:
+        import asyncio
+
+        while True:
+            item = await self._take()
+            if item is None:
+                return
+            admitted, future = item
+            now = self._now()
+            if admitted.abs_deadline is not None and now >= admitted.abs_deadline:
+                self.core.finish(admitted, "expired", now)
+                future.set_result({"verdict": "expired"})
+                continue
+            try:
+                await self._run_attempts(admitted, future)
+            except Exception as exc:  # defensive: never lose an accepted request
+                now = self._now()
+                admitted.last_cause = f"internal:{type(exc).__name__}"
+                self.core.finish(admitted, "failed", now)
+                if not future.done():
+                    future.set_result({"verdict": "failed", "cause": str(exc)})
+
+    async def _run_attempts(self, admitted: Admitted, future: _t.Any) -> None:
+        import asyncio
+
+        core = self.core
+        request = admitted.request
+        while True:
+            admitted.attempts += 1
+            admitted.degraded = admitted.degraded or core.should_degrade()
+            now = self._now()
+            cause = None
+            if core.chaos is not None:
+                cause = core.chaos.attempt_fails(
+                    core.rng, request.grid_class, request.version, now
+                )
+            summary: dict | None = None
+            cancelled = False
+            if cause is None:
+                loop = asyncio.get_running_loop()
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor, self._run_once, admitted
+                    )
+                except _RunExpired:
+                    cancelled = True
+                    cause = "deadline"
+                else:
+                    if result["failed"]:
+                        cause = result.get("fault_failure") or "run_failed"
+                    else:
+                        summary = result
+            now = self._now()
+            if cause is None:
+                verdict = "batched" if admitted.decision.action == "batch" else "ok"
+                core.finish(admitted, verdict, now, summary=summary)
+                future.set_result({"verdict": verdict, "summary": summary})
+                return
+            admitted.last_cause = cause
+            if cancelled:
+                core.finish(admitted, "expired", now, cancelled_mid_run=True)
+                future.set_result({"verdict": "expired"})
+                return
+            backoff = core.retry_backoff(admitted, now)
+            if backoff is None:
+                core.finish(admitted, "failed", now)
+                future.set_result({"verdict": "failed", "cause": cause})
+                return
+            await asyncio.sleep(backoff)
+
+    def _run_once(self, admitted: Admitted) -> dict:
+        """One driver attempt on a pool thread (wall deadline enforced)."""
+        import time
+
+        from repro.core.config import RunConfig
+        from repro.core.driver import RunCancelled, run_fft_phase
+        from repro.faults.plan import scenario_from_dict
+
+        request = admitted.request
+        scenario = (
+            scenario_from_dict(request.faults) if request.faults is not None else None
+        )
+        config = RunConfig(
+            ecutwfc=request.ecutwfc,
+            alat=request.alat,
+            nbnd=request.nbnd,
+            ranks=request.ranks,
+            taskgroups=request.taskgroups,
+            version=request.version,
+            # Retries bump the seed: a deterministic replay of a failed
+            # draw would fail identically, so each attempt is a fresh one.
+            seed=request.seed + (admitted.attempts - 1),
+            telemetry=not admitted.degraded,
+        )
+        deadline = None
+        if admitted.abs_deadline is not None:
+            deadline = self._started_mono + admitted.abs_deadline
+            if time.monotonic() >= deadline:
+                raise _RunExpired()
+        try:
+            result = run_fft_phase(config, faults=scenario, deadline=deadline)
+        except RunCancelled:
+            raise _RunExpired() from None
+        return summarize_result(result)
+
+    async def drain(self) -> dict:
+        """Stop admitting, finish all accepted work, stop workers."""
+        import asyncio
+
+        self.core.admission.draining = True
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._drained = True
+        async with self._pending:
+            self._pending.notify_all()
+        await asyncio.gather(*self._workers)
+        self._executor.shutdown(wait=True)
+        return self.slo_report()
+
+    def slo_report(self) -> dict:
+        """Wall-clock SLO summary of everything served so far."""
+        elapsed = self._now()
+        served = self.core.counts["ok"] + self.core.counts["batched"]
+        served += self.core.counts["memoized"]
+        return {
+            "elapsed_s": round(elapsed, 6),
+            "served": served,
+            "requests_per_s": round(served / elapsed, 3) if elapsed > 0 else 0.0,
+            "latency": latency_percentiles(self.core.latencies),
+            "counts": dict(self.core.counts),
+            "shed_reasons": dict(self.core.shed_reasons),
+        }
+
+
+class _RunExpired(Exception):
+    """Internal: a pool attempt hit its wall-clock deadline."""
+
+
+# ---------------------------------------------------------------------------
+# Soak engine (virtual time, byte-reproducible).
+# ---------------------------------------------------------------------------
+
+#: Virtual service-time multipliers: the telemetry-off fast path saves the
+#: per-record bookkeeping, a failing attempt aborts partway through, and an
+#: embedded machine-fault scenario pays retry/checkpoint overhead.
+_DEGRADED_FACTOR = 0.7
+_FAILED_ATTEMPT_FACTOR = 0.5
+_FAULTED_FACTOR = 1.2
+
+
+class SoakEngine:
+    """Deterministic virtual-time replica of the live engine.
+
+    Feeds :class:`ServiceCore` from an event heap: arrivals at the load
+    spec's seeded times, ``workers`` virtual lanes, service times from
+    the calibrated cost model, chaos failures/outages from the shared
+    seeded stream.  ``run()`` returns the core after the drain completes;
+    the manifest built from it is byte-identical across runs and hosts.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        chaos: ServiceChaos | None = None,
+        telemetry: _telemetry.Telemetry | None = None,
+    ) -> None:
+        self.core = ServiceCore(config, chaos, telemetry)
+        self._heap: list[tuple[float, int, int, _t.Any]] = []
+        self._seq = 0
+        self._main: list[Admitted] = []
+        self._batch: list[Admitted] = []
+        self._free_workers = self.core.config.workers
+        self.now = 0.0
+        self.makespan = 0.0
+
+    _ARRIVAL, _DRAIN, _COMPLETE, _REQUEUE = range(4)
+
+    def _push(self, t: float, kind: int, payload: _t.Any = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, kind, self._seq, payload))
+
+    def run(
+        self, arrivals: _t.Sequence[tuple[float, ServiceRequest]], drain_at: float
+    ) -> ServiceCore:
+        """Process all arrivals, drain at ``drain_at``, finish everything."""
+        for t, request in arrivals:
+            self._push(t, self._ARRIVAL, request)
+        self._push(drain_at, self._DRAIN)
+        while self._heap:
+            t, kind, _seq, payload = heapq.heappop(self._heap)
+            self.now = t
+            if kind == self._ARRIVAL:
+                self._arrive(payload)
+            elif kind == self._DRAIN:
+                self.core.admission.draining = True
+            elif kind == self._COMPLETE:
+                self._complete(*payload)
+            else:  # _REQUEUE after a backoff
+                self._main.append(payload)
+                self._dispatch()
+        self.makespan = self.now
+        return self.core
+
+    def _arrive(self, request: ServiceRequest) -> None:
+        action, payload = self.core.submit(request, self.now)
+        if action in ("memo", "shed"):
+            return
+        admitted: Admitted = payload
+        (self._main if action == "accept" else self._batch).append(admitted)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        core = self.core
+        while self._free_workers > 0 and (self._main or self._batch):
+            admitted = self._main.pop(0) if self._main else self._batch.pop(0)
+            if admitted.abs_deadline is not None and self.now >= admitted.abs_deadline:
+                core.finish(admitted, "expired", self.now)
+                continue
+            self._free_workers -= 1
+            admitted.attempts += 1
+            admitted.degraded = admitted.degraded or core.should_degrade()
+            cause = None
+            if core.chaos is not None:
+                cause = core.chaos.attempt_fails(
+                    core.rng,
+                    admitted.request.grid_class,
+                    admitted.request.version,
+                    self.now,
+                )
+            service_s = admitted.decision.est_cost_s
+            if admitted.degraded:
+                service_s *= _DEGRADED_FACTOR
+            if admitted.request.faults is not None:
+                service_s *= _FAULTED_FACTOR
+            if cause is not None:
+                service_s *= _FAILED_ATTEMPT_FACTOR
+            t_end = self.now + service_s
+            if (
+                cause is None
+                and admitted.abs_deadline is not None
+                and t_end > admitted.abs_deadline
+            ):
+                # The deadline lands mid-run: the cancellation hook aborts
+                # the attempt there (live: within one interrupt stride).
+                self._push(
+                    admitted.abs_deadline, self._COMPLETE, (admitted, "deadline")
+                )
+            else:
+                self._push(t_end, self._COMPLETE, (admitted, cause))
+
+    def _complete(self, admitted: Admitted, cause: str | None) -> None:
+        core = self.core
+        self._free_workers += 1
+        if cause is None:
+            verdict = "batched" if admitted.decision.action == "batch" else "ok"
+            # A virtual run's memoizable summary: the simulated phase time
+            # is deterministic per digest, so price it from the cost model.
+            summary = {
+                "phase_time_s": round(admitted.decision.est_cost_s, 9),
+                "failed": False,
+                "n_attempts": 1,
+                "fault_failure": None,
+            }
+            core.finish(admitted, verdict, self.now, summary=summary)
+        elif cause == "deadline":
+            admitted.last_cause = cause
+            core.finish(admitted, "expired", self.now, cancelled_mid_run=True)
+        else:
+            admitted.last_cause = cause
+            backoff = core.retry_backoff(admitted, self.now)
+            if backoff is None:
+                core.finish(admitted, "failed", self.now)
+            else:
+                self._push(self.now + backoff, self._REQUEUE, admitted)
+        self._dispatch()
+
+
+def latency_percentiles(latencies: _t.Sequence[float]) -> dict:
+    """Nearest-rank p50/p95/p99 + mean, rounded for manifest stability."""
+    if not latencies:
+        return {"count": 0, "p50_s": None, "p95_s": None, "p99_s": None, "mean_s": None}
+    values = sorted(latencies)
+    n = len(values)
+
+    def rank(q: float) -> float:
+        return values[min(n - 1, int(q * (n - 1) + 0.5))]
+
+    return {
+        "count": n,
+        "p50_s": round(rank(0.50), 9),
+        "p95_s": round(rank(0.95), 9),
+        "p99_s": round(rank(0.99), 9),
+        "mean_s": round(sum(values) / n, 9),
+    }

@@ -1,0 +1,68 @@
+"""Cooperative cancellation: the driver's cancel/deadline hooks.
+
+The service front end propagates per-request deadlines into workers as a
+callable the simulator polls every ``INTERRUPT_STRIDE`` events.  These
+tests pin the contract: cancellation raises :class:`RunCancelled` (never
+a partial result), fires both before and during the event loop, and a
+hook that never triggers leaves the run bit-identical.
+"""
+
+import time
+
+import pytest
+
+from repro.core import RunConfig, run_fft_phase
+from repro.core.driver import RunCancelled
+
+SMALL = dict(ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2)
+
+
+def config(**kwargs):
+    return RunConfig(**SMALL, **kwargs)
+
+
+class TestCancelHook:
+    def test_immediate_cancel_raises_before_any_attempt(self):
+        with pytest.raises(RunCancelled):
+            run_fft_phase(config(), cancel=lambda: True)
+
+    def test_mid_run_cancel_aborts_within_the_stride(self):
+        calls = {"n": 0}
+
+        def cancel_on_second_poll() -> bool:
+            calls["n"] += 1
+            return calls["n"] >= 2
+
+        # Poll 1 is the pre-attempt check; the large grid dispatches enough
+        # events that poll 2 comes from inside the event loop's stride.
+        big = RunConfig(ecutwfc=30.0, alat=10.0, nbnd=32, ranks=2, taskgroups=2)
+        with pytest.raises(RunCancelled):
+            run_fft_phase(big, cancel=cancel_on_second_poll)
+        assert calls["n"] == 2
+
+    def test_never_firing_hook_changes_nothing(self):
+        baseline = run_fft_phase(config())
+        hooked = run_fft_phase(config(), cancel=lambda: False)
+        assert hooked.phase_time == baseline.phase_time
+
+
+class TestDeadlineHook:
+    def test_past_deadline_raises(self):
+        with pytest.raises(RunCancelled):
+            run_fft_phase(config(), deadline=time.monotonic() - 1.0)
+
+    def test_tight_deadline_aborts_a_large_run(self):
+        big = RunConfig(
+            ecutwfc=30.0, alat=10.0, nbnd=32, ranks=2, taskgroups=2
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RunCancelled):
+            run_fft_phase(big, deadline=t0 + 0.002)
+        # The stride-polled hook reacts promptly, not at attempt end.
+        assert time.monotonic() - t0 < 1.0
+
+    def test_generous_deadline_is_invisible(self):
+        baseline = run_fft_phase(config())
+        res = run_fft_phase(config(), deadline=time.monotonic() + 60.0)
+        assert res.phase_time == baseline.phase_time
+        assert not res.failed

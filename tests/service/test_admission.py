@@ -1,0 +1,112 @@
+"""Admission control: bounded queue, backlog budget, batch downgrades."""
+
+import pytest
+
+from repro.service.admission import AdmissionController
+from repro.service.request import preset_request
+
+
+def controller(**kwargs):
+    defaults = dict(max_queue_depth=4, batch_depth=2, default_deadline_s=2.0)
+    defaults.update(kwargs)
+    return AdmissionController(**defaults)
+
+
+class TestAcceptPath:
+    def test_accepts_under_all_budgets(self):
+        adm = controller()
+        decision = adm.decide(preset_request("small"))
+        assert decision.action == "accept"
+        assert decision.est_cost_s == pytest.approx(adm.price(preset_request("small")))
+        assert adm.depth == 1
+        assert adm.backlog_s == pytest.approx(decision.est_cost_s)
+
+    def test_finish_releases_occupancy(self):
+        adm = controller()
+        decision = adm.decide(preset_request("small"))
+        adm.finish(decision)
+        assert adm.depth == 0
+        assert adm.backlog_s == pytest.approx(0.0)
+
+    def test_finish_of_shed_is_a_noop(self):
+        adm = controller()
+        adm.draining = True
+        decision = adm.decide(preset_request("small"))
+        assert decision.action == "shed"
+        adm.finish(decision)
+        assert adm.depth == 0
+
+
+class TestQueueBound:
+    def test_full_queue_sheds_small(self):
+        adm = controller(max_queue_depth=2)
+        for _ in range(2):
+            assert adm.decide(preset_request("small")).action == "accept"
+        decision = adm.decide(preset_request("small"))
+        assert (decision.action, decision.reason) == ("shed", "queue_full")
+
+    def test_full_queue_batches_large(self):
+        adm = controller(max_queue_depth=1, batch_depth=1)
+        assert adm.decide(preset_request("small")).action == "accept"
+        assert adm.decide(preset_request("large")).action == "batch"
+        assert adm.batch_occupancy == 1
+        # Batch lane is bounded too.
+        decision = adm.decide(preset_request("large"))
+        assert (decision.action, decision.reason) == ("shed", "queue_full")
+
+
+class TestBacklogBudget:
+    def test_backlog_past_deadline_sheds(self):
+        adm = controller(workers=1)
+        adm.backlog_s = 10.0  # far beyond the 2 s default deadline
+        decision = adm.decide(preset_request("small"))
+        assert (decision.action, decision.reason) == ("shed", "backlog")
+
+    def test_per_request_deadline_overrides_default(self):
+        adm = controller(workers=1)
+        adm.backlog_s = 1.0
+        generous = preset_request("small", deadline_s=30.0)
+        assert adm.decide(generous).action == "accept"
+        tight = preset_request("small", deadline_s=0.5)
+        assert adm.decide(tight).action == "shed"
+
+    def test_workers_divide_the_backlog(self):
+        # The same backlog that sheds on 1 worker fits on 8.
+        request = preset_request("small", deadline_s=1.0)
+        solo = controller(workers=1)
+        solo.backlog_s = 4.0
+        assert solo.decide(request).action == "shed"
+        wide = controller(workers=8)
+        wide.backlog_s = 4.0
+        assert wide.decide(request).action == "accept"
+
+    def test_backlogged_large_goes_to_batch(self):
+        adm = controller(workers=1)
+        adm.backlog_s = 10.0
+        assert adm.decide(preset_request("large")).action == "batch"
+
+
+class TestDrainingAndStats:
+    def test_draining_sheds_everything(self):
+        adm = controller()
+        adm.draining = True
+        for cls in ("small", "medium", "large"):
+            decision = adm.decide(preset_request(cls))
+            assert (decision.action, decision.reason) == ("shed", "shutdown")
+
+    def test_peaks_are_high_water_marks(self):
+        adm = controller()
+        decisions = [adm.decide(preset_request("small")) for _ in range(3)]
+        for decision in decisions:
+            adm.finish(decision)
+        stats = adm.stats()
+        assert stats["depth"] == 0
+        assert stats["depth_peak"] == 3
+        assert stats["backlog_s"] == 0.0
+        assert stats["backlog_peak_s"] > 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(batch_depth=-1)

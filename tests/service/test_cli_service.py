@@ -1,0 +1,161 @@
+"""The serve / loadgen CLI surface and its manifest plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CHAOS = {
+    "kind": "repro.service_chaos",
+    "name": "cli-test",
+    "seed": 7,
+    "failure_rate": 0.05,
+    "outages": [{"version": "ompss_perfft", "start_s": 1.0, "duration_s": 1.0}],
+}
+
+
+@pytest.fixture()
+def chaos_file(tmp_path):
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(CHAOS))
+    return path
+
+
+class TestServe:
+    def request_lines(self, n=4):
+        return "".join(
+            json.dumps(
+                {
+                    "kind": "repro.service_request",
+                    "ecutwfc": 12.0,
+                    "alat": 5.0,
+                    "nbnd": 8,
+                    "seed": 5000 + i % 2,
+                }
+            )
+            + "\n"
+            for i in range(n)
+        )
+
+    def test_serves_jsonl_and_writes_artifacts(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(self.request_lines())
+        responses = tmp_path / "responses.jsonl"
+        manifest = tmp_path / "service.json"
+        code = main(
+            [
+                "serve",
+                "--requests", str(requests),
+                "--responses", str(responses),
+                "--manifest", str(manifest),
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(l) for l in responses.read_text().splitlines()]
+        assert len(lines) == 4
+        # Submissions are gathered concurrently, so duplicates may run
+        # before the first result lands in the memo — but nothing fails.
+        assert {l["verdict"] for l in lines} <= {"ok", "memoized"}
+        doc = json.loads(manifest.read_text())
+        assert doc["kind"] == "repro.service_manifest"
+        assert doc["stable"] is False
+        assert "plan_cache" in doc and "slo" in doc
+
+    def test_unserved_requests_exit_1(self, tmp_path):
+        # A medium request with a 1 ms budget is shed by the backlog check
+        # (its estimated cost alone exceeds the deadline, and only large
+        # requests may fall back to the batch lane).
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps(
+                {
+                    "kind": "repro.service_request",
+                    "ecutwfc": 20.0,
+                    "alat": 8.0,
+                    "nbnd": 16,
+                    "deadline_s": 0.001,
+                }
+            )
+            + "\n"
+        )
+        responses = tmp_path / "responses.jsonl"
+        code = main(["serve", "--requests", str(requests),
+                     "--responses", str(responses)])
+        assert code == 1
+        (line,) = responses.read_text().splitlines()
+        assert json.loads(line) == {"verdict": "shed", "reason": "backlog"}
+
+    def test_malformed_line_is_exit_2(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"kind": "repro.service_request", "nbnd": 7}\n')
+        assert main(["serve", "--requests", str(requests)]) == 2
+
+
+class TestLoadgenSoak:
+    ARGS = ["loadgen", "--mode", "soak", "--rate", "40", "--duration", "2",
+            "--seed", "11"]
+
+    def test_report_shape(self, capsys):
+        assert main(list(self.ARGS)) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "soak"
+        assert report["virtual_makespan_s"] >= 2.0
+        c = report["counts"]
+        served = c["ok"] + c["batched"] + c["expired"] + c["failed"] + c["memoized"]
+        assert c["accepted"] == served
+
+    def test_manifest_is_byte_reproducible(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.ARGS + ["--manifest", str(a)]) == 0
+        assert main(self.ARGS + ["--manifest", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_chaos_plan_flows_through(self, tmp_path, chaos_file, capsys):
+        manifest = tmp_path / "soak.json"
+        code = main(
+            self.ARGS
+            + ["--chaos", str(chaos_file), "--manifest", str(manifest)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(manifest.read_text())
+        assert doc["chaos"]["name"] == "cli-test"
+
+    def test_report_file_written(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--report", str(report_path)]) == 0
+        capsys.readouterr()
+        assert json.loads(report_path.read_text())["mode"] == "soak"
+
+    def test_bad_mix_rejected(self, capsys):
+        code = main(["loadgen", "--mode", "soak", "--mix", "small=banana"])
+        assert code == 2
+
+
+class TestValidatorRouting:
+    def test_faults_validate_accepts_chaos_plans(self, chaos_file, capsys):
+        assert main(["faults", "validate", str(chaos_file)]) == 0
+        assert "chaos" in capsys.readouterr().out
+
+    def test_perf_validate_accepts_service_manifests(self, tmp_path, capsys):
+        manifest = tmp_path / "soak.json"
+        assert main(
+            ["loadgen", "--mode", "soak", "--rate", "30", "--duration", "1",
+             "--seed", "2", "--manifest", str(manifest)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["perf", "validate", str(manifest)]) == 0
+        assert "valid service manifest" in capsys.readouterr().out
+
+    def test_perf_validate_rejects_tampered_counts(self, tmp_path, capsys):
+        manifest = tmp_path / "soak.json"
+        main(["loadgen", "--mode", "soak", "--rate", "30", "--duration", "1",
+              "--seed", "2", "--manifest", str(manifest)])
+        doc = json.loads(manifest.read_text())
+        doc["counts"]["ok"] += 1
+        manifest.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["perf", "validate", str(manifest)]) != 0

@@ -1,0 +1,165 @@
+"""ServiceCore policy: the engine-agnostic decision layer on a virtual clock."""
+
+import pytest
+
+from repro.service.request import preset_request
+from repro.service.server import Admitted, ServiceConfig, ServiceCore
+
+
+def core(**kwargs):
+    return ServiceCore(ServiceConfig(**kwargs))
+
+
+def finish_ok(c: ServiceCore, admitted: Admitted, now: float) -> None:
+    admitted.attempts = admitted.attempts or 1
+    c.finish(admitted, "ok", now, summary={"phase_time_s": 1.0})
+
+
+class TestSubmitPaths:
+    def test_accept_then_ok_conserves(self):
+        c = core()
+        action, admitted = c.submit(preset_request("small"), now=0.0)
+        assert action == "accept"
+        finish_ok(c, admitted, now=0.1)
+        assert c.counts["submitted"] == 1
+        assert c.counts["accepted"] == 1
+        assert c.counts["ok"] == 1
+        assert c.latencies == [pytest.approx(0.1)]
+
+    def test_memo_hit_short_circuits(self):
+        c = core()
+        request = preset_request("small")
+        _action, admitted = c.submit(request, now=0.0)
+        finish_ok(c, admitted, now=0.1)
+        action, summary = c.submit(request, now=0.2)
+        assert action == "memo"
+        assert summary == {"phase_time_s": 1.0}
+        assert c.counts["memoized"] == 1
+        # Memo hits count as accepted: they were served, not refused.
+        assert c.counts["accepted"] == 2
+
+    def test_distinct_seeds_do_not_share_memo(self):
+        c = core()
+        _action, admitted = c.submit(preset_request("small", seed=1000), now=0.0)
+        finish_ok(c, admitted, now=0.1)
+        action, _payload = c.submit(preset_request("small", seed=1001), now=0.2)
+        assert action == "accept"
+
+    def test_breaker_open_sheds_before_admission(self):
+        c = core(breaker_failure_threshold=1, breaker_cooldown_s=10.0)
+        request = preset_request("small")
+        _action, admitted = c.submit(request, now=0.0)
+        admitted.attempts = 1
+        c.finish(admitted, "failed", now=0.1)
+        action, reason = c.submit(request, now=0.2)
+        assert (action, reason) == ("shed", "breaker_open")
+        assert c.shed_reasons["breaker_open"] == 1
+        # Shed requests never inflate the admission queue.
+        assert c.admission.depth == 0
+
+    def test_shed_after_half_open_allow_returns_the_probe(self):
+        c = core(breaker_failure_threshold=1, breaker_cooldown_s=1.0)
+        request = preset_request("small")
+        _action, admitted = c.submit(request, now=0.0)
+        admitted.attempts = 1
+        c.finish(admitted, "failed", now=0.1)
+        # Past cooldown the breaker half-opens; make admission shed so the
+        # probe slot must be handed back.
+        c.admission.draining = True
+        action, reason = c.submit(request, now=2.0)
+        assert (action, reason) == ("shed", "shutdown")
+        brk = c.breakers.breaker("small", "original")
+        assert brk.state == "half_open"
+        assert brk.probes_in_flight == 0
+
+
+class TestVerdictAccounting:
+    def test_expiry_does_not_penalize_the_breaker(self):
+        c = core(breaker_failure_threshold=1)
+        _action, admitted = c.submit(preset_request("small"), now=0.0)
+        admitted.attempts = 1
+        c.finish(admitted, "expired", now=5.0, cancelled_mid_run=True)
+        brk = c.breakers.breaker("small", "original")
+        assert brk.state == "closed"
+        assert c.counts["expired"] == 1
+        assert c.counts["cancelled_mid_run"] == 1
+        # Expired requests are not SLO successes: no latency sample.
+        assert c.latencies == []
+
+    def test_failure_trips_breaker_at_threshold(self):
+        c = core(breaker_failure_threshold=2)
+        request = preset_request("small")
+        for i in range(2):
+            _action, admitted = c.submit(request, now=float(i))
+            admitted.attempts = 1
+            c.finish(admitted, "failed", now=float(i) + 0.1)
+        assert c.breakers.breaker("small", "original").state == "open"
+
+    def test_records_carry_the_final_verdict(self):
+        c = core()
+        _action, admitted = c.submit(preset_request("medium"), now=1.0)
+        admitted.attempts = 2
+        admitted.last_cause = "chaos"
+        c.finish(admitted, "failed", now=2.5)
+        (record,) = c.records
+        assert record["verdict"] == "failed"
+        assert record["reason"] == "chaos"
+        assert record["attempts"] == 2
+        assert record["latency_s"] == pytest.approx(1.5)
+        assert record["grid_class"] == "medium"
+
+
+class TestTelemetry:
+    def test_gauges_and_counters_coexist_through_a_trip(self):
+        # Regression pin: `service.breaker_trips` (labeled counter) and the
+        # board-total gauge must use distinct registry names — one name
+        # cannot be both kinds, and the clash only surfaced on the first
+        # trip of a telemetry-enabled service.
+        from repro import telemetry
+
+        tel = telemetry.Telemetry(enabled=True)
+        c = ServiceCore(ServiceConfig(breaker_failure_threshold=1), telemetry=tel)
+        request = preset_request("small")
+        _action, admitted = c.submit(request, now=0.0)
+        admitted.attempts = 1
+        c.finish(admitted, "failed", now=0.1)  # trips the breaker
+        _action, admitted2 = c.submit(preset_request("medium"), now=0.2)
+        finish_ok(c, admitted2, now=0.3)
+        snapshot = tel.metrics.snapshot()
+        assert c.breakers.total_trips() == 1
+        assert tel.metrics.total("service.finished") == 2
+        assert tel.metrics.gauge("service.breaker_trips_total").value == 1
+        assert snapshot
+
+
+class TestRetryBackoff:
+    def test_backoff_denied_when_it_cannot_fit_the_deadline(self):
+        c = core()
+        _action, admitted = c.submit(preset_request("small", deadline_s=1.0), now=0.0)
+        admitted.attempts = 1
+        # At now=0.99 the remaining budget cannot fit backoff + a run.
+        assert c.retry_backoff(admitted, now=0.99) is None
+        assert c.counts["retries"] == 0
+
+    def test_backoff_granted_within_budget(self):
+        c = core()
+        _action, admitted = c.submit(preset_request("small", deadline_s=30.0), now=0.0)
+        admitted.attempts = 1
+        backoff = c.retry_backoff(admitted, now=0.1)
+        assert backoff is not None and backoff > 0.0
+        assert c.counts["retries"] == 1
+
+    def test_batch_lane_has_no_deadline_pressure(self):
+        c = core(max_queue_depth=1)
+        c.admission.depth = 1  # force the batch path
+        action, admitted = c.submit(preset_request("large"), now=0.0)
+        assert action == "batch"
+        assert admitted.abs_deadline is None
+        admitted.attempts = 1
+        assert c.retry_backoff(admitted, now=1.0e6) is not None
+
+    def test_attempt_cap_ends_retries(self):
+        c = core(retry_max_attempts=2)
+        _action, admitted = c.submit(preset_request("small", deadline_s=60.0), now=0.0)
+        admitted.attempts = 2
+        assert c.retry_backoff(admitted, now=0.1) is None

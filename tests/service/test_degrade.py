@@ -1,0 +1,79 @@
+"""Memoization and the degradation knee."""
+
+import pytest
+
+from repro.core import RunConfig, run_fft_phase
+from repro.service.degrade import MemoCache, should_degrade, summarize_result
+
+
+class TestMemoCache:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        assert cache.get("sha256:a") is None
+        cache.put("sha256:a", {"phase_time_s": 1.0})
+        assert cache.get("sha256:a") == {"phase_time_s": 1.0}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a: b is now least-recent
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 10})  # refresh, not insert
+        cache.put("c", {"v": 3})
+        assert cache.get("a") == {"v": 10}
+        assert cache.get("b") is None
+
+    def test_zero_capacity_never_stores(self):
+        cache = MemoCache(max_entries=0)
+        cache.put("a", {"v": 1})
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=-1)
+
+
+class TestDegradeKnee:
+    def test_below_knee_stays_full_fidelity(self):
+        assert not should_degrade(depth=3, max_depth=8, threshold=0.5)
+
+    def test_at_and_above_knee_degrades(self):
+        assert should_degrade(depth=4, max_depth=8, threshold=0.5)
+        assert should_degrade(depth=8, max_depth=8, threshold=0.5)
+
+    def test_threshold_extremes(self):
+        assert should_degrade(depth=0, max_depth=8, threshold=0.0)
+        assert not should_degrade(depth=7, max_depth=8, threshold=1.0)
+        assert should_degrade(depth=8, max_depth=8, threshold=1.0)
+
+    def test_degenerate_depth_never_degrades(self):
+        assert not should_degrade(depth=5, max_depth=0)
+
+
+class TestSummarize:
+    def test_summary_has_only_deterministic_fields(self):
+        cfg = RunConfig(ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2)
+        summary = summarize_result(run_fft_phase(cfg))
+        assert set(summary) == {"phase_time_s", "failed", "n_attempts", "fault_failure"}
+        assert summary["failed"] is False
+        assert summary["n_attempts"] == 1
+        assert summary["fault_failure"] is None
+        assert summary["phase_time_s"] > 0.0
+
+    def test_summary_is_digest_deterministic(self):
+        cfg = RunConfig(ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2)
+        a = summarize_result(run_fft_phase(cfg))
+        b = summarize_result(run_fft_phase(cfg))
+        assert a == b

@@ -1,0 +1,109 @@
+"""Open-loop load generation: seeded schedules, mixes, chaos tagging."""
+
+import pytest
+
+from repro.faults.service import ServiceChaos
+from repro.service.loadgen import LoadSpec, generate_arrivals
+from repro.service.request import RequestError
+
+FAULTS = {
+    "kind": "repro.fault_scenario",
+    "name": "drops",
+    "seed": 1,
+    "links": [{"rank": None, "drop_probability": 0.3}],
+    "mpi_max_retries": 6,
+    "max_resumes": 1,
+}
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(rate_rps=0.0),
+            dict(duration_s=-1.0),
+            dict(mix={}),
+            dict(mix={"gigantic": 1.0}),
+            dict(versions=()),
+            dict(repeat_fraction=1.0),
+            dict(repeat_fraction=-0.1),
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(RequestError):
+            LoadSpec(**bad)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        doc = LoadSpec().to_dict()
+        json.dumps(doc)  # no tuples or exotic types
+        assert doc["versions"] == ["original", "ompss_perfft"]
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        spec = LoadSpec(rate_rps=50.0, duration_s=2.0, seed=3)
+        assert generate_arrivals(spec) == generate_arrivals(spec)
+
+    def test_different_seed_different_schedule(self):
+        a = generate_arrivals(LoadSpec(seed=3, duration_s=2.0))
+        b = generate_arrivals(LoadSpec(seed=4, duration_s=2.0))
+        assert a != b
+
+    def test_arrivals_inside_the_window_and_ordered(self):
+        spec = LoadSpec(rate_rps=100.0, duration_s=1.5, seed=5)
+        arrivals = generate_arrivals(spec)
+        times = [t for t, _req in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 < t < spec.duration_s for t in times)
+
+    def test_rate_roughly_met(self):
+        spec = LoadSpec(rate_rps=200.0, duration_s=5.0, seed=6)
+        count = len(generate_arrivals(spec))
+        assert count == pytest.approx(1000, rel=0.2)
+
+    def test_mix_restricts_grid_classes(self):
+        spec = LoadSpec(mix={"large": 1.0}, duration_s=1.0, seed=7)
+        classes = {req.grid_class for _t, req in generate_arrivals(spec)}
+        assert classes == {"large"}
+
+    def test_versions_drawn_from_spec(self):
+        spec = LoadSpec(
+            versions=("ompss_steps",), duration_s=1.0, seed=8, repeat_fraction=0.0
+        )
+        versions = {req.version for _t, req in generate_arrivals(spec)}
+        assert versions == {"ompss_steps"}
+
+
+class TestRepeatsAndChaos:
+    def test_repeats_reissue_identical_digests(self):
+        spec = LoadSpec(rate_rps=80.0, duration_s=3.0, repeat_fraction=0.5, seed=9)
+        digests = [req.digest for _t, req in generate_arrivals(spec)]
+        assert len(set(digests)) < len(digests)
+
+    def test_zero_repeat_fraction_never_repeats(self):
+        spec = LoadSpec(rate_rps=40.0, duration_s=2.0, repeat_fraction=0.0, seed=10)
+        digests = [req.digest for _t, req in generate_arrivals(spec)]
+        assert len(set(digests)) == len(digests)
+
+    def test_fault_fraction_tags_requests(self):
+        chaos = ServiceChaos(
+            name="tagged", seed=1, fault_fraction=0.5, run_faults=FAULTS
+        )
+        spec = LoadSpec(rate_rps=60.0, duration_s=3.0, repeat_fraction=0.0, seed=11)
+        arrivals = generate_arrivals(spec, chaos)
+        tagged = [req for _t, req in arrivals if req.faults is not None]
+        assert tagged
+        assert all(req.faults == FAULTS for req in tagged)
+        assert len(tagged) < len(arrivals)  # a fraction, not all
+
+    def test_no_chaos_means_no_faults(self):
+        spec = LoadSpec(duration_s=2.0, seed=12)
+        assert all(req.faults is None for _t, req in generate_arrivals(spec))
+
+    def test_deadline_propagates_to_every_request(self):
+        spec = LoadSpec(duration_s=1.0, deadline_s=0.75, seed=13)
+        assert all(
+            req.deadline_s == 0.75 for _t, req in generate_arrivals(spec)
+        )

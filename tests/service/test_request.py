@@ -1,0 +1,117 @@
+"""Service requests: validation, the cost model, digests, JSON round-trip."""
+
+import pytest
+
+from repro.service.request import (
+    GRID_CLASSES,
+    REQUEST_KIND,
+    RequestError,
+    ServiceRequest,
+    cost_units,
+    estimate_seconds,
+    grid_class_of,
+    preset_request,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        req = ServiceRequest()
+        assert req.grid_class == "small"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(ecutwfc=0.0),
+            dict(alat=-1.0),
+            dict(nbnd=7),  # odd
+            dict(nbnd=0),
+            dict(ranks=0),
+            dict(taskgroups=0),
+            dict(deadline_s=0.0),
+            dict(deadline_s=-1.0),
+            dict(seed=-1),
+            dict(faults="not-a-dict"),
+        ],
+    )
+    def test_bad_fields_rejected(self, bad):
+        with pytest.raises(RequestError):
+            ServiceRequest(**bad)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ServiceRequest().seed = 1  # type: ignore[misc]
+
+
+class TestCostModel:
+    def test_units_formula(self):
+        assert cost_units(12.0, 5.0, 8) == pytest.approx(8 * 125.0 * 12.0**1.5)
+
+    def test_estimate_is_affine(self):
+        base = estimate_seconds(0.0)
+        assert base == pytest.approx(0.012)
+        assert estimate_seconds(1.0e6) == pytest.approx(0.012 + 3.0e-3)
+
+    def test_presets_span_all_classes(self):
+        classes = {preset_request(name).grid_class for name in GRID_CLASSES}
+        assert classes == {"small", "medium", "large"}
+
+    def test_class_boundaries(self):
+        assert grid_class_of(1.0) == "small"
+        assert grid_class_of(1.0e5) == "medium"
+        assert grid_class_of(2.0e6) == "large"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(RequestError):
+            preset_request("gigantic")
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert ServiceRequest().digest == ServiceRequest().digest
+
+    def test_digest_excludes_deadline(self):
+        # The deadline changes scheduling, never the result.
+        a = ServiceRequest(deadline_s=None)
+        b = ServiceRequest(deadline_s=0.5)
+        assert a.digest == b.digest
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            dict(seed=2018),
+            dict(version="ompss_perfft"),
+            dict(nbnd=10),
+            dict(ranks=4),
+            dict(faults={"kind": "repro.fault_scenario", "os_noise": 0.1}),
+        ],
+    )
+    def test_result_determining_fields_change_digest(self, override):
+        assert ServiceRequest(**override).digest != ServiceRequest().digest
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict(self):
+        req = preset_request("medium", version="ompss_perfft", deadline_s=1.5)
+        doc = request_to_dict(req)
+        assert doc["kind"] == REQUEST_KIND
+        assert request_from_dict(doc) == req
+
+    def test_partial_dict_uses_defaults(self):
+        req = request_from_dict({"nbnd": 16})
+        assert req.nbnd == 16
+        assert req.ecutwfc == 12.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RequestError, match="unknown request field"):
+            request_from_dict({"nbands": 16})
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(RequestError, match="kind"):
+            request_from_dict({"kind": "repro.run_manifest"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(RequestError):
+            request_from_dict([1, 2, 3])

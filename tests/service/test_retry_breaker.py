@@ -1,0 +1,158 @@
+"""Retry budgets and the circuit-breaker state machine."""
+
+import random
+
+import pytest
+
+from repro.service.retry import BreakerBoard, CircuitBreaker, RetryPolicy
+
+
+class TestBackoff:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff_s=0.1, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.backoff_s(1, rng) == pytest.approx(0.1)
+        assert policy.backoff_s(2, rng) == pytest.approx(0.2)
+        assert policy.backoff_s(3, rng) == pytest.approx(0.4)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.25, jitter=0.0)
+        assert policy.backoff_s(10, random.Random(0)) == pytest.approx(0.25)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.25)
+        rng = random.Random(7)
+        for _ in range(100):
+            value = policy.backoff_s(1, rng)
+            assert 0.1 <= value <= 0.1 * 1.25
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy()
+        a = [policy.backoff_s(1, random.Random(3)) for _ in range(5)]
+        b = [policy.backoff_s(1, random.Random(3)) for _ in range(5)]
+        assert a == b
+
+
+class TestRetryBudget:
+    def test_attempt_cap(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.try_spend("small", 1)
+        assert policy.try_spend("small", 2)
+        assert not policy.try_spend("small", 3)
+
+    def test_bucket_exhaustion_denies_and_counts(self):
+        policy = RetryPolicy(budget_cap=2.0)
+        assert policy.try_spend("small", 1)
+        assert policy.try_spend("small", 1)
+        assert not policy.try_spend("small", 1)
+        assert policy.budget_denials == {"small": 1}
+
+    def test_buckets_are_per_class(self):
+        policy = RetryPolicy(budget_cap=1.0)
+        assert policy.try_spend("small", 1)
+        assert not policy.try_spend("small", 1)
+        assert policy.try_spend("large", 1)  # untouched bucket
+
+    def test_success_refills_to_cap_only(self):
+        policy = RetryPolicy(budget_cap=2.0, refill_per_success=0.5)
+        policy.try_spend("small", 1)
+        for _ in range(10):
+            policy.record_success("small")
+        assert policy.stats()["tokens"]["small"] == pytest.approx(2.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        brk = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            brk.record_failure(now=0.0)
+        assert brk.state == "closed"
+        brk.record_failure(now=0.0)
+        assert brk.state == "open"
+        assert brk.trips == 1
+
+    def test_success_resets_the_streak(self):
+        brk = CircuitBreaker(failure_threshold=2)
+        brk.record_failure(now=0.0)
+        brk.record_success(now=0.1)
+        brk.record_failure(now=0.2)
+        assert brk.state == "closed"
+
+    def test_open_blocks_until_cooldown(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        brk.record_failure(now=0.0)
+        assert not brk.allow(now=0.5)
+        assert brk.state == "open"
+
+    def test_half_open_admits_probe_quota(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, probe_quota=1)
+        brk.record_failure(now=0.0)
+        assert brk.allow(now=1.5)  # half-opens, takes the probe slot
+        assert brk.state == "half_open"
+        assert not brk.allow(now=1.6)  # quota exhausted
+
+    def test_probe_success_closes(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        brk.record_failure(now=0.0)
+        assert brk.allow(now=1.5)
+        brk.record_success(now=1.6)
+        assert brk.state == "closed"
+        assert brk.allow(now=1.7)
+
+    def test_probe_failure_reopens(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        brk.record_failure(now=0.0)
+        assert brk.allow(now=1.5)
+        brk.record_failure(now=1.6)
+        assert brk.state == "open"
+        assert brk.trips == 2
+        # A fresh cooldown starts at the re-trip.
+        assert not brk.allow(now=2.0)
+        assert brk.allow(now=2.7)
+
+    def test_release_probe_frees_the_slot(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, probe_quota=1)
+        brk.record_failure(now=0.0)
+        assert brk.allow(now=1.5)
+        brk.release_probe()
+        assert brk.allow(now=1.6)  # slot available again
+
+    def test_stats_shape(self):
+        brk = CircuitBreaker(failure_threshold=1)
+        brk.record_failure(now=0.0)
+        stats = brk.stats()
+        assert stats == {
+            "state": "open",
+            "trips": 1,
+            "consecutive_failures": 1,
+            "transitions": 1,
+        }
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_quota=0)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_class_executor_pair(self):
+        board = BreakerBoard()
+        a = board.breaker("small", "original")
+        b = board.breaker("small", "ompss_perfft")
+        assert a is not b
+        assert board.breaker("small", "original") is a
+
+    def test_stats_keys_are_sorted_and_stable(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("small", "original")
+        board.breaker("large", "ompss_perfft").record_failure(now=0.0)
+        stats = board.stats()
+        assert list(stats) == ["large/ompss_perfft", "small/original"]
+        assert board.total_trips() == 1

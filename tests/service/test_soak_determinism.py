@@ -1,0 +1,162 @@
+"""The soak engine's reproducibility pin: same (seed, spec, chaos) ⇒
+byte-identical stable manifests, with the full resilience surface exercised."""
+
+import json
+
+import pytest
+
+from repro.faults.service import Outage, ServiceChaos
+from repro.service.loadgen import LoadSpec, generate_arrivals
+from repro.service.manifest import (
+    build_service_manifest,
+    validate_service_manifest,
+)
+from repro.service.server import ServiceConfig, SoakEngine
+
+CHAOS = ServiceChaos(
+    name="soak-test",
+    seed=7,
+    failure_rate=0.05,
+    class_failure_rates={"large": 0.3},
+    outages=(Outage(version="ompss_perfft", start_s=1.0, duration_s=1.2),),
+)
+
+SPEC = LoadSpec(rate_rps=60.0, duration_s=4.0, seed=11)
+
+
+def soak(spec=SPEC, chaos=CHAOS, **config):
+    engine = SoakEngine(ServiceConfig(**config), chaos=chaos)
+    core = engine.run(generate_arrivals(spec, chaos), drain_at=spec.duration_s)
+    return engine, core
+
+
+def stable_bytes(core, spec):
+    manifest = build_service_manifest(core, load=spec.to_dict(), stable=True)
+    assert validate_service_manifest(manifest) == []
+    return json.dumps(manifest, indent=2, sort_keys=True)
+
+
+class TestByteIdentity:
+    def test_same_inputs_same_bytes(self):
+        _engine_a, core_a = soak()
+        _engine_b, core_b = soak()
+        assert stable_bytes(core_a, SPEC) == stable_bytes(core_b, SPEC)
+
+    def test_different_service_seed_different_decisions(self):
+        _e, core_a = soak(seed=0)
+        _e, core_b = soak(seed=1)
+        # Jitter and chaos draws differ, so the manifests must too.
+        assert stable_bytes(core_a, SPEC) != stable_bytes(core_b, SPEC)
+
+    def test_virtual_makespan_is_deterministic(self):
+        engine_a, _core = soak()
+        engine_b, _core = soak()
+        assert engine_a.makespan == engine_b.makespan
+        assert engine_a.makespan >= SPEC.duration_s
+
+
+class TestConservation:
+    def test_no_request_vanishes(self):
+        _engine, core = soak()
+        c = core.counts
+        terminal = (
+            c["ok"] + c["memoized"] + c["batched"] + c["shed"]
+            + c["expired"] + c["failed"]
+        )
+        assert c["submitted"] == terminal
+        assert c["submitted"] == len(core.records)
+
+    def test_zero_accepted_then_lost(self):
+        _engine, core = soak()
+        c = core.counts
+        served = c["ok"] + c["batched"] + c["expired"] + c["failed"] + c["memoized"]
+        assert c["accepted"] == served
+
+
+class TestChaosSurface:
+    def test_outage_trips_and_recovers_the_breaker(self):
+        _engine, core = soak()
+        stats = core.breakers.stats()
+        tripped = {k: v for k, v in stats.items() if v["trips"] > 0}
+        assert tripped, stats
+        assert all(k.endswith("/ompss_perfft") for k in tripped)
+        # The outage ends before the drain, so every breaker that tripped
+        # must have half-opened and closed again (open -> half_open -> closed).
+        for snapshot in tripped.values():
+            assert snapshot["state"] == "closed"
+            assert snapshot["transitions"] >= 3
+
+    def test_breaker_open_sheds_during_the_window(self):
+        _engine, core = soak()
+        assert core.shed_reasons["breaker_open"] >= 1
+
+    def test_chaos_failures_drive_retries(self):
+        _engine, core = soak()
+        assert core.counts["retries"] >= 1
+
+    def test_clean_soak_has_no_failures(self):
+        _engine, core = soak(chaos=None)
+        assert core.counts["failed"] == 0
+        assert core.counts["retries"] == 0
+        # Breakers exist per touched (class, executor) but never trip.
+        assert all(
+            b["state"] == "closed" and b["trips"] == 0
+            for b in core.breakers.stats().values()
+        )
+
+    def test_memoization_absorbs_repeats(self):
+        _engine, core = soak()
+        assert core.counts["memoized"] >= 1
+
+
+class TestManifestEmbedding:
+    def test_chaos_plan_embeds_verbatim(self):
+        _engine, core = soak()
+        manifest = build_service_manifest(core, load=SPEC.to_dict(), stable=True)
+        assert manifest["chaos"]["name"] == "soak-test"
+        assert manifest["chaos"]["outages"][0]["version"] == "ompss_perfft"
+        assert manifest["load"]["rate_rps"] == 60.0
+
+    def test_stable_manifest_excludes_wall_clock_sections(self):
+        _engine, core = soak()
+        manifest = build_service_manifest(core, load=SPEC.to_dict(), stable=True)
+        assert "slo" not in manifest
+        assert "plan_cache" not in manifest
+
+    def test_tampered_counts_fail_validation(self):
+        _engine, core = soak()
+        manifest = build_service_manifest(core, load=SPEC.to_dict(), stable=True)
+        manifest["counts"]["ok"] += 1  # lose/duplicate a request
+        errors = validate_service_manifest(manifest)
+        assert any("submitted" in e for e in errors)
+
+    def test_dropped_record_fails_validation(self):
+        _engine, core = soak()
+        manifest = build_service_manifest(core, load=SPEC.to_dict(), stable=True)
+        manifest["requests"].pop()
+        errors = validate_service_manifest(manifest)
+        assert any("request records" in e for e in errors)
+
+
+class TestBackpressure:
+    def test_overload_sheds_instead_of_queueing_forever(self):
+        spec = LoadSpec(rate_rps=300.0, duration_s=2.0, seed=5)
+        _engine, core = soak(
+            spec=spec, chaos=None, workers=1, max_queue_depth=4, batch_depth=2
+        )
+        assert core.counts["shed"] > 0
+        reasons = core.shed_reasons
+        assert reasons["queue_full"] + reasons["backlog"] == core.counts["shed"]
+        assert core.admission.depth_peak <= 4
+
+    def test_pressure_triggers_degraded_fast_path(self):
+        spec = LoadSpec(rate_rps=300.0, duration_s=2.0, seed=5)
+        _engine, core = soak(spec=spec, chaos=None, workers=1, max_queue_depth=8)
+        assert core.counts["degraded"] >= 1
+
+    def test_drain_sheds_late_arrivals_as_shutdown(self):
+        spec = LoadSpec(rate_rps=60.0, duration_s=2.0, seed=9)
+        arrivals = generate_arrivals(spec)
+        engine = SoakEngine(ServiceConfig(), chaos=None)
+        core = engine.run(arrivals, drain_at=1.0)  # drain mid-stream
+        assert core.shed_reasons["shutdown"] > 0
