@@ -197,6 +197,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="omit wall-clock fields so identical sweeps produce "
         "byte-identical manifests",
     )
+    p_sweep.add_argument(
+        "--fft-backend", default="numpy", metavar="NAME",
+        help="FFT kernel backend for every point (see 'backends'; default numpy)",
+    )
+    p_sweep.add_argument(
+        "--kernel-workers", type=int, default=1, metavar="N",
+        help="real cores per batched kernel call (default 1)",
+    )
 
     p_run = sub.add_parser("run", help="run a single configuration")
     p_run.add_argument("--ranks", type=int, default=8)
@@ -239,6 +247,22 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--stable-manifest", action="store_true",
         help="omit wall-clock fields from the manifest so identical seeded "
         "runs produce byte-identical files",
+    )
+    p_run.add_argument(
+        "--fft-backend", default="numpy", metavar="NAME",
+        help="FFT kernel backend for data-mode runs (see 'backends'; "
+        "default numpy)",
+    )
+    p_run.add_argument(
+        "--kernel-workers", type=int, default=1, metavar="N",
+        help="real cores per batched kernel call: scipy/pyFFTW thread "
+        "in-library, numpy/native fan out over the shared-memory process "
+        "pool (default 1)",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list FFT kernel backends and their availability on this host",
     )
 
     p_faults = sub.add_parser(
@@ -442,6 +466,20 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "backends":
+        from repro.fft.backends import DEFAULT_BACKEND, backend_info
+
+        for row in backend_info():
+            status = "available" if row["available"] else "unavailable"
+            marker = " (default)" if row["name"] == DEFAULT_BACKEND else ""
+            workers = "in-library workers" if row["supports_workers"] else "process pool"
+            print(
+                f"{row['name']:<8} {status:<12} {row['note']}{marker}\n"
+                f"{'':<8} kinds: {', '.join(row['kinds'])}; "
+                f"layouts: {', '.join(row['layouts'])}; multicore via {workers}"
+            )
+        return 0
+
     if args.command == "serve":
         return _cmd_serve(args)
 
@@ -480,6 +518,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 n_nodes=args.nodes,
                 telemetry=want_telemetry,
                 faults=scenario,
+                fft_backend=args.fft_backend,
+                kernel_workers=args.kernel_workers,
                 **workload,
             )
         except ValueError as exc:
@@ -600,6 +640,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
         base: dict[str, _t.Any] = dict(QUICK_WORKLOAD) if args.quick else {}
         base["telemetry"] = True
+        base["fft_backend"] = args.fft_backend
+        base["kernel_workers"] = args.kernel_workers
         if scenario is not None:
             base["faults"] = scenario
         try:

@@ -56,6 +56,7 @@ from repro.core.wave import (
 from repro.core.workspace import aggregate_stats, layout_workspaces, workspace_for
 from repro.faults.injector import FaultError, FaultInjector
 from repro.faults.plan import FaultScenario
+from repro.fft.backends.engine import KernelEngine
 from repro.grids import Cell, DistributedLayout, FftDescriptor
 from repro.machine import CpuModel, KnlParameters, knl_phase_table, knl_topology
 from repro.machine.cluster import ClusterTopology
@@ -253,6 +254,14 @@ def run_fft_phase(
         else:
             task_observer = _fanout_task_observer(tel.tracer.on_task, task_observer)
 
+    # The kernel engine: one per run, shared by every rank context, so the
+    # whole data plane runs on config.fft_backend with config.kernel_workers
+    # and plan caches warm across bands.  Meta-mode runs execute no kernels,
+    # so a config naming an uninstalled backend still simulates fine there.
+    kernel_engine: KernelEngine | None = None
+    if config.data_mode:
+        kernel_engine = KernelEngine(config.fft_backend, workers=config.kernel_workers)
+
     # Data-plane arenas: per-(layout, process) pools shared across runs of
     # one workload.  Snapshot before the attempts loop so the run's manifest
     # reports this run's deltas, not the layout-lifetime totals.
@@ -390,6 +399,7 @@ def run_fft_phase(
                     packed=per_proc_packed[p] if per_proc_packed is not None else None,
                     v_slab=v_slabs[r] if v_slabs is not None else None,
                     workspace=workspace_for(layout, p) if use_arena else None,
+                    kernels=kernel_engine,
                 )
                 if completed_bands:
                     # Resumed attempt: restore the checkpointed state.
@@ -501,6 +511,10 @@ def run_fft_phase(
                 ResourceWarning,
                 stacklevel=2,
             )
+        if kernel_engine is not None:
+            # Kernel-plane counters ride the dataplane section (and thus the
+            # dataplane.* gauges): backend, workers, calls, rows, pool fan-outs.
+            dataplane.update(kernel_engine.stats())
 
     if tel is not None and tel.enabled:
         _record_run_summary(
@@ -616,7 +630,9 @@ def _record_run_summary(
             tel.metrics.set_gauge(f"engine.{name}", float(value), resource=resource)
     if dataplane is not None:
         for name, value in dataplane.items():
-            tel.metrics.set_gauge(f"dataplane.{name}", float(value))
+            # kernel_backend is a string label; only numeric entries gauge.
+            if isinstance(value, (int, float)):
+                tel.metrics.set_gauge(f"dataplane.{name}", float(value))
     if injector is not None:
         report = injector.report
         tel.metrics.set_gauge("faults.injected", float(report.n_injected))

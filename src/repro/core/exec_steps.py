@@ -42,7 +42,6 @@ from repro.core.pipeline import (
     step_unpack,
     step_vofr,
 )
-from repro.fft import cft_1z, cft_2xy
 from repro.ompss import TaskRuntime
 
 __all__ = ["make_steps_program", "submit_unit_tasks"]
@@ -127,7 +126,7 @@ def submit_unit_tasks(
             if group is None or not ctx.data_mode:
                 state[dst] = group
             else:
-                state[dst] = cft_1z(group, sign)
+                state[dst] = ctx.kernels.cft_1z(group, sign)
 
         return run
 
@@ -146,7 +145,7 @@ def submit_unit_tasks(
             if planes is None or not ctx.data_mode:
                 state[dst] = planes
             else:
-                state[dst] = cft_2xy(planes, sign)
+                state[dst] = ctx.kernels.cft_2xy(planes, sign)
 
         return run
 

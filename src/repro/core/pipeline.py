@@ -34,7 +34,7 @@ from repro.core import scatter as scatter_mod
 from repro.core import wave as wave_mod
 from repro.core.vofr import apply_potential
 from repro.core.wave import extract_from_sticks
-from repro.fft import cft_1z, cft_2xy
+from repro.fft.backends.engine import default_engine
 from repro.grids.descriptor import DistributedLayout
 from repro.mpisim.datatypes import MetaPayload
 
@@ -165,6 +165,12 @@ class FftPhaseContext:
         (:class:`~repro.core.workspace.Workspace`), or ``None`` to allocate
         every marshalling buffer fresh.  Results are bit-identical either
         way; the arena only recycles storage.
+    kernels:
+        The run's :class:`~repro.fft.backends.engine.KernelEngine` — every
+        batched FFT the steps execute goes through it, which is what makes
+        ``RunConfig.fft_backend`` / ``kernel_workers`` take effect.  When
+        ``None`` the process-wide single-threaded default-backend engine is
+        used.
     """
 
     def __init__(
@@ -177,6 +183,7 @@ class FftPhaseContext:
         packed: np.ndarray | None,
         v_slab: np.ndarray | None,
         workspace=None,
+        kernels=None,
     ):
         self.rank = rank
         self.layout = layout
@@ -186,6 +193,9 @@ class FftPhaseContext:
         self.packed = packed
         self.v_slab = v_slab
         self.workspace = workspace
+        if kernels is None:
+            kernels = default_engine()
+        self.kernels = kernels
         self.results: dict[int, np.ndarray] = {}
         #: Bands whose full chain finished on this rank (filled by the
         #: unpack step, both modes) — the driver's checkpoint granularity.
@@ -294,7 +304,7 @@ def step_fft_z(ctx: FftPhaseContext, group_block, sign: int, thread: int = 0):
     if group_block is None:
         return None
     out = ctx.acquire("stick_block", group_block.shape)
-    result = cft_1z(group_block, sign, out=out)
+    result = ctx.kernels.cft_1z(group_block, sign, out=out)
     ctx.release(group_block)
     return result
 
@@ -323,7 +333,7 @@ def step_fft_xy(ctx: FftPhaseContext, planes, sign: int, thread: int = 0):
     yield ctx.rank.compute("fft_xy", ctx.cost.fft_xy(ctx.r), thread=thread)
     if planes is None:
         return None
-    result = cft_2xy(planes, sign)
+    result = ctx.kernels.cft_2xy(planes, sign)
     ctx.release(planes)
     return result
 

@@ -1,0 +1,304 @@
+"""Shared-memory process pool: true multicore for non-threaded backends.
+
+numpy's pocketfft has no ``workers=`` knob and the GIL serialises python
+threads, so the only way to put a batched kernel on N real cores with the
+default backend is N processes.  This pool makes that cheap enough for the
+per-band batches of the data plane:
+
+* **persistent workers** — forked once, reused across bands, so the
+  per-call cost is a pipe message, not a process spawn;
+* **anonymous shared mappings** — input and output travel through
+  ``mmap.mmap(-1, size)`` (``MAP_SHARED | MAP_ANONYMOUS``) segments that
+  the workers inherit through ``fork``, so rows are never pickled and
+  there are no named segments to track or leak (this deliberately avoids
+  ``multiprocessing.shared_memory``, whose resource tracker misattributes
+  ownership across fork).  Workers write their output rows straight into
+  the shared segment; the parent copies once into the caller's
+  (arena-backed) ``out=`` buffer.  A batch that outgrows the segments
+  restarts the workers on larger ones — capacity is monotone per pool, so
+  steady state never restarts;
+* **contiguous row chunks** — worker *i* computes rows ``[r0_i, r1_i)``
+  of the batch with its own cached backend plan.  pocketfft computes batch
+  rows independently, so the chunked result is byte-identical to the
+  single-process result regardless of worker count (pinned by
+  ``tests/core/test_kernel_workers.py``).
+
+A worker dying mid-band (OOM-killed, segfault, ``kill -9`` — the real
+process analogue of the ``repro.faults`` task-kill machinery) must surface
+as a clean error, never a hang: every receive polls with a deadline while
+checking ``Process.is_alive``, and any dead/wedged worker raises
+:class:`KernelPoolError` and marks the pool broken so the shared-pool
+cache replaces it on next use.  A worker that merely *reports* a task
+failure (bad spec for its backend) stays healthy: the reply protocol is
+drained and the pool keeps serving.
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import multiprocessing as mp
+import traceback
+
+import numpy as np
+
+from repro.fft.backends.base import PlanSpec, result_shape
+
+__all__ = ["KernelPool", "KernelPoolError", "shared_pool", "close_shared_pools"]
+
+#: Seconds a receive may poll before a live-but-silent worker is declared
+#: wedged.  Generous: real bands finish in milliseconds.
+_RECV_TIMEOUT_S = 60.0
+_POLL_STEP_S = 0.05
+
+#: Initial size of each shared segment; grown (with a worker restart) the
+#: first time a batch needs more.
+_INITIAL_SEGMENT_BYTES = 1 << 20
+
+
+class KernelPoolError(RuntimeError):
+    """A pool worker died or failed mid-band."""
+
+
+def _worker_main(conn, mm_in, mm_out) -> None:
+    """Worker loop: receive a row-chunk task, transform it, acknowledge."""
+    from repro.fft.backends.registry import get_backend
+
+    plans: dict = {}
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        try:
+            spec = PlanSpec(task["kind"], task["shape"], task["dtype"])
+            r0, r1 = task["rows"]
+            dt = np.dtype(spec.dtype)
+            count = int(np.prod(spec.shape))
+            full = np.frombuffer(mm_in, dtype=dt, count=count).reshape(spec.shape)
+            out_shape = result_shape(spec)
+            out_dt = np.dtype(task["out_dtype"])
+            out_count = int(np.prod(out_shape))
+            full_out = np.frombuffer(mm_out, dtype=out_dt, count=out_count).reshape(
+                out_shape
+            )
+            key = (task["backend"], spec.kind, (r1 - r0,) + spec.shape[1:], spec.dtype)
+            exe = plans.get(key)
+            if exe is None:
+                exe = get_backend(task["backend"]).plan(spec.kind, key[2], dtype=spec.dtype)
+                plans[key] = exe
+            exe(full[r0:r1], task["sign"], out=full_out[r0:r1])
+            conn.send(("ok", r0, r1))
+        except Exception:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+
+
+class KernelPool:
+    """N persistent forked workers around two anonymous shared mappings."""
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(f"KernelPool needs >= 2 workers, got {workers}")
+        self.workers = int(workers)
+        self.broken = False
+        self._in_bytes = _INITIAL_SEGMENT_BYTES
+        self._out_bytes = _INITIAL_SEGMENT_BYTES
+        self._mm_in: mmap.mmap | None = None
+        self._mm_out: mmap.mmap | None = None
+        self._procs: list = []
+        self._conns: list = []
+        # Batches fanned out and total rows computed, for dataplane gauges.
+        self.batches = 0
+        self.rows = 0
+        self._start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        """Map the segments and fork the workers (they inherit the maps)."""
+        self._mm_in = mmap.mmap(-1, self._in_bytes)
+        self._mm_out = mmap.mmap(-1, self._out_bytes)
+        ctx = mp.get_context("fork")
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._mm_in, self._mm_out),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _stop_workers(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+
+    def close(self) -> None:
+        """Terminate workers and release the mappings (idempotent)."""
+        self._stop_workers()
+        for attr in ("_mm_in", "_mm_out"):
+            mm = getattr(self, attr)
+            if mm is not None:
+                try:
+                    mm.close()
+                except BufferError:
+                    # A numpy view into the map is still alive (e.g. held by
+                    # the traceback of the error that triggered this close).
+                    # Anonymous maps have no name to unlink — dropping the
+                    # reference lets GC reclaim once the views die.
+                    pass
+                setattr(self, attr, None)
+
+    def _ensure_capacity(self, in_bytes: int, out_bytes: int) -> None:
+        """Restart on larger segments when a batch outgrows the current ones.
+
+        Forked children keep the *old* mappings alive until they exit, so
+        growth must recycle the workers too; capacity only ever grows, so a
+        steady-state workload pays this once.
+        """
+        if in_bytes <= self._in_bytes and out_bytes <= self._out_bytes:
+            return
+        self._in_bytes = max(self._in_bytes, in_bytes)
+        self._out_bytes = max(self._out_bytes, out_bytes)
+        self.close()
+        self._start()
+
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    # -- execution ----------------------------------------------------------
+
+    def _recv(self, idx: int):
+        conn, proc = self._conns[idx], self._procs[idx]
+        waited = 0.0
+        while waited < _RECV_TIMEOUT_S:
+            if conn.poll(_POLL_STEP_S):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    raise KernelPoolError(
+                        f"kernel pool worker pid={proc.pid} died mid-band "
+                        f"(connection closed)"
+                    ) from None
+            if not proc.is_alive():
+                raise KernelPoolError(
+                    f"kernel pool worker pid={proc.pid} died mid-band "
+                    f"(exitcode={proc.exitcode})"
+                )
+            waited += _POLL_STEP_S
+        raise KernelPoolError(
+            f"kernel pool worker pid={proc.pid} unresponsive after "
+            f"{_RECV_TIMEOUT_S:.0f}s"
+        )
+
+    def run(self, backend: str, kind: str, x: np.ndarray, sign: int, out=None):
+        """Fan one batched transform across the workers by row chunks."""
+        if self.broken:
+            raise KernelPoolError("kernel pool is broken (a worker died earlier)")
+        x = np.ascontiguousarray(x)
+        spec = PlanSpec(kind, x.shape, x.dtype.name)
+        out_shape = result_shape(spec)
+        out_dt = np.dtype(spec.dtype)
+        out_nbytes = int(np.prod(out_shape)) * out_dt.itemsize
+        self._ensure_capacity(x.nbytes, out_nbytes)
+
+        view_in = np.frombuffer(self._mm_in, dtype=x.dtype, count=x.size).reshape(
+            spec.shape
+        )
+        np.copyto(view_in, x)
+        view_out = np.frombuffer(
+            self._mm_out, dtype=out_dt, count=int(np.prod(out_shape))
+        ).reshape(out_shape)
+
+        nrows = spec.shape[0]
+        bounds = np.linspace(0, nrows, self.workers + 1).astype(int)
+        active = []
+        try:
+            for i in range(self.workers):
+                r0, r1 = int(bounds[i]), int(bounds[i + 1])
+                if r1 <= r0:
+                    continue
+                self._conns[i].send(
+                    {
+                        "backend": backend,
+                        "kind": kind,
+                        "shape": spec.shape,
+                        "dtype": spec.dtype,
+                        "out_dtype": out_dt.name,
+                        "rows": (r0, r1),
+                        "sign": sign,
+                    }
+                )
+                active.append(i)
+            # Drain every reply before judging the batch, so a task-level
+            # failure in one worker leaves no reply queued to desync the
+            # next batch's protocol.
+            replies = [(i, self._recv(i)) for i in active]
+        except KernelPoolError:
+            # A dead/wedged worker: the pool cannot be trusted again.
+            self.broken = True
+            self.close()
+            raise
+        except (BrokenPipeError, OSError) as exc:
+            self.broken = True
+            self.close()
+            raise KernelPoolError(f"kernel pool worker pipe broke: {exc}") from exc
+        failures = [(i, r) for i, r in replies if r[0] != "ok"]
+        if failures:
+            # The workers are alive and the protocol is drained — a bad
+            # *task* (e.g. an invalid spec for one backend) is the caller's
+            # error and must not condemn the pool.
+            i, reply = failures[0]
+            raise KernelPoolError(
+                f"kernel pool worker pid={self._procs[i].pid} failed:\n{reply[1]}"
+            )
+
+        self.batches += 1
+        self.rows += nrows
+        if out is not None:
+            np.copyto(out, view_out)
+            return out
+        return view_out.copy()
+
+
+_SHARED: dict[int, KernelPool] = {}
+
+
+def shared_pool(workers: int) -> KernelPool:
+    """Process-wide pool cache, one per worker count; broken pools replaced."""
+    pool = _SHARED.get(workers)
+    if pool is None or pool.broken:
+        pool = KernelPool(workers)
+        _SHARED[workers] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    for pool in _SHARED.values():
+        pool.close()
+    _SHARED.clear()
+
+
+atexit.register(close_shared_pools)

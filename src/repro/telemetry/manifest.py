@@ -211,6 +211,8 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("config.taskgroups", (int,), True),
     ("config.nbnd", (int,), True),
     ("config.label", (str,), True),
+    ("config.fft_backend", (str,), False),
+    ("config.kernel_workers", (int,), False),
     ("calibration", (dict,), True),
     ("timing", (dict,), True),
     ("timing.phase_time_s", (int, float), True),
@@ -226,6 +228,8 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("fault_report.scenario", (dict,), False),
     ("failed", (bool,), False),
     ("dataplane", (dict,), False),
+    ("dataplane.kernel_backend", (str,), False),
+    ("dataplane.kernel_workers", (int,), False),
     ("analysis", (dict,), False),
     ("analysis.schema_version", (int,), False),
     ("analysis.unclosed_spans", (int,), False),

@@ -199,8 +199,8 @@ class TestLiveManifest:
     def test_live_manifest_exports_plan_cache_counters(self, drained_service):
         # Satellite pin: live service manifests export the FFT plan LRU's
         # process-wide hit/miss counters as warmth diagnostics.  Only
-        # data-mode runs build plans, so warm the cache and check the
-        # manifest reflects the live counters.
+        # data-mode runs on the native backend build mixed-radix plans, so
+        # warm the cache and check the manifest reflects the live counters.
         from repro.core import RunConfig, run_fft_phase
         from repro.fft.plan import plan_cache_stats
 
@@ -209,7 +209,7 @@ class TestLiveManifest:
         run_fft_phase(
             RunConfig(
                 ecutwfc=12.0, alat=5.0, nbnd=8, ranks=2, taskgroups=2,
-                data_mode=True,
+                data_mode=True, fft_backend="native",
             )
         )
         manifest = build_service_manifest(
