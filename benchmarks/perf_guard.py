@@ -17,6 +17,13 @@ committed baseline file:
     combine.  Baseline: ``benchmarks/BENCH_dataplane.json``, which also
     records the pre-arena throughput the optimization is measured against.
 
+``multinode``
+    Data-mode band throughput (bands/s) across the multi-node grid —
+    nodes {1, 4} x decomposition {slab, pencil} on the pack-free
+    Alltoallw data plane (ranks=4, taskgroups=2, ``original``).  The
+    ratcheted headline is the *worst* of the four cells.  Baseline:
+    ``benchmarks/BENCH_multinode.json``.
+
 ``service``
     Sustained request throughput (requests/s) of the async service front
     end (:mod:`repro.service`) digesting a saturating burst of mixed
@@ -155,6 +162,49 @@ def measure_dataplane(rounds: int = 5) -> dict:
     }
 
 
+def multinode_configs():
+    """nodes {1,4} x decomposition {slab,pencil} on the 4x2 data workload."""
+    from repro.core.driver import RunConfig
+
+    base = dict(
+        ranks=4,
+        taskgroups=2,
+        version="original",
+        ecutwfc=30.0,
+        alat=10.0,
+        nbnd=32,
+        data_mode=True,
+    )
+    return {
+        f"nodes{n}_{decomp}": RunConfig(n_nodes=n, decomposition=decomp, **base)
+        for n in (1, 4)
+        for decomp in ("slab", "pencil")
+    }
+
+
+def measure_multinode(rounds: int = 5) -> dict:
+    """Best-of-``rounds`` band throughput across the multi-node grid.
+
+    The ratcheted headline, ``bands_per_s``, is the *minimum* of the four
+    cells (nodes 1 and 4, slab and pencil decompositions, all on the
+    pack-free data plane) — the guard only holds when every corner of the
+    multi-node data plane stays fast.  Per-cell numbers ride along for
+    triage.
+    """
+    cfgs = multinode_configs()
+    per = {key: _bands_per_s(cfg, rounds) for key, cfg in cfgs.items()}
+    worst = min(per, key=per.get)
+    return {
+        "kind": "repro.bench_multinode",
+        "config": "4x2 data mode (ecut 30, alat 10, 32 bands), "
+        "nodes {1,4} x {slab,pencil}",
+        "bands_per_s": per[worst],
+        "worst_cell": worst,
+        **{f"bands_per_s_{key}": value for key, value in per.items()},
+        "rounds": rounds,
+    }
+
+
 #: Service burst: enough requests to saturate two workers without
 #: stretching CI, mixed 3:1 small:medium like the loadgen default mix.
 SERVICE_BURST = 40
@@ -231,6 +281,15 @@ TARGETS = {
         measure_dataplane,
         "profile the data-plane hot path — arena reuse, index-map caching, "
         "and the batched FFT combine (see docs/PERFORMANCE.md)",
+    ),
+    "multinode": (
+        _HERE / "BENCH_multinode.json",
+        "repro.bench_multinode",
+        "bands_per_s",
+        measure_multinode,
+        "profile the multi-node data plane — the Alltoallw block plans, the "
+        "pencil transpose paths, and the inter-node network accounting "
+        "(see docs/PERFORMANCE.md)",
     ),
     "service": (
         _HERE / "BENCH_service.json",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing as _t
+from repro.telemetry.layers import comm_layer
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.trace import Trace
@@ -153,7 +154,7 @@ def _records(trace: "Trace") -> list[_Rec]:
             )
         )
     for r in trace.mpi:
-        layer = r.comm_name.rstrip("0123456789")
+        layer = comm_layer(r.comm_name)
         recs.append(
             _Rec(
                 stream=repr(r.stream),

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing as _t
+from repro.telemetry.layers import comm_layer
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.machine.counters import CounterSet
@@ -47,7 +48,7 @@ __all__ = [
 
 def _layer_of(comm_name: str) -> str:
     """Low-cardinality communicator layer (``pack3`` -> ``pack``)."""
-    return comm_name.rstrip("0123456789")
+    return comm_layer(comm_name)
 
 
 @dataclasses.dataclass

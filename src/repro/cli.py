@@ -7,6 +7,7 @@
     fftxlib-repro table1 --jobs 4
     fftxlib-repro all --quick --jobs 4
     fftxlib-repro run --ranks 8 --version ompss_perfft --validate
+    fftxlib-repro run --ranks 8 --nodes 4 --decomposition pencil --validate
     fftxlib-repro run --quick --manifest run.json --chrome trace.json --pop
     fftxlib-repro run --quick --faults scenario.json --manifest run.json
     fftxlib-repro sweep --ranks 2,4,8 --versions original,ompss_perfft --jobs 4 --out sweep.json
@@ -205,6 +206,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--kernel-workers", type=int, default=1, metavar="N",
         help="real cores per batched kernel call (default 1)",
     )
+    p_sweep.add_argument(
+        "--decomposition", default="slab", choices=["slab", "pencil"],
+        help="grid decomposition for every point (default slab)",
+    )
+    p_sweep.add_argument(
+        "--redistribution", default="packfree", choices=["packed", "packfree"],
+        help="data-plane redistribution strategy (default packfree)",
+    )
 
     p_run = sub.add_parser("run", help="run a single configuration")
     p_run.add_argument("--ranks", type=int, default=8)
@@ -258,6 +267,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="real cores per batched kernel call: scipy/pyFFTW thread "
         "in-library, numpy/native fan out over the shared-memory process "
         "pool (default 1)",
+    )
+    p_run.add_argument(
+        "--decomposition", default="slab", choices=["slab", "pencil"],
+        help="grid decomposition: z-slabs (default) or a 2D pencil grid",
+    )
+    p_run.add_argument(
+        "--redistribution", default="packfree", choices=["packed", "packfree"],
+        help="data-plane redistribution: staged pack/unpack copies or "
+        "pack-free Alltoallw datatypes (default packfree)",
     )
 
     sub.add_parser(
@@ -520,6 +538,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 faults=scenario,
                 fft_backend=args.fft_backend,
                 kernel_workers=args.kernel_workers,
+                decomposition=args.decomposition,
+                redistribution=args.redistribution,
                 **workload,
             )
         except ValueError as exc:
@@ -642,6 +662,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         base["telemetry"] = True
         base["fft_backend"] = args.fft_backend
         base["kernel_workers"] = args.kernel_workers
+        base["decomposition"] = args.decomposition
+        base["redistribution"] = args.redistribution
         if scenario is not None:
             base["faults"] = scenario
         try:

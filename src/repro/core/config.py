@@ -108,6 +108,17 @@ class RunConfig:
     #: shared-memory process pool (numpy/native); output is byte-identical
     #: to ``kernel_workers=1`` for the pocketfft backends.
     kernel_workers: int = 1
+    #: Real-space decomposition over the R scatter ranks of each task
+    #: group: ``"slab"`` (the paper's z-plane scheme, scaling-limited by
+    #: ``nr3``) or ``"pencil"`` (a Pr x Pc processor grid with two
+    #: row/column-internal transposes — see :mod:`repro.grids.pencil`).
+    decomposition: str = "slab"
+    #: How redistribution payloads move: ``"packfree"`` (default; Alltoallw
+    #: block descriptors move strided source views straight into destination
+    #: slots, zero intermediate pack/unpack buffers) or ``"packed"`` (the
+    #: legacy staged Alltoall marshalling).  Simulated timings are identical;
+    #: the pack-free path saves host copies.
+    redistribution: str = "packfree"
 
     def __post_init__(self) -> None:
         if self.version not in VERSIONS:
@@ -136,6 +147,15 @@ class RunConfig:
             )
         if self.kernel_workers < 1:
             raise ValueError(f"kernel_workers must be >= 1, got {self.kernel_workers}")
+        if self.decomposition not in ("slab", "pencil"):
+            raise ValueError(
+                f"decomposition must be 'slab' or 'pencil', got {self.decomposition!r}"
+            )
+        if self.redistribution not in ("packed", "packfree"):
+            raise ValueError(
+                "redistribution must be 'packed' or 'packfree', "
+                f"got {self.redistribution!r}"
+            )
         # Validate the backend name against the registry (lazy import keeps
         # config importable without the fft package in degraded contexts).
         # Availability is checked at engine construction, not here, so a

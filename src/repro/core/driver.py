@@ -51,6 +51,7 @@ from repro.core.wave import (
     distribute_coefficients,
     make_band_coefficients,
     make_potential,
+    potential_block,
     potential_slab,
 )
 from repro.core.workspace import aggregate_stats, layout_workspaces, workspace_for
@@ -81,20 +82,25 @@ class RunCancelled(RuntimeError):
 
 @functools.lru_cache(maxsize=32)
 def build_geometry(
-    alat: float, ecutwfc: float, dual: float, scatter: int, groups: int
+    alat: float,
+    ecutwfc: float,
+    dual: float,
+    scatter: int,
+    groups: int,
+    decomposition: str = "slab",
 ) -> tuple[Cell, FftDescriptor, DistributedLayout]:
     """Cell + G-vector sphere/stick map + R x T layout for one workload.
 
     Building the descriptor (sphere enumeration, stick accounting) and the
     layout (stick ownership, group offsets) is the expensive part of a run's
-    setup and depends only on these five scalars.  All three objects are
+    setup and depends only on these six scalars.  All three objects are
     immutable after construction, so they are cached per process — a sweep
     worker executing many points of the same workload pays the construction
     once instead of once per point.
     """
     cell = Cell(alat=alat)
     desc = FftDescriptor(cell, ecutwfc=ecutwfc, dual=dual)
-    layout = DistributedLayout(desc, scatter, groups)
+    layout = DistributedLayout(desc, scatter, groups, decomposition=decomposition)
     return cell, desc, layout
 
 
@@ -215,6 +221,7 @@ def run_fft_phase(
     _cell, desc, layout = build_geometry(
         config.alat, config.ecutwfc, config.dual,
         config.layout_scatter, config.layout_groups,
+        config.decomposition,
     )
     cost = CostModel(layout, cost_constants)
 
@@ -246,7 +253,11 @@ def run_fft_phase(
                 raise ValueError(
                     f"potential shape {potential.shape}; expected {expected_v}"
                 )
-        v_slabs = [potential_slab(layout, r, potential) for r in range(layout.R)]
+        if layout.decomposition == "pencil":
+            # Pencil VOFR runs on the x-brick, not the plane slab.
+            v_slabs = [potential_block(layout, r, potential) for r in range(layout.R)]
+        else:
+            v_slabs = [potential_slab(layout, r, potential) for r in range(layout.R)]
 
     if tel is not None and tel.enabled:
         if task_observer is None:
@@ -378,6 +389,32 @@ def run_fft_phase(
             world._register_comm(layout.scatter_group(t), f"scatter{t}")
             for t in range(layout.T)
         ]
+        # Pencil transpose communicators: per task group, one row comm per
+        # grid row (Pc members, the z<->y transpose) and one column comm per
+        # grid column (Pr members, the y<->x transpose).  Single trailing
+        # digit run in the name so comm_layer aggregates them per layer.
+        row_comms: dict[tuple[int, int], _t.Any] = {}
+        col_comms: dict[tuple[int, int], _t.Any] = {}
+        if layout.decomposition == "pencil":
+            grid = layout.pencil
+            assert grid is not None
+            for t in range(layout.T):
+                for i in range(grid.Pr):
+                    members = [
+                        layout.proc_of(grid.rank_of(i, jj), t)
+                        for jj in range(grid.Pc)
+                    ]
+                    row_comms[(t, i)] = world._register_comm(
+                        members, f"pencil_row{t * grid.Pr + i}"
+                    )
+                for jj in range(grid.Pc):
+                    members = [
+                        layout.proc_of(grid.rank_of(i, jj), t)
+                        for i in range(grid.Pr)
+                    ]
+                    col_comms[(t, jj)] = world._register_comm(
+                        members, f"pencil_col{t * grid.Pc + jj}"
+                    )
 
         contexts: dict[int, FftPhaseContext] = {}
 
@@ -386,10 +423,18 @@ def run_fft_phase(
             _contexts=contexts,
             _pack_comms=pack_comms,
             _scatter_comms=scatter_comms,
+            _row_comms=row_comms,
+            _col_comms=col_comms,
         ) -> FftPhaseContext:
             p = rank.rank
             if p not in _contexts:
                 r, t = layout.rt_of(p)
+                row_comm = col_comm = None
+                if layout.decomposition == "pencil":
+                    assert layout.pencil is not None
+                    i, j = layout.pencil.coords(r)
+                    row_comm = _row_comms[(t, i)]
+                    col_comm = _col_comms[(t, j)]
                 ctx = FftPhaseContext(
                     rank=rank,
                     layout=layout,
@@ -400,6 +445,9 @@ def run_fft_phase(
                     v_slab=v_slabs[r] if v_slabs is not None else None,
                     workspace=workspace_for(layout, p) if use_arena else None,
                     kernels=kernel_engine,
+                    row_comm=row_comm,
+                    col_comm=col_comm,
+                    redistribution=config.redistribution,
                 )
                 if completed_bands:
                     # Resumed attempt: restore the checkpointed state.
@@ -501,6 +549,11 @@ def run_fft_phase(
         dataplane = _dataplane_summary(
             dataplane_before or {},
             aggregate_stats(layout_workspaces(layout).values()),
+        )
+        dataplane["decomposition"] = layout.decomposition
+        dataplane["redistribution"] = config.redistribution
+        dataplane["pack_copies"] = sum(
+            ctx.pack_copies for ctx in contexts.values()
         )
         if dataplane["workspace_leaks"] > 0:
             warnings.warn(

@@ -30,15 +30,20 @@ from __future__ import annotations
 import math
 import typing as _t
 
+import numpy as np
+
 from repro import telemetry as _telemetry
 from repro.core.pipeline import (
     FftPhaseContext,
     step_fft_xy,
     step_fft_z,
     step_pack,
+    step_pencil_vofr,
     step_prepare,
     step_scatter_bw,
     step_scatter_fw,
+    step_transpose_yx,
+    step_transpose_zy,
     step_unpack,
     step_vofr,
 )
@@ -173,17 +178,85 @@ def submit_unit_tasks(
         )
         ctx.release(state.pop("group_s", None))
 
+    # -- pencil-decomposition stage bodies ------------------------------------
+    # Same region discipline as the slab stages: the transpose (MPI-bearing)
+    # bodies pop-and-release the arena brick whose readers — the chunked FFT
+    # tasks of the previous stage — are all finalized by the time they run.
+
+    def tzy_fw_body(worker):
+        state["ybrick_fw"] = yield from step_transpose_zy(
+            ctx, state.get("group_zfw"), key=(unit_key, "tzy", my_band),
+            thread=worker.thread_index,
+        )
+        ctx.release(state.pop("group_g", None))
+
+    def tyx_fw_body(worker):
+        state["xbrick_fw"] = yield from step_transpose_yx(
+            ctx, state.get("ybrick_yfw"), key=(unit_key, "tyx", my_band),
+            thread=worker.thread_index,
+        )
+        ctx.release(state.pop("ybrick_fw", None))
+
+    def pencil_vofr_body(worker):
+        state["xbrick_v"] = yield from step_pencil_vofr(
+            ctx, state.get("xbrick_xfw"), thread=worker.thread_index
+        )
+
+    def tyx_bw_body(worker):
+        state["ybrick_bw"] = yield from step_transpose_yx(
+            ctx, state.get("xbrick_xbw"), key=(unit_key, "txy", my_band),
+            thread=worker.thread_index, inverse=True,
+        )
+        ctx.release(state.pop("xbrick_fw", None))
+
+    def tzy_bw_body(worker):
+        state["group_s"] = yield from step_transpose_zy(
+            ctx, state.get("ybrick_ybw"), key=(unit_key, "tyz", my_band),
+            thread=worker.thread_index, inverse=True,
+        )
+        ctx.release(state.pop("ybrick_bw", None))
+
+    def fft_brick_transform(src, dst, sign):
+        def run():
+            brick = state.get(src)
+            if brick is None or not ctx.data_mode:
+                state[dst] = brick
+            else:
+                n = brick.shape[-1]
+                out = np.empty(brick.shape, dtype=np.complex128)
+                ctx.kernels.cft_1z(
+                    brick.reshape(-1, n), sign, out=out.reshape(-1, n)
+                )
+                state[dst] = out
+
+        return run
+
     nst = ctx.layout.nst_group(ctx.r)
     npp = ctx.layout.npp(ctx.r)
 
     single("prepare", prepare_body)
     single("pack", pack_body)
     chunked("fft_z_fw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform("group_g", "group_zfw", +1))
-    single("scatter_fw", scatter_fw_body)
-    chunked("fft_xy_fw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_fw", "planes_xyfw", +1))
-    single("vofr", vofr_body)
-    chunked("fft_xy_bw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_v", "planes_xybw", -1))
-    single("scatter_bw", scatter_bw_body)
+    if ctx.layout.decomposition == "pencil":
+        grid = ctx.layout.pencil
+        i, j = grid.coords(ctx.r)
+        y_rows = grid.nx(i) * grid.nz(j)
+        x_rows = grid.ny(i) * grid.nz(j)
+        single("transpose_zy", tzy_fw_body)
+        chunked("fft_y_fw", "fft_z", ctx.cost.fft_y(ctx.r), y_rows, grainsize_z, fft_brick_transform("ybrick_fw", "ybrick_yfw", +1))
+        single("transpose_yx", tyx_fw_body)
+        chunked("fft_x_fw", "fft_z", ctx.cost.fft_x(ctx.r), x_rows, grainsize_z, fft_brick_transform("xbrick_fw", "xbrick_xfw", +1))
+        single("vofr", pencil_vofr_body)
+        chunked("fft_x_bw", "fft_z", ctx.cost.fft_x(ctx.r), x_rows, grainsize_z, fft_brick_transform("xbrick_v", "xbrick_xbw", -1))
+        single("transpose_xy", tyx_bw_body)
+        chunked("fft_y_bw", "fft_z", ctx.cost.fft_y(ctx.r), y_rows, grainsize_z, fft_brick_transform("ybrick_bw", "ybrick_ybw", -1))
+        single("transpose_yz", tzy_bw_body)
+    else:
+        single("scatter_fw", scatter_fw_body)
+        chunked("fft_xy_fw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_fw", "planes_xyfw", +1))
+        single("vofr", vofr_body)
+        chunked("fft_xy_bw", "fft_xy", ctx.cost.fft_xy(ctx.r), npp, grainsize_xy, fft_xy_transform("planes_v", "planes_xybw", -1))
+        single("scatter_bw", scatter_bw_body)
     chunked("fft_z_bw", "fft_z", ctx.cost.fft_z(ctx.r), nst, grainsize_z, fft_z_transform("group_s", "group_zbw", -1))
     unpack_task = single("unpack", unpack_body)
     unpack_task.done.add_callback(

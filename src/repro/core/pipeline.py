@@ -30,6 +30,7 @@ import typing as _t
 import numpy as np
 
 from repro.core import pack as pack_mod
+from repro.core import redistribute as redist_mod
 from repro.core import scatter as scatter_mod
 from repro.core import wave as wave_mod
 from repro.core.vofr import apply_potential
@@ -42,7 +43,13 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
     from repro.mpisim.world import RankContext
 
-__all__ = ["CostConstants", "CostModel", "FftPhaseContext", "band_chain_steps"]
+__all__ = [
+    "CostConstants",
+    "CostModel",
+    "FftPhaseContext",
+    "band_chain_steps",
+    "pencil_middle_steps",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -137,6 +144,60 @@ class CostModel:
         """Coefficient extraction for one band on process ``p``."""
         return self.c.unpack_per_g * self.layout.ngw_of(p)
 
+    # -- pencil-decomposition budgets (see repro.grids.pencil) ----------------
+
+    def _pencil(self):
+        grid = self.layout.pencil
+        if grid is None:
+            raise ValueError("pencil costs need a pencil-decomposed layout")
+        return grid
+
+    def pencil_zy_marshal(self, r: int) -> float:
+        """Brick re-slicing around the row-internal z->y transpose, plus the
+        MPI-stack work of its Alltoallw messages (Pc - 1 peers)."""
+        grid = self._pencil()
+        i, j = grid.coords(r)
+        desc = self.layout.desc
+        send_points = self.layout.nst_group(r) * desc.nr3
+        recv_points = grid.nx(i) * grid.nz(j) * desc.nr2
+        stack = self.c.instr_per_message * max(grid.Pc - 1, 0)
+        return self.c.scatter_per_point * (send_points + recv_points) + stack
+
+    def pencil_yx_marshal(self, r: int) -> float:
+        """Brick re-slicing around the column-internal y->x transpose
+        (Pr - 1 peers)."""
+        grid = self._pencil()
+        i, j = grid.coords(r)
+        desc = self.layout.desc
+        y_points = grid.nx(i) * grid.nz(j) * desc.nr2
+        x_points = grid.ny(i) * grid.nz(j) * desc.nr1
+        stack = self.c.instr_per_message * max(grid.Pr - 1, 0)
+        return self.c.scatter_per_point * (y_points + x_points) + stack
+
+    def fft_y(self, r: int) -> float:
+        """Batched 1D y-transforms of rank ``r``'s y-brick (one band)."""
+        grid = self._pencil()
+        i, j = grid.coords(r)
+        nr2 = self.layout.desc.nr2
+        flops = 5.0 * grid.nx(i) * grid.nz(j) * nr2 * self._log_n2
+        return self.c.fft_instr_per_flop * flops
+
+    def fft_x(self, r: int) -> float:
+        """Batched 1D x-transforms of rank ``r``'s x-brick (one band)."""
+        grid = self._pencil()
+        i, j = grid.coords(r)
+        nr1 = self.layout.desc.nr1
+        flops = 5.0 * grid.ny(i) * grid.nz(j) * nr1 * self._log_n1
+        return self.c.fft_instr_per_flop * flops
+
+    def pencil_vofr(self, r: int) -> float:
+        """Pointwise potential application on rank ``r``'s x-brick (one band)."""
+        grid = self._pencil()
+        i, j = grid.coords(r)
+        return (
+            self.c.vofr_per_point * grid.ny(i) * grid.nz(j) * self.layout.desc.nr1
+        )
+
 
 class FftPhaseContext:
     """Everything one rank's executor needs to run pipeline steps.
@@ -171,6 +232,16 @@ class FftPhaseContext:
         ``RunConfig.fft_backend`` / ``kernel_workers`` take effect.  When
         ``None`` the process-wide single-threaded default-backend engine is
         used.
+    row_comm / col_comm:
+        The pencil transpose communicators (row-internal z<->y over Pc
+        ranks, column-internal y<->x over Pr ranks); ``None`` for the slab
+        decomposition.  In pencil mode ``v_slab`` holds the x-brick
+        potential block instead of the plane slab.
+    redistribution:
+        ``"packfree"`` routes every exchange through the Alltoallw block
+        plans of :mod:`~repro.core.redistribute` (zero staging copies);
+        ``"packed"`` keeps the legacy staged marshalling.  Identical
+        results and identical simulated timings either way.
     """
 
     def __init__(
@@ -184,6 +255,9 @@ class FftPhaseContext:
         v_slab: np.ndarray | None,
         workspace=None,
         kernels=None,
+        row_comm: "Communicator | None" = None,
+        col_comm: "Communicator | None" = None,
+        redistribution: str = "packfree",
     ):
         self.rank = rank
         self.layout = layout
@@ -196,6 +270,14 @@ class FftPhaseContext:
         if kernels is None:
             kernels = default_engine()
         self.kernels = kernels
+        self.row_comm = row_comm
+        self.col_comm = col_comm
+        if redistribution not in ("packed", "packfree"):
+            raise ValueError(f"unknown redistribution {redistribution!r}")
+        self.redistribution = redistribution
+        #: Staging (pack/unpack) buffer passes performed by this rank's
+        #: exchanges, data mode only — pinned to zero on the pack-free path.
+        self.pack_copies = 0
         self.results: dict[int, np.ndarray] = {}
         #: Bands whose full chain finished on this rank (filled by the
         #: unpack step, both modes) — the driver's checkpoint granularity.
@@ -240,6 +322,23 @@ class FftPhaseContext:
         if self.workspace is not None:
             self.workspace.release(*buffers)
 
+    def recv_buffer(self, kind: str, plan) -> np.ndarray | None:
+        """The receive buffer of a pack-free exchange plan (``None`` in meta
+        mode).  Zero-filled when the plan's incoming blocks cover the buffer
+        only sparsely; otherwise left uninitialized (fully overwritten)."""
+        if not self.data_mode:
+            return None
+        buf = self.acquire(kind, plan.recv_shape)
+        if buf is None:
+            return (
+                np.zeros(plan.recv_shape, dtype=np.complex128)
+                if plan.zero_fill
+                else np.empty(plan.recv_shape, dtype=np.complex128)
+            )
+        if plan.zero_fill:
+            buf.fill(0)
+        return buf
+
 
 # ---------------------------------------------------------------------------
 # Step generators.  Each yields compute/MPI events on the given hardware
@@ -283,11 +382,24 @@ def step_pack(ctx: FftPhaseContext, band_coeffs: list | None, key: object, threa
             "stick_block", (len(layout.sticks_of(ctx.p)), layout.desc.nr3)
         )
         return wave_mod.expand_to_sticks(layout, ctx.p, band_coeffs[0], out=out)
+    if ctx.redistribution == "packfree":
+        plan = redist_mod.pack_fw_plan(layout, ctx.p, ctx.data_mode)
+        sendbuf = None
+        if band_coeffs is not None:
+            sendbuf = np.ascontiguousarray(band_coeffs)
+        recvbuf = ctx.recv_buffer("stick_block", plan)
+        yield ctx.rank.alltoallw(
+            ctx.pack_comm, sendbuf, recvbuf,
+            plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+        )
+        yield ctx.rank.compute("pack_sticks", ctx.cost.pack_expand(ctx.r), thread=thread)
+        return recvbuf
     parts = pack_mod.pack_parts(layout, ctx.p, band_coeffs)
     received = yield ctx.rank.alltoall(ctx.pack_comm, parts, key=key, thread=thread)
     yield ctx.rank.compute("pack_sticks", ctx.cost.pack_expand(ctx.r), thread=thread)
     if any(isinstance(b, MetaPayload) for b in received):
         return None
+    ctx.pack_copies += 1
     out = ctx.acquire("stick_block", (layout.nst_group(ctx.r), layout.desc.nr3))
     return wave_mod.expand_group_block(
         layout, ctx.r, received, out=out, workspace=ctx.workspace
@@ -312,17 +424,29 @@ def step_fft_z(ctx: FftPhaseContext, group_block, sign: int, thread: int = 0):
 def step_scatter_fw(ctx: FftPhaseContext, group_block, key: object, thread: int = 0):
     """Forward scatter: sticks -> planes within the scatter group."""
     yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
+    if ctx.redistribution == "packfree":
+        plan = redist_mod.scatter_fw_plan(ctx.layout, ctx.r, ctx.data_mode)
+        recvbuf = ctx.recv_buffer("planes", plan)
+        sendbuf = None if group_block is None else np.ascontiguousarray(group_block)
+        yield ctx.rank.alltoallw(
+            ctx.scatter_comm, sendbuf, recvbuf,
+            plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+        )
+        # The resumed yield means the exchange executed (elements moved
+        # straight from the stick block into every peer's planes), so the
+        # block is free to recycle.
+        ctx.release(group_block)
+        return recvbuf
     parts = scatter_mod.scatter_fw_parts(ctx.layout, ctx.r, group_block)
     received = yield ctx.rank.alltoall(ctx.scatter_comm, parts, key=key, thread=thread)
     # The resumed yield means the collective executed and copied the send
     # views, so the stick block is free to recycle.
     ctx.release(group_block)
     desc = ctx.layout.desc
-    out = (
-        ctx.acquire("planes", (ctx.layout.npp(ctx.r), desc.nr1, desc.nr2))
-        if group_block is not None
-        else None
-    )
+    out = None
+    if group_block is not None:
+        ctx.pack_copies += 1
+        out = ctx.acquire("planes", (ctx.layout.npp(ctx.r), desc.nr1, desc.nr2))
     return scatter_mod.assemble_planes(
         ctx.layout, ctx.r, received, out=out, workspace=ctx.workspace
     )
@@ -350,8 +474,21 @@ def step_scatter_bw(ctx: FftPhaseContext, planes, key: object, thread: int = 0):
     """Backward scatter: planes -> sticks within the scatter group."""
     yield ctx.rank.compute("scatter_reorder", ctx.cost.scatter_marshal(ctx.r), thread=thread)
     layout = ctx.layout
+    if ctx.redistribution == "packfree":
+        plan = redist_mod.scatter_bw_plan(layout, ctx.r, ctx.data_mode)
+        recvbuf = ctx.recv_buffer("stick_block", plan)
+        # No-op for the common contiguous case; backends whose xy transform
+        # hands back a strided view get one normalizing copy here.
+        sendbuf = None if planes is None else np.ascontiguousarray(planes)
+        yield ctx.rank.alltoallw(
+            ctx.scatter_comm, sendbuf, recvbuf,
+            plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+        )
+        ctx.release(planes)
+        return recvbuf
     gather = None
     if planes is not None:
+        ctx.pack_copies += 1
         nsticks = int(layout.scatter_stick_offsets()[-1])
         gather = ctx.acquire("sbw_gather", (nsticks, layout.npp(ctx.r)))
     parts = scatter_mod.scatter_bw_parts(layout, ctx.r, planes, out=gather)
@@ -388,9 +525,34 @@ def step_unpack(
     """
     if ctx.pack_comm is not None:
         yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack_extract(ctx.r), thread=thread)
+        if ctx.redistribution == "packfree":
+            plan = redist_mod.pack_bw_plan(ctx.layout, ctx.p, ctx.data_mode)
+            # Fresh (non-arena) receive rows: the per-band results outlive
+            # the run, so they must not return to the buffer pool.
+            recvbuf = (
+                np.empty(plan.recv_shape, dtype=np.complex128)
+                if group_block is not None
+                else None
+            )
+            sendbuf = (
+                None if group_block is None else np.ascontiguousarray(group_block)
+            )
+            yield ctx.rank.alltoallw(
+                ctx.pack_comm, sendbuf, recvbuf,
+                plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+            )
+            ctx.release(group_block)
+            yield ctx.rank.compute("unpack_sticks", ctx.cost.unpack(ctx.p) * len(bands), thread=thread)
+            if mark_completed:
+                ctx.completed.update(bands)
+            if recvbuf is not None:
+                for t, band in enumerate(bands):
+                    ctx.results[band] = recvbuf[t]
+            return None
         gather = None
         member_coeffs = None
         if group_block is not None:
+            ctx.pack_copies += 1
             ngw_group = int(ctx.layout.group_coeff_offsets(ctx.r)[-1])
             gather = ctx.acquire("coeff_gather", (ngw_group,))
             member_coeffs = wave_mod.extract_group_coefficients(
@@ -421,6 +583,101 @@ def step_unpack(
     return None
 
 
+def step_transpose_zy(
+    ctx: FftPhaseContext, block, key: object, thread: int = 0, inverse: bool = False
+):
+    """Row-internal pencil transpose: z-stick block <-> y-brick (Pc ranks).
+
+    Forward consumes the stick block and yields the zero-filled
+    ``(nx_i, nz_j, nr2)`` y-brick; ``inverse=True`` swaps roles (the stick
+    block comes back fully covered).  Always pack-free (Alltoallw).
+    """
+    yield ctx.rank.compute(
+        "scatter_reorder", ctx.cost.pencil_zy_marshal(ctx.r), thread=thread
+    )
+    plan = redist_mod.pencil_zy_plan(ctx.layout, ctx.r, ctx.data_mode, inverse=inverse)
+    recvbuf = ctx.recv_buffer("stick_block" if inverse else "ybrick", plan)
+    sendbuf = None if block is None else np.ascontiguousarray(block)
+    yield ctx.rank.alltoallw(
+        ctx.row_comm, sendbuf, recvbuf,
+        plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+    )
+    ctx.release(block)
+    return recvbuf
+
+
+def step_transpose_yx(
+    ctx: FftPhaseContext, block, key: object, thread: int = 0, inverse: bool = False
+):
+    """Column-internal pencil transpose: y-brick <-> x-brick (Pr ranks)."""
+    yield ctx.rank.compute(
+        "scatter_reorder", ctx.cost.pencil_yx_marshal(ctx.r), thread=thread
+    )
+    plan = redist_mod.pencil_yx_plan(ctx.layout, ctx.r, ctx.data_mode, inverse=inverse)
+    recvbuf = ctx.recv_buffer("ybrick" if inverse else "xbrick", plan)
+    sendbuf = None if block is None else np.ascontiguousarray(block)
+    yield ctx.rank.alltoallw(
+        ctx.col_comm, sendbuf, recvbuf,
+        plan.send_blocks, plan.recv_blocks, key=key, thread=thread,
+    )
+    ctx.release(block)
+    return recvbuf
+
+
+def step_fft_pencil(
+    ctx: FftPhaseContext, brick, sign: int, axis: str, thread: int = 0
+):
+    """Batched 1D transforms along a pencil brick's last axis (y or x).
+
+    Bricks keep the transform axis contiguous and last, so the whole brick
+    is one ``(rows, n)`` batched 1D call — the same kernel the z stage uses.
+    Charged to the ``fft_z`` phase (same contention profile: batched 1D).
+    """
+    cost = ctx.cost.fft_y(ctx.r) if axis == "y" else ctx.cost.fft_x(ctx.r)
+    yield ctx.rank.compute("fft_z", cost, thread=thread)
+    if brick is None:
+        return None
+    kind = "ybrick" if axis == "y" else "xbrick"
+    out = ctx.acquire(kind, brick.shape)
+    if out is None:
+        out = np.empty(brick.shape, dtype=np.complex128)
+    n = brick.shape[-1]
+    ctx.kernels.cft_1z(brick.reshape(-1, n), sign, out=out.reshape(-1, n))
+    ctx.release(brick)
+    return out
+
+
+def step_pencil_vofr(ctx: FftPhaseContext, brick, thread: int = 0):
+    """Apply the potential on this rank's x-brick (``v_slab`` holds the
+    matching x-brick potential block in pencil mode)."""
+    yield ctx.rank.compute("vofr", ctx.cost.pencil_vofr(ctx.r), thread=thread)
+    if brick is None:
+        return None
+    return apply_potential(brick, ctx.v_slab)
+
+
+def pencil_middle_steps(
+    ctx: FftPhaseContext, group, my_band: int, key_prefix: object, thread: int = 0
+):
+    """The pencil replacement for the slab scatter/xy middle section.
+
+    Takes the z-transformed stick block, runs the two forward transposes
+    with the y/x 1D stages and VOFR, then the inverse transposes; returns
+    the stick block ready for the inverse z transform.  The z+y+x 1D chain
+    equals the slab z+xy 3D transform to roundoff.
+    """
+    brick = yield from step_transpose_zy(ctx, group, key=(key_prefix, "tzy", my_band), thread=thread)
+    brick = yield from step_fft_pencil(ctx, brick, +1, "y", thread)
+    xbrick = yield from step_transpose_yx(ctx, brick, key=(key_prefix, "tyx", my_band), thread=thread)
+    xbrick = yield from step_fft_pencil(ctx, xbrick, +1, "x", thread)
+    xbrick = yield from step_pencil_vofr(ctx, xbrick, thread)
+    xbrick = yield from step_fft_pencil(ctx, xbrick, -1, "x", thread)
+    brick = yield from step_transpose_yx(ctx, xbrick, key=(key_prefix, "txy", my_band), thread=thread, inverse=True)
+    brick = yield from step_fft_pencil(ctx, brick, -1, "y", thread)
+    group = yield from step_transpose_zy(ctx, brick, key=(key_prefix, "tyz", my_band), thread=thread, inverse=True)
+    return group
+
+
 def band_chain_steps(
     ctx: FftPhaseContext,
     bands: _t.Sequence[int],
@@ -432,7 +689,9 @@ def band_chain_steps(
 
     ``bands`` are the complex bands of this iteration in task-group order
     (``bands[t]`` is handled by pack-group member ``t``); this rank carries
-    ``bands[ctx.t]`` through the z/scatter/xy middle section.
+    ``bands[ctx.t]`` through the z/scatter/xy middle section — or, in
+    pencil mode, through the transpose_zy/fft_y/transpose_yx/fft_x middle
+    (:func:`pencil_middle_steps`).
     """
     if len(bands) != ctx.layout.T:
         raise ValueError(f"band group must have T={ctx.layout.T} entries, got {len(bands)}")
@@ -440,11 +699,14 @@ def band_chain_steps(
     blocks = yield from step_prepare(ctx, bands, thread)
     group = yield from step_pack(ctx, blocks, key=(key_prefix, "pack"), thread=thread)
     group = yield from step_fft_z(ctx, group, +1, thread)
-    planes = yield from step_scatter_fw(ctx, group, key=(key_prefix, "sfw", my_band), thread=thread)
-    planes = yield from step_fft_xy(ctx, planes, +1, thread)
-    planes = yield from step_vofr(ctx, planes, thread)
-    planes = yield from step_fft_xy(ctx, planes, -1, thread)
-    group = yield from step_scatter_bw(ctx, planes, key=(key_prefix, "sbw", my_band), thread=thread)
+    if ctx.layout.decomposition == "pencil":
+        group = yield from pencil_middle_steps(ctx, group, my_band, key_prefix, thread)
+    else:
+        planes = yield from step_scatter_fw(ctx, group, key=(key_prefix, "sfw", my_band), thread=thread)
+        planes = yield from step_fft_xy(ctx, planes, +1, thread)
+        planes = yield from step_vofr(ctx, planes, thread)
+        planes = yield from step_fft_xy(ctx, planes, -1, thread)
+        group = yield from step_scatter_bw(ctx, planes, key=(key_prefix, "sbw", my_band), thread=thread)
     group = yield from step_fft_z(ctx, group, -1, thread)
     yield from step_unpack(
         ctx,

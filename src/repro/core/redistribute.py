@@ -1,0 +1,315 @@
+"""Pack-free redistribution plans: Alltoallw block descriptors per layout.
+
+The legacy data plane marshals every exchange through staging buffers —
+per-peer slab extraction, a packed Alltoall, then an assembly pass on the
+receive side.  The plans here describe the *same* exchanges as per-peer
+:class:`~repro.mpisim.datatypes.BlockType` descriptors into the flat source
+and destination buffers, so the simulated ``MPI_Alltoallw`` moves each
+element exactly once, straight from its source view into its destination
+slot.  Steady-state slab traffic then performs **zero** pack/unpack copies
+(the ``dataplane.pack_copies`` counter pins this).
+
+Descriptor volumes are arranged to equal the legacy packed part sizes
+byte-for-byte, and the simulated collective prices per-peer bytes the same
+way for both ops — so switching a run between ``redistribution="packed"``
+and ``"packfree"`` changes *host* work only, never the simulated timeline.
+
+Four slab plans (forward/backward of each MPI layer) and two pencil
+transposes (plus inverses) cover the data plane:
+
+* ``pack_fw`` / ``pack_bw`` — the task-group pack/unpack Alltoallv
+  (T members): contiguous coefficient rows <-> scattered (stick, z) slots
+  of the group stick block via the layout's cached flat index maps.
+* ``scatter_fw`` / ``scatter_bw`` — the slab scatter (R members): z-ranges
+  of stick columns (strided) <-> stick positions inside xy planes
+  (indexed).
+* ``pencil_zy`` / ``pencil_yx`` and inverses — the two pencil transposes
+  (row-internal over Pc ranks, column-internal over Pr ranks); an inverse
+  plan is its forward plan with send/recv roles swapped.
+
+Plans are built once per (layout, endpoint, mode) and cached on the layout
+(like the workspace arenas), so descriptor construction never rides the
+steady-state path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.grids.descriptor import DistributedLayout
+from repro.mpisim.datatypes import BlockType
+
+__all__ = [
+    "ExchangePlan",
+    "pack_fw_plan",
+    "pack_bw_plan",
+    "scatter_fw_plan",
+    "scatter_bw_plan",
+    "pencil_zy_plan",
+    "pencil_yx_plan",
+]
+
+_LOCK = threading.Lock()
+_PLAN_ATTR = "_redistribute_plans"
+
+
+class ExchangePlan:
+    """One endpoint's half of an Alltoallw exchange.
+
+    ``send_blocks[j]`` / ``recv_blocks[j]`` index this endpoint's flat send
+    and receive buffers for communicator-local peer ``j``.  ``recv_shape``
+    is the receive buffer to allocate; ``zero_fill`` says whether its
+    untouched slots are semantically zero (sparse stick coverage) or the
+    incoming blocks cover it completely.
+    """
+
+    __slots__ = ("send_blocks", "recv_blocks", "recv_shape", "zero_fill")
+
+    def __init__(self, send_blocks, recv_blocks, recv_shape, zero_fill):
+        self.send_blocks = list(send_blocks)
+        self.recv_blocks = list(recv_blocks)
+        self.recv_shape = tuple(int(n) for n in recv_shape)
+        self.zero_fill = bool(zero_fill)
+
+    def swapped(self, recv_shape, zero_fill) -> "ExchangePlan":
+        """The inverse exchange: send what was received, receive what was sent."""
+        return ExchangePlan(self.recv_blocks, self.send_blocks, recv_shape, zero_fill)
+
+
+def _cache(layout: DistributedLayout) -> dict:
+    cache = getattr(layout, _PLAN_ATTR, None)
+    if cache is None:
+        with _LOCK:
+            cache = getattr(layout, _PLAN_ATTR, None)
+            if cache is None:
+                cache = {}
+                setattr(layout, _PLAN_ATTR, cache)
+    return cache
+
+
+def _cached(layout: DistributedLayout, key: tuple, build):
+    cache = _cache(layout)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build()
+        cache[key] = plan
+    return plan
+
+
+# -- pack layer (T members; peers are task-group indices) ---------------------
+
+
+def pack_fw_plan(layout: DistributedLayout, p: int, data_mode: bool) -> ExchangePlan:
+    """Pack Alltoallv of process ``p``: band rows -> group stick block.
+
+    Send side is the ``(T, ngw_of(p))`` contiguous band-row block from
+    ``prepare``; row ``t'`` goes whole to member ``t'``.  Receive side is
+    the zero-filled ``(nst_group(r), nr3)`` group stick block; member
+    ``t''``'s coefficients land at its segment of the cached group flat
+    index map — the scatter-write ``expand_group_block`` used to stage.
+    """
+    return _cached(layout, ("pack_fw", p, data_mode), lambda: _build_pack(layout, p, data_mode))
+
+
+def pack_bw_plan(layout: DistributedLayout, p: int, data_mode: bool) -> ExchangePlan:
+    """Unpack Alltoallv: group stick block -> per-band coefficient rows."""
+
+    def build() -> ExchangePlan:
+        fw = pack_fw_plan(layout, p, data_mode)
+        return fw.swapped((layout.T, layout.ngw_of(p)), zero_fill=False)
+
+    return _cached(layout, ("pack_bw", p, data_mode), build)
+
+
+def _build_pack(layout: DistributedLayout, p: int, data_mode: bool) -> ExchangePlan:
+    r, _t_own = layout.rt_of(p)
+    T = layout.T
+    ngw_p = layout.ngw_of(p)
+    recv_shape = (layout.nst_group(r), layout.desc.nr3)
+    if not data_mode:
+        send = [BlockType.meta(ngw_p) for _ in range(T)]
+        recv = [
+            BlockType.meta(layout.ngw_of(layout.proc_of(r, t))) for t in range(T)
+        ]
+        return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+    send = [BlockType.strided(t * ngw_p, 1, ngw_p, max(ngw_p, 1)) for t in range(T)]
+    offsets = layout.group_coeff_offsets(r)
+    flat = layout.group_flat_index(r)
+    recv = [
+        BlockType.indexed(flat[int(offsets[t]) : int(offsets[t + 1])])
+        for t in range(T)
+    ]
+    return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+
+
+# -- slab scatter layer (R members; peers are scatter ranks) ------------------
+
+
+def scatter_fw_plan(layout: DistributedLayout, r: int, data_mode: bool) -> ExchangePlan:
+    """Forward slab scatter of rank ``r``: stick block -> xy planes.
+
+    Sends peer ``j`` the z-range ``z_slice(j)`` of every group stick
+    (strided over the ``(nst_group(r), nr3)`` block); receives peer ``j``'s
+    sticks at their (ix, iy) plane positions for every owned plane
+    (indexed into the zero-filled ``(npp(r), nr1, nr2)`` planes).
+    """
+    return _cached(
+        layout, ("scatter_fw", r, data_mode), lambda: _build_scatter(layout, r, data_mode)
+    )
+
+
+def scatter_bw_plan(layout: DistributedLayout, r: int, data_mode: bool) -> ExchangePlan:
+    """Backward slab scatter: xy planes -> stick block (full z coverage)."""
+
+    def build() -> ExchangePlan:
+        fw = scatter_fw_plan(layout, r, data_mode)
+        return fw.swapped(
+            (layout.nst_group(r), layout.desc.nr3), zero_fill=False
+        )
+
+    return _cached(layout, ("scatter_bw", r, data_mode), build)
+
+
+def _build_scatter(layout: DistributedLayout, r: int, data_mode: bool) -> ExchangePlan:
+    desc = layout.desc
+    R = layout.R
+    npp_r = layout.npp(r)
+    recv_shape = (npp_r, desc.nr1, desc.nr2)
+    if not data_mode:
+        send = [
+            BlockType.meta(layout.nst_group(r) * layout.npp(j)) for j in range(R)
+        ]
+        recv = [
+            BlockType.meta(layout.nst_group(j) * npp_r) for j in range(R)
+        ]
+        return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+    send = [
+        BlockType.strided(layout.z_offset(j), layout.nst_group(r), layout.npp(j), desc.nr3)
+        for j in range(R)
+    ]
+    offsets = layout.scatter_stick_offsets()
+    plane_pos = layout.scatter_plane_index()
+    z_steps = np.arange(npp_r, dtype=np.intp) * (desc.nr1 * desc.nr2)
+    recv = []
+    for j in range(R):
+        pos = plane_pos[int(offsets[j]) : int(offsets[j + 1])].astype(np.intp)
+        recv.append(BlockType.indexed((pos[:, None] + z_steps[None, :]).reshape(-1)))
+    return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+
+
+# -- pencil transposes (row / column internal) --------------------------------
+
+
+def pencil_zy_plan(
+    layout: DistributedLayout, r: int, data_mode: bool, inverse: bool = False
+) -> ExchangePlan:
+    """Row-internal transpose of rank ``r = (i, j)``: z-sticks <-> y-brick.
+
+    Forward sends row peer ``(i, j')`` the ``Z_{j'}`` z-range of every
+    group stick and receives each peer's sticks at their ``(ix - xlo, *,
+    iy)`` positions of the zero-filled ``(nx_i, nz_j, nr2)`` y-brick.
+    The inverse swaps roles; its strided receive covers the stick block's
+    full z extent, so no zero fill.
+    """
+
+    def build() -> ExchangePlan:
+        fw = _cached(
+            layout,
+            ("pencil_zy", r, data_mode),
+            lambda: _build_pencil_zy(layout, r, data_mode),
+        )
+        if not inverse:
+            return fw
+        return fw.swapped((layout.nst_group(r), layout.desc.nr3), zero_fill=False)
+
+    return _cached(layout, ("pencil_zy", r, data_mode, inverse), build)
+
+
+def pencil_yx_plan(
+    layout: DistributedLayout, r: int, data_mode: bool, inverse: bool = False
+) -> ExchangePlan:
+    """Column-internal transpose of rank ``r = (i, j)``: y-brick <-> x-brick.
+
+    Both directions are dense (every brick slot carries data), so neither
+    receive buffer needs zero fill.
+    """
+
+    def build() -> ExchangePlan:
+        fw = _cached(
+            layout,
+            ("pencil_yx", r, data_mode),
+            lambda: _build_pencil_yx(layout, r, data_mode),
+        )
+        if not inverse:
+            return fw
+        grid = layout.pencil
+        assert grid is not None
+        i, j = grid.coords(r)
+        return fw.swapped((grid.nx(i), grid.nz(j), layout.desc.nr2), zero_fill=False)
+
+    return _cached(layout, ("pencil_yx", r, data_mode, inverse), build)
+
+
+def _pencil_grid(layout: DistributedLayout):
+    grid = layout.pencil
+    if grid is None:
+        raise ValueError("pencil plans need a pencil-decomposed layout")
+    return grid
+
+
+def _build_pencil_zy(layout: DistributedLayout, r: int, data_mode: bool) -> ExchangePlan:
+    grid = _pencil_grid(layout)
+    desc = layout.desc
+    i, j = grid.coords(r)
+    nst_r = layout.nst_group(r)
+    nzj = grid.nz(j)
+    recv_shape = (grid.nx(i), nzj, desc.nr2)
+    if not data_mode:
+        send = [BlockType.meta(nst_r * grid.nz(jj)) for jj in range(grid.Pc)]
+        recv = [
+            BlockType.meta(layout.nst_group(grid.rank_of(i, jj)) * nzj)
+            for jj in range(grid.Pc)
+        ]
+        return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+    send = [
+        BlockType.strided(grid.z_span(jj)[0], nst_r, grid.nz(jj), desc.nr3)
+        for jj in range(grid.Pc)
+    ]
+    xlo, _xhi = grid.x_span(i)
+    z_steps = np.arange(nzj, dtype=np.intp) * desc.nr2
+    recv = []
+    for jj in range(grid.Pc):
+        coords = layout.stick_coords(layout.group_sticks(grid.rank_of(i, jj)))
+        base = ((coords[:, 0] - xlo) * (nzj * desc.nr2) + coords[:, 1]).astype(np.intp)
+        recv.append(BlockType.indexed((base[:, None] + z_steps[None, :]).reshape(-1)))
+    return ExchangePlan(send, recv, recv_shape, zero_fill=True)
+
+
+def _build_pencil_yx(layout: DistributedLayout, r: int, data_mode: bool) -> ExchangePlan:
+    grid = _pencil_grid(layout)
+    desc = layout.desc
+    i, j = grid.coords(r)
+    nxi, nzj, nyi = grid.nx(i), grid.nz(j), grid.ny(i)
+    recv_shape = (nyi, nzj, desc.nr1)
+    if not data_mode:
+        send = [BlockType.meta(nxi * nzj * grid.ny(ii)) for ii in range(grid.Pr)]
+        recv = [BlockType.meta(grid.nx(ii) * nzj * nyi) for ii in range(grid.Pr)]
+        return ExchangePlan(send, recv, recv_shape, zero_fill=False)
+    send = [
+        BlockType.strided(grid.y_span(ii)[0], nxi * nzj, grid.ny(ii), desc.nr2)
+        for ii in range(grid.Pr)
+    ]
+    # Receive order matches the sender's (x, z, y) item order: peer ii's
+    # global x-columns land at x-brick flat slots ((yy * nzj) + zz) * nr1 + x.
+    yz = (
+        np.arange(nyi, dtype=np.intp)[None, None, :] * nzj
+        + np.arange(nzj, dtype=np.intp)[None, :, None]
+    ) * desc.nr1
+    recv = []
+    for ii in range(grid.Pr):
+        xlo_p, xhi_p = grid.x_span(ii)
+        idx = yz + np.arange(xlo_p, xhi_p, dtype=np.intp)[:, None, None]
+        recv.append(BlockType.indexed(idx.reshape(-1)))
+    return ExchangePlan(send, recv, recv_shape, zero_fill=False)

@@ -28,6 +28,7 @@ __all__ = [
     "expand_group_block",
     "extract_group_coefficients",
     "potential_slab",
+    "potential_block",
 ]
 
 
@@ -186,3 +187,22 @@ def potential_slab(layout: DistributedLayout, r: int, potential: np.ndarray) -> 
     if potential.shape != expected:
         raise ValueError(f"potential shape {potential.shape}; expected {expected}")
     return potential[layout.z_slice(r)]
+
+
+def potential_block(layout: DistributedLayout, r: int, potential: np.ndarray) -> np.ndarray:
+    """Pencil rank ``r``'s x-brick view of the potential ``V[iz, ix, iy]``.
+
+    The pencil pipeline applies VOFR on the x-brick ``(ny_i, nz_j, nr1)``
+    (full x-lines for ``iy in Y_i``, ``iz in Z_j``); this restricts and
+    transposes the potential to match that brick layout exactly.
+    """
+    grid = layout.pencil
+    if grid is None:
+        raise ValueError("potential_block needs a pencil-decomposed layout")
+    expected = (layout.desc.nr3, layout.desc.nr1, layout.desc.nr2)
+    if potential.shape != expected:
+        raise ValueError(f"potential shape {potential.shape}; expected {expected}")
+    i, j = grid.coords(r)
+    zlo, zhi = grid.z_span(j)
+    ylo, yhi = grid.y_span(i)
+    return np.ascontiguousarray(potential[zlo:zhi, :, ylo:yhi].transpose(2, 0, 1))

@@ -34,6 +34,17 @@ VARIANTS: tuple[tuple[str, str, bool | None], ...] = (
     ("combined (ts)", "ompss_perfft", True),
 )
 
+#: Data-plane comparison: decomposition x redistribution on the original
+#: executor.  "slab packfree" is the executor variants' default above; the
+#: packed twin isolates the staging-copy cost (identical simulated network
+#: traffic by construction) and the pencil rows probe the Pr x Pc grid whose
+#: row/col transposes keep more traffic intra-node at scale.
+DATAPLANE_VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("slab packed", {"redistribution": "packed"}),
+    ("slab packfree", {"redistribution": "packfree"}),
+    ("pencil packfree", {"decomposition": "pencil"}),
+)
+
 
 def reduce_multinode(task, result, ideal, trace) -> dict:
     """Runtime, inter-node fabric traffic and POP factors of one cluster run."""
@@ -59,11 +70,31 @@ def run_multinode(
         for n in nodes
         for label, version, switching in VARIANTS
     ]
+    tasks += [
+        SweepTask(
+            key=f"nodes={n},dataplane={label}",
+            config=paper_config(
+                8 * n, "original", n_nodes=n, **{**extra, **overrides}
+            ),
+            reducer="repro.experiments.multinode:reduce_multinode",
+        )
+        for n in nodes
+        for label, extra in DATAPLANE_VARIANTS
+    ]
     summaries = sweep_summaries(tasks, jobs=jobs)
     runtimes: dict[str, dict[int, float]] = {label: {} for label, _v, _t2 in VARIANTS}
     inter_bytes: dict[int, float] = {}
     efficiency: dict[str, dict[int, dict | None]] = {
         label: {} for label, _v, _t2 in VARIANTS
+    }
+    dp_runtimes: dict[str, dict[int, float]] = {
+        label: {} for label, _e in DATAPLANE_VARIANTS
+    }
+    dp_efficiency: dict[str, dict[int, dict | None]] = {
+        label: {} for label, _e in DATAPLANE_VARIANTS
+    }
+    dp_inter_bytes: dict[str, dict[int, float]] = {
+        label: {} for label, _e in DATAPLANE_VARIANTS
     }
     for n in nodes:
         for label, _version, _switching in VARIANTS:
@@ -71,6 +102,11 @@ def run_multinode(
             runtimes[label][n] = summary["phase_time_s"]
             inter_bytes[n] = summary["inter_bytes"]
             efficiency[label][n] = summary.get("efficiency")
+        for label, _extra in DATAPLANE_VARIANTS:
+            summary = summaries[f"nodes={n},dataplane={label}"]
+            dp_runtimes[label][n] = summary["phase_time_s"]
+            dp_efficiency[label][n] = summary.get("efficiency")
+            dp_inter_bytes[label][n] = summary["inter_bytes"]
 
     speedups = {
         label: {
@@ -112,7 +148,16 @@ def run_multinode(
     lines += [
         "paper §IV: Opt 1 (overlap) targets communication-dominated scales;",
         "Opt 2 (de-sync) targets compute-dominated ones — watch the crossover.",
+        "",
+        "data plane (original executor, decomposition x redistribution):",
     ]
+    for label, per_node in dp_runtimes.items():
+        cells = []
+        for n in nodes:
+            eff = dp_efficiency[label][n]
+            pe = f" PE {eff['parallel_efficiency']:.3f}" if eff else ""
+            cells.append(f"{n}n: {per_node[n] * 1e3:.2f} ms{pe}")
+        lines.append(f"  {label:<16} " + "  ".join(cells))
     return ExperimentReport(
         name="multinode",
         data={
@@ -120,6 +165,11 @@ def run_multinode(
             "speedups": speedups,
             "inter_bytes": inter_bytes,
             "efficiency": efficiency,
+            "dataplane": {
+                "runtime_s": dp_runtimes,
+                "efficiency": dp_efficiency,
+                "inter_bytes": dp_inter_bytes,
+            },
         },
         text="\n".join(lines),
     )

@@ -21,6 +21,7 @@ balancing at all (paper §II.A).
 from repro.grids.lattice import Cell
 from repro.grids.gvectors import GSphere, build_sphere, grid_dimensions
 from repro.grids.sticks import StickMap, distribute_sticks
+from repro.grids.pencil import PencilGrid, factor_grid, partition_spans
 from repro.grids.descriptor import DistributedLayout, FftDescriptor
 
 __all__ = [
@@ -30,6 +31,9 @@ __all__ = [
     "grid_dimensions",
     "StickMap",
     "distribute_sticks",
+    "PencilGrid",
+    "factor_grid",
+    "partition_spans",
     "FftDescriptor",
     "DistributedLayout",
 ]

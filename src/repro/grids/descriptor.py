@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.grids.gvectors import GSphere, build_sphere, grid_dimensions
 from repro.grids.lattice import Cell
+from repro.grids.pencil import PencilGrid
 from repro.grids.sticks import StickMap, distribute_sticks
 
 __all__ = ["FftDescriptor", "DistributedLayout"]
@@ -82,20 +83,53 @@ class FftDescriptor:
 
 
 class DistributedLayout:
-    """Ownership bookkeeping of a descriptor over an R x T process grid."""
+    """Ownership bookkeeping of a descriptor over an R x T process grid.
 
-    def __init__(self, desc: FftDescriptor, n_scatter: int, n_groups: int):
+    ``decomposition`` selects how real space is split over the R scatter
+    ranks of each task group: ``"slab"`` (the paper's z-plane scheme) or
+    ``"pencil"`` (a ``Pr x Pc`` grid; sticks constrained to per-row
+    x-ranges so the two pencil transposes stay row/column-internal, see
+    :mod:`repro.grids.pencil`).
+    """
+
+    def __init__(
+        self,
+        desc: FftDescriptor,
+        n_scatter: int,
+        n_groups: int,
+        decomposition: str = "slab",
+    ):
         if n_scatter < 1 or n_groups < 1:
             raise ValueError(
                 f"process grid must be positive, got R={n_scatter}, T={n_groups}"
+            )
+        if decomposition not in ("slab", "pencil"):
+            raise ValueError(
+                f"decomposition must be 'slab' or 'pencil', got {decomposition!r}"
             )
         self.desc = desc
         self.R = n_scatter
         self.T = n_groups
         self.P = n_scatter * n_groups
+        self.decomposition = decomposition
+
+        #: Pencil grid geometry (``None`` for the slab scheme).
+        self.pencil: PencilGrid | None = None
 
         #: Global stick -> owning process.
-        self.stick_owner = distribute_sticks(desc.sticks.counts, self.P)
+        if decomposition == "pencil":
+            self.pencil = PencilGrid(
+                desc.grid_shape,
+                self.R,
+                x_weights=np.bincount(
+                    desc.sticks.coords[:, 0],
+                    weights=desc.sticks.counts,
+                    minlength=desc.nr1,
+                ),
+            )
+            self.stick_owner = self._pencil_stick_owner(self.pencil)
+        else:
+            self.stick_owner = distribute_sticks(desc.sticks.counts, self.P)
 
         self._sticks_of = [
             np.flatnonzero(self.stick_owner == p) for p in range(self.P)
@@ -134,6 +168,33 @@ class DistributedLayout:
         self._group_flat: dict[int, np.ndarray] = {}
         self._scatter_stick_offsets: np.ndarray | None = None
         self._scatter_plane_flat: np.ndarray | None = None
+
+    def _pencil_stick_owner(self, grid: PencilGrid) -> np.ndarray:
+        """Stick ownership honoring the pencil rows' x-ranges.
+
+        Sticks with ``ix in X_i`` may only live on row ``i``'s ``Pc * T``
+        processes (so transpose_zy needs no traffic outside the row); the
+        same LPT G-balance as the slab scheme runs *within* each row.
+        """
+        desc = self.desc
+        coords = desc.sticks.coords
+        counts = desc.sticks.counts
+        owner = np.empty(desc.sticks.nsticks, dtype=np.int64)
+        for i in range(grid.Pr):
+            lo, hi = grid.x_span(i)
+            sticks_i = np.flatnonzero((coords[:, 0] >= lo) & (coords[:, 0] < hi))
+            procs_i = np.array(
+                [
+                    r * self.T + t
+                    for r in grid.row_ranks(i)
+                    for t in range(self.T)
+                ],
+                dtype=np.int64,
+            )
+            if len(sticks_i):
+                sub = distribute_sticks(counts[sticks_i], len(procs_i))
+                owner[sticks_i] = procs_i[sub]
+        return owner
 
     # -- process grid -------------------------------------------------------
 

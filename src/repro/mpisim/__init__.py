@@ -24,12 +24,14 @@ the cost model, letting large benchmark sweeps skip the memory traffic.
 """
 
 from repro.faults.injector import MpiLinkError, MpiTimeoutError
-from repro.mpisim.datatypes import MetaPayload, nbytes_of, payload_like
-from repro.mpisim.network import NetworkModel
+from repro.mpisim.datatypes import BlockType, MetaPayload, nbytes_of, payload_like
+from repro.mpisim.network import ClusterNetworkModel, NetworkModel
 from repro.mpisim.communicator import Communicator, MpiSimError
 from repro.mpisim.world import MpiRecord, MpiWorld, RankContext
 
 __all__ = [
+    "BlockType",
+    "ClusterNetworkModel",
     "MetaPayload",
     "nbytes_of",
     "payload_like",

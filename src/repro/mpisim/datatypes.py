@@ -20,7 +20,7 @@ import typing as _t
 
 import numpy as np
 
-__all__ = ["MetaPayload", "nbytes_of", "payload_like"]
+__all__ = ["BlockType", "MetaPayload", "nbytes_of", "payload_like"]
 
 
 class MetaPayload:
@@ -54,6 +54,120 @@ class MetaPayload:
 
     def __hash__(self) -> int:
         return hash((self.nbytes, self.count))
+
+
+class BlockType:
+    """A derived-datatype block descriptor into a rank's flat buffer.
+
+    The simulated analogue of an ``MPI_Datatype`` handed to
+    ``MPI_Alltoallw``: it names *which elements* of a flat send (or
+    receive) buffer one peer's share occupies, so the exchange can move
+    values directly between the two buffers with no intermediate packed
+    staging copy.  Three shapes cover every plan in the data plane:
+
+    * **strided** — ``count`` blocks of ``blocklen`` contiguous elements,
+      block *k* starting at ``offset + k * stride`` (an
+      ``MPI_Type_vector``).  This is the regular side of every transpose:
+      z-ranges of stick columns, y-ranges of brick rows.
+    * **indexed** — an explicit flat-index array (``MPI_Type_indexed``
+      with unit blocks).  The irregular side: scattered stick positions
+      inside a plane or pencil brick.  The index array may be supplied
+      lazily (a zero-argument callable) so plans built for meta-mode
+      sweeps never materialize it.
+    * **meta** — only the element count is known.  Enough for the cost
+      model; using it to move data raises.
+
+    ``itemsize`` prices the block for the network model (complex128 by
+    default, matching the pipeline's payloads).
+    """
+
+    __slots__ = ("offset", "count", "blocklen", "stride", "itemsize", "_indices")
+
+    def __init__(
+        self,
+        offset: int = 0,
+        count: int = 0,
+        blocklen: int = 1,
+        stride: int = 1,
+        itemsize: int = 16,
+        _indices=None,
+    ):
+        if count < 0 or blocklen < 0:
+            raise ValueError(
+                f"negative block geometry: count={count}, blocklen={blocklen}"
+            )
+        self.offset = int(offset)
+        self.count = int(count)
+        self.blocklen = int(blocklen)
+        self.stride = int(stride)
+        self.itemsize = int(itemsize)
+        self._indices = _indices
+
+    @classmethod
+    def strided(
+        cls, offset: int, count: int, blocklen: int, stride: int, itemsize: int = 16
+    ) -> "BlockType":
+        """``count`` blocks of ``blocklen`` elements, ``stride`` apart."""
+        return cls(offset, count, blocklen, stride, itemsize)
+
+    @classmethod
+    def indexed(cls, indices, itemsize: int = 16) -> "BlockType":
+        """Explicit flat indices (array, or a callable returning one)."""
+        if callable(indices):
+            return cls(0, 0, 1, 1, itemsize, _indices=indices)
+        idx = np.asarray(indices)
+        return cls(0, int(idx.size), 1, 1, itemsize, _indices=idx.reshape(-1))
+
+    @classmethod
+    def meta(cls, n_items: int, itemsize: int = 16) -> "BlockType":
+        """Size-only descriptor for meta-mode (cost accounting) runs."""
+        return cls(0, int(n_items), 1, 0, itemsize)
+
+    @property
+    def is_meta(self) -> bool:
+        return self._indices is None and self.stride == 0 and self.blocklen == 1
+
+    @property
+    def n_items(self) -> int:
+        """Number of elements the block covers."""
+        if self._indices is not None:
+            if callable(self._indices):
+                self._indices = np.asarray(self._indices()).reshape(-1)
+            self.count = int(self._indices.size)
+            return self.count
+        if self.is_meta:
+            return self.count
+        return self.count * self.blocklen
+
+    @property
+    def nbytes(self) -> float:
+        """Bytes the block injects into the transport."""
+        return float(self.n_items * self.itemsize)
+
+    def indices(self) -> np.ndarray:
+        """The (cached) flat element indices the block describes."""
+        if self._indices is not None:
+            if callable(self._indices):
+                self._indices = np.asarray(self._indices()).reshape(-1)
+            return self._indices
+        if self.is_meta:
+            raise ValueError("meta BlockType carries no element indices")
+        base = self.offset + np.arange(self.count, dtype=np.intp) * self.stride
+        self._indices = (
+            base[:, None] + np.arange(self.blocklen, dtype=np.intp)[None, :]
+        ).reshape(-1)
+        return self._indices
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._indices is not None:
+            n = "lazy" if callable(self._indices) else str(self._indices.size)
+            return f"BlockType(indexed, n={n})"
+        if self.is_meta:
+            return f"BlockType(meta, n={self.count})"
+        return (
+            f"BlockType(offset={self.offset}, count={self.count}, "
+            f"blocklen={self.blocklen}, stride={self.stride})"
+        )
 
 
 Payload = _t.Union[np.ndarray, MetaPayload]

@@ -358,6 +358,17 @@ class ClusterNetworkModel(NetworkModel):
     inter_capacity / inter_injection_bw / inter_latency:
         Fabric parameters (bisection bandwidth, per-node NIC bandwidth,
         per-message fabric latency).
+    link_capacity:
+        Optional per-directed-link bandwidth (B/s).  When set, every
+        ordered node pair gets its own fluid resource and inter-node
+        traffic must clear *both* the shared fabric (bisection) and its
+        link — hot node pairs contend with themselves before the fabric
+        saturates.  ``None`` (default) keeps the single-fabric model and
+        its timings bit-identical.
+
+    Per-link byte/message counters (:attr:`link_bytes`,
+    :attr:`link_messages`, :attr:`inter_messages`) are always on — they
+    feed the run manifest's ``internode`` section.
     """
 
     def __init__(
@@ -370,15 +381,20 @@ class ClusterNetworkModel(NetworkModel):
         inter_capacity: float,
         inter_injection_bw: float,
         inter_latency: float,
+        link_capacity: float | None = None,
     ):
         super().__init__(sim, capacity, injection_bw, latency)
         if inter_capacity <= 0 or inter_injection_bw <= 0:
             raise ValueError("inter-node bandwidths must be positive")
         if inter_latency < 0:
             raise ValueError(f"inter_latency must be >= 0, got {inter_latency}")
+        if link_capacity is not None and link_capacity <= 0:
+            raise ValueError(f"link_capacity must be positive, got {link_capacity}")
         self.node_of = node_of  # overrides the base's constant-0 mapping
         self.inter_latency = inter_latency
+        self.link_capacity = link_capacity
         self._node_resources: dict[int, FluidResource] = {}
+        self._link_resources: dict[tuple[int, int], FluidResource] = {}
         self._fabric = FluidResource(
             sim,
             RankAwareAllocator(inter_capacity, inter_injection_bw),
@@ -386,6 +402,13 @@ class ClusterNetworkModel(NetworkModel):
         )
         #: Bytes that crossed the fabric (diagnostics / tests).
         self.inter_bytes = 0.0
+        #: Fabric-crossing sender bursts (one per transfer_parts call that
+        #: had at least one off-node destination).
+        self.inter_messages = 0
+        #: Bytes per directed node pair ``(src_node, dst_node)``.
+        self.link_bytes: dict[tuple[int, int], float] = {}
+        #: Bursts per directed node pair.
+        self.link_messages: dict[tuple[int, int], int] = {}
 
     def _node_resource(self, node: int) -> FluidResource:
         res = self._node_resources.get(node)
@@ -407,19 +430,40 @@ class ClusterNetworkModel(NetworkModel):
             )
         return self._attempt_parts(src_rank, parts)
 
+    def _link_resource(self, src_node: int, dst_node: int) -> FluidResource:
+        key = (src_node, dst_node)
+        res = self._link_resources.get(key)
+        if res is None:
+            res = FluidResource(
+                self.sim,
+                RankAwareAllocator(self.link_capacity, self.injection_bw),
+                name=f"link{src_node}-{dst_node}",
+            )
+            self._link_resources[key] = res
+        return res
+
     def _attempt_parts(
         self, src_rank: object, parts: _t.Sequence[tuple[int, float]]
     ) -> Event:
         src_node = self.node_of(src_rank)
         intra = 0.0
         inter = 0.0
+        per_dst_node: dict[int, float] = {}
         for dst, nbytes in parts:
-            if self.node_of(dst) == src_node:
+            dst_node = self.node_of(dst)
+            if dst_node == src_node:
                 intra += nbytes
             else:
                 inter += nbytes
+                per_dst_node[dst_node] = per_dst_node.get(dst_node, 0.0) + nbytes
         self.bytes_transferred += intra + inter
         self.inter_bytes += inter
+        if inter > 0:
+            self.inter_messages += 1
+            for dst_node, nbytes in per_dst_node.items():
+                key = (src_node, dst_node)
+                self.link_bytes[key] = self.link_bytes.get(key, 0.0) + nbytes
+                self.link_messages[key] = self.link_messages.get(key, 0) + 1
         work_factor = (
             self.faults.transfer_work_factor(src_rank)
             if self.faults is not None
@@ -437,6 +481,15 @@ class ClusterNetworkModel(NetworkModel):
                 inter * work_factor, meta={"rank": ("node", src_node)}
             )
             pieces.append(task.done)
+            if self.link_capacity is not None:
+                # Per-link contention: the burst must also clear each
+                # directed link it uses (the slower of fabric and link
+                # governs completion).
+                for dst_node, nbytes in per_dst_node.items():
+                    task = self._link_resource(src_node, dst_node).submit(
+                        nbytes * work_factor, meta={"rank": ("node", src_node)}
+                    )
+                    pieces.append(task.done)
         done = Event(self.sim, name="cluster-transfer")
         if not pieces:
             done.succeed(0.0)
@@ -464,9 +517,28 @@ class ClusterNetworkModel(NetworkModel):
         return self.inter_latency if len(nodes) > 1 else self.latency
 
     def engine_stats(self) -> dict[str, int]:
-        """Counters summed over the base, per-node and fabric resources."""
+        """Counters summed over the base, per-node, fabric and link resources."""
         total = super().engine_stats()
-        for res in [*self._node_resources.values(), self._fabric]:
+        for res in [
+            *self._node_resources.values(),
+            self._fabric,
+            *self._link_resources.values(),
+        ]:
             for k, v in res.stats().items():
                 total[k] = total.get(k, 0) + v
         return total
+
+    def internode_summary(self) -> dict:
+        """Inter-node counters for the run manifest's ``internode`` section."""
+        return {
+            "inter_bytes": self.inter_bytes,
+            "inter_messages": self.inter_messages,
+            "link_bytes": {
+                f"{src}->{dst}": nbytes
+                for (src, dst), nbytes in sorted(self.link_bytes.items())
+            },
+            "link_messages": {
+                f"{src}->{dst}": count
+                for (src, dst), count in sorted(self.link_messages.items())
+            },
+        }

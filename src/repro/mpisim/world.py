@@ -24,6 +24,7 @@ import typing as _t
 
 from repro import telemetry as _telemetry
 from repro.machine.cpu import CpuModel
+from repro.telemetry.layers import comm_layer
 from repro.machine.topology import HwThread, Placement
 from repro.mpisim.communicator import CollectiveResult, Communicator, MpiSimError
 from repro.mpisim.network import NetworkModel
@@ -146,7 +147,7 @@ class MpiWorld:
             obs(record)
         tel = _telemetry.current()
         if tel.enabled:
-            layer = record.comm_name.rstrip("0123456789")  # pack3 -> pack
+            layer = comm_layer(record.comm_name)  # pack3 -> pack
             metrics = tel.metrics
             metrics.count("mpi.calls", 1.0, call=record.call, comm=layer)
             metrics.count(
@@ -223,6 +224,24 @@ class RankContext:
     def alltoall(self, comm: Communicator, parts: _t.Sequence, key: object = None, thread: int = 0) -> Event:
         """MPI_Alltoall(v); resolves to the list of received parts."""
         return self._traced("alltoall", comm, comm.alltoall(self.rank, parts, key=key), thread)
+
+    def alltoallw(
+        self,
+        comm: Communicator,
+        sendbuf,
+        recvbuf,
+        send_blocks: _t.Sequence,
+        recv_blocks: _t.Sequence,
+        key: object = None,
+        thread: int = 0,
+    ) -> Event:
+        """MPI_Alltoallw (pack-free block redistribution); resolves to ``recvbuf``."""
+        return self._traced(
+            "alltoallw",
+            comm,
+            comm.alltoallw(self.rank, sendbuf, recvbuf, send_blocks, recv_blocks, key=key),
+            thread,
+        )
 
     def barrier(self, comm: Communicator, key: object = None, thread: int = 0) -> Event:
         """MPI_Barrier."""

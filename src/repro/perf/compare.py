@@ -24,6 +24,7 @@ import typing as _t
 
 from repro.perf.timeline import phase_summary
 from repro.perf.tracer import Trace
+from repro.telemetry.layers import comm_layer
 
 __all__ = [
     "PhaseDelta",
@@ -81,7 +82,7 @@ class RunComparison:
 def _mpi_by_layer(trace: Trace) -> dict[str, float]:
     out: dict[str, float] = {}
     for r in trace.mpi:
-        layer = r.comm_name.rstrip("0123456789")  # pack3 -> pack
+        layer = comm_layer(r.comm_name)  # pack3 -> pack
         out[layer] = out.get(layer, 0.0) + r.duration
     return out
 

@@ -56,6 +56,7 @@ MPI_CALL_CODES: dict[str, int] = {
     "reduce": 29,
     "rscatter": 30,
     "dup": 31,
+    "alltoallw": 32,
 }
 
 #: Event type for useful instructions (PAPI_TOT_INS's conventional id).

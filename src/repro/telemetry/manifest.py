@@ -35,6 +35,8 @@ import pathlib
 import time
 import typing as _t
 
+from repro.telemetry.layers import comm_layer
+
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.core.driver import RunResult
     from repro.perf.popmodel import FactorSet
@@ -85,7 +87,7 @@ def _mpi_aggregates(result: "RunResult") -> dict:
         return {}
     out: dict[str, dict[str, float]] = {}
     for r in tel.trace.mpi:
-        layer = r.comm_name.rstrip("0123456789")
+        layer = comm_layer(r.comm_name)
         entry = out.setdefault(
             layer, {"calls": 0.0, "bytes": 0.0, "time_s": 0.0, "sync_s": 0.0}
         )
@@ -146,6 +148,9 @@ def build_manifest(
         manifest["failed"] = result.failed
     if result.dataplane is not None:
         manifest["dataplane"] = result.dataplane
+    internode = getattr(result.world.network, "internode_summary", None)
+    if internode is not None:
+        manifest["internode"] = internode()
     analysis = _run_analysis(result, ideal_time_s)
     if analysis is not None:
         manifest["analysis"] = analysis
@@ -213,6 +218,8 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("config.label", (str,), True),
     ("config.fft_backend", (str,), False),
     ("config.kernel_workers", (int,), False),
+    ("config.decomposition", (str,), False),
+    ("config.redistribution", (str,), False),
     ("calibration", (dict,), True),
     ("timing", (dict,), True),
     ("timing.phase_time_s", (int, float), True),
@@ -230,6 +237,14 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("dataplane", (dict,), False),
     ("dataplane.kernel_backend", (str,), False),
     ("dataplane.kernel_workers", (int,), False),
+    ("dataplane.decomposition", (str,), False),
+    ("dataplane.redistribution", (str,), False),
+    ("dataplane.pack_copies", (int,), False),
+    ("internode", (dict,), False),
+    ("internode.inter_bytes", (int, float), False),
+    ("internode.inter_messages", (int,), False),
+    ("internode.link_bytes", (dict,), False),
+    ("internode.link_messages", (dict,), False),
     ("analysis", (dict,), False),
     ("analysis.schema_version", (int,), False),
     ("analysis.unclosed_spans", (int,), False),

@@ -1,0 +1,111 @@
+"""Packed vs pack-free redistribution: identical results, identical cost.
+
+The pack-free path (Alltoallw block descriptors straight between flat
+buffers) is a host-side optimization only — by construction its block
+volumes equal the old concatenated parts, so the simulated timeline must
+not move at all.  These tests pin that contract per executor, plus the
+acceptance criterion that the steady-state exchange performs *zero*
+staging copies (``dataplane.pack_copies == 0``) while the packed twin
+keeps paying them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, run_fft_phase
+
+SMALL = dict(ecutwfc=12.0, alat=5.0, nbnd=8)
+
+EXECUTORS = ["original", "pipelined", "ompss_steps", "ompss_perfft", "ompss_combined"]
+
+
+def run_pair(version):
+    out = {}
+    for redist in ("packed", "packfree"):
+        cfg = RunConfig(
+            ranks=2,
+            taskgroups=2,
+            version=version,
+            data_mode=True,
+            redistribution=redist,
+            **SMALL,
+        )
+        out[redist] = run_fft_phase(cfg)
+    return out
+
+
+class TestPackedPackfreeIdentity:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        return {version: run_pair(version) for version in EXECUTORS}
+
+    @pytest.mark.parametrize("version", EXECUTORS)
+    def test_outputs_bit_identical(self, pairs, version):
+        pair = pairs[version]
+        np.testing.assert_array_equal(
+            pair["packed"].output_coefficients(),
+            pair["packfree"].output_coefficients(),
+            err_msg=version,
+        )
+
+    @pytest.mark.parametrize("version", EXECUTORS)
+    def test_simulated_time_unchanged(self, pairs, version):
+        """Cost parity: pack-free must not perturb the network model."""
+        pair = pairs[version]
+        assert pair["packed"].phase_time == pytest.approx(
+            pair["packfree"].phase_time, rel=1e-12
+        ), version
+
+    @pytest.mark.parametrize("version", EXECUTORS)
+    def test_both_validate_against_dense_reference(self, pairs, version):
+        for res in pairs[version].values():
+            assert res.validate() < 1e-12
+
+    @pytest.mark.parametrize("version", EXECUTORS)
+    def test_packfree_performs_zero_staging_copies(self, pairs, version):
+        """The acceptance criterion: steady-state exchange copies nothing."""
+        dp = pairs[version]["packfree"].dataplane
+        assert dp is not None
+        assert dp["pack_copies"] == 0, version
+
+    @pytest.mark.parametrize("version", EXECUTORS)
+    def test_packed_twin_still_pays_for_staging(self, pairs, version):
+        """Guards the counter itself: if packed ever reads 0 too, the
+        ``pack_copies`` accounting has silently broken."""
+        dp = pairs[version]["packed"].dataplane
+        assert dp is not None
+        assert dp["pack_copies"] > 0, version
+
+
+class TestMetaModeParity:
+    @pytest.mark.parametrize(
+        "decomposition,redistribution",
+        [("slab", "packfree"), ("slab", "packed"), ("pencil", "packfree")],
+    )
+    def test_meta_mode_reproduces_data_mode_timeline(
+        self, decomposition, redistribution
+    ):
+        """Size-only payloads must drive the cost model identically to real
+        arrays — the sweep harness depends on it."""
+        times, instrs = [], []
+        for data_mode in (True, False):
+            cfg = RunConfig(
+                ranks=4,
+                taskgroups=2,
+                version="original",
+                data_mode=data_mode,
+                decomposition=decomposition,
+                redistribution=redistribution,
+                **SMALL,
+            )
+            res = run_fft_phase(cfg)
+            times.append(res.phase_time)
+            instrs.append(res.cpu.counters.total_instructions())
+        assert times[0] == pytest.approx(times[1], rel=1e-14)
+        assert instrs[0] == pytest.approx(instrs[1], rel=1e-9)
+
+    def test_redistribution_recorded_in_config(self):
+        cfg = RunConfig(ranks=2, taskgroups=2, **SMALL)
+        assert cfg.redistribution == "packfree"
+        with pytest.raises(ValueError, match="redistribution"):
+            RunConfig(ranks=2, taskgroups=2, redistribution="zerocopy", **SMALL)

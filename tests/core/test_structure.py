@@ -44,10 +44,10 @@ class TestFig1Original:
     def test_mpi_sequence_interleaves_two_layers(self, trace):
         calls = [(r.call, r.comm_name.rstrip("0123456789")) for r in trace.mpi_of((0, 0))]
         per_iteration = [
-            ("alltoall", "pack"),     # pack NTG bands
-            ("alltoall", "scatter"),  # fw scatter
-            ("alltoall", "scatter"),  # bw scatter
-            ("alltoall", "pack"),     # unpack NTG bands
+            ("alltoallw", "pack"),     # pack NTG bands (pack-free datatypes)
+            ("alltoallw", "scatter"),  # fw scatter
+            ("alltoallw", "scatter"),  # bw scatter
+            ("alltoallw", "pack"),     # unpack NTG bands
         ]
         assert calls == per_iteration * 2
 

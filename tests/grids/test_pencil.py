@@ -1,0 +1,136 @@
+"""Properties of the pencil (Pr x Pc) grid geometry.
+
+The exchange plans downstream assume three invariants proven here: the
+rank grid factorization is exact and squarest-possible, the axis spans
+partition every index range (coverage without overlap), and the brick
+shapes tile the global grid exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids.pencil import PencilGrid, factor_grid, partition_spans
+
+
+class TestFactorGrid:
+    @settings(max_examples=50, deadline=None)
+    @given(R=st.integers(min_value=1, max_value=4096))
+    def test_exact_squarest_factorization(self, R):
+        pr, pc = factor_grid(R)
+        assert pr * pc == R
+        assert pr <= pc
+        # Pr is the largest divisor <= sqrt(R): no better split exists.
+        for d in range(pr + 1, int(np.sqrt(R)) + 1):
+            assert R % d != 0
+
+    def test_known_cases(self):
+        assert factor_grid(1) == (1, 1)
+        assert factor_grid(6) == (2, 3)
+        assert factor_grid(7) == (1, 7)   # prime: degenerates to slab-like
+        assert factor_grid(64) == (8, 8)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            factor_grid(0)
+
+
+class TestPartitionSpans:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=60),
+        parts=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_cover_disjoint_ordered(self, n, parts, seed):
+        """Spans tile ``range(n)``: complete coverage, no overlap, in order."""
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 5, size=n).astype(float)
+        spans = partition_spans(weights, parts)
+        assert len(spans) == parts
+        cursor = 0
+        for lo, hi in spans:
+            assert lo == cursor
+            assert hi >= lo
+            cursor = hi
+        assert cursor == n
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=60),
+        parts=st.integers(min_value=1, max_value=5),
+    )
+    def test_uniform_weights_balance(self, n, parts):
+        """Unit weights: spans differ by at most one index."""
+        spans = partition_spans(np.ones(n), parts)
+        lengths = [hi - lo for lo, hi in spans]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_zero_total_weight_falls_back_to_index_split(self):
+        spans = partition_spans(np.zeros(7), 3)
+        assert spans == [(0, 3), (3, 5), (5, 7)]
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError, match="parts"):
+            partition_spans(np.ones(4), 0)
+
+
+class TestPencilGrid:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        R=st.integers(min_value=1, max_value=12),
+        nr=st.tuples(
+            st.integers(min_value=4, max_value=20),
+            st.integers(min_value=4, max_value=20),
+            st.integers(min_value=4, max_value=20),
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_bricks_tile_the_global_grid(self, R, nr, seed):
+        """Summed over the rank grid, y- and x-brick volumes equal the full
+        grid volume — every (ix, iy, iz) owned exactly once per stage."""
+        rng = np.random.default_rng(seed)
+        grid = PencilGrid(nr, R, x_weights=rng.integers(0, 4, size=nr[0]))
+        n_total = nr[0] * nr[1] * nr[2]
+        y_total = sum(int(np.prod(grid.y_brick_shape(r))) for r in range(R))
+        x_total = sum(int(np.prod(grid.x_brick_shape(r))) for r in range(R))
+        assert y_total == n_total
+        assert x_total == n_total
+
+    def test_rank_coords_roundtrip(self):
+        grid = PencilGrid((8, 8, 8), 6)
+        for r in range(6):
+            i, j = grid.coords(r)
+            assert grid.rank_of(i, j) == r
+        assert grid.coords(5) == (1, 2)  # 2x3 grid, row-major
+
+    def test_row_and_col_groups_partition_ranks(self):
+        grid = PencilGrid((8, 8, 8), 12)
+        rows = [set(grid.row_ranks(i)) for i in range(grid.Pr)]
+        cols = [set(grid.col_ranks(j)) for j in range(grid.Pc)]
+        assert set().union(*rows) == set(range(12))
+        assert set().union(*cols) == set(range(12))
+        for a in range(grid.Pr):
+            for b in range(a + 1, grid.Pr):
+                assert not rows[a] & rows[b]
+        # Each row meets each column in exactly one rank.
+        for row, col in [(rows[i], cols[j]) for i in range(grid.Pr) for j in range(grid.Pc)]:
+            assert len(row & col) == 1
+
+    def test_weighted_x_spans_follow_stick_mass(self):
+        """All weight in the lower half of x: row 0's span stays there."""
+        w = np.zeros(16)
+        w[:8] = 1.0
+        grid = PencilGrid((16, 8, 8), 4, x_weights=w)
+        (lo0, hi0) = grid.x_span(0)
+        assert hi0 <= 8 or w[lo0:hi0].sum() >= w.sum() / 2 - 1
+
+    def test_bad_inputs_rejected(self):
+        grid = PencilGrid((8, 8, 8), 4)
+        with pytest.raises(ValueError, match="outside"):
+            grid.coords(4)
+        with pytest.raises(ValueError, match="outside"):
+            grid.rank_of(2, 0)
+        with pytest.raises(ValueError, match="x_weights"):
+            PencilGrid((8, 8, 8), 4, x_weights=np.ones(5))

@@ -71,7 +71,7 @@ class TestTracer:
 
     def test_mpi_records_present(self, traced):
         _res, trace = traced
-        assert any(r.call == "alltoall" for r in trace.mpi)
+        assert any(r.call in ("alltoall", "alltoallw") for r in trace.mpi)
 
 
 class TestPopModel:
@@ -144,7 +144,7 @@ class TestTimeline:
     def test_mpi_intervals(self, traced):
         _res, trace = traced
         ivs = mpi_intervals(trace)
-        assert {iv.call for iv in ivs} == {"alltoall"}
+        assert {iv.call for iv in ivs} == {"alltoallw"}
         assert all(iv.comm_name.startswith(("pack", "scatter")) for iv in ivs)
 
     def test_phase_summary_quotes_phase_ipcs(self, traced):
@@ -199,7 +199,7 @@ class TestParaver:
         parsed = read_prv(prv)
         seen = {s[-1] for s in parsed["states"]}
         assert STATE_CODES["fft_xy"] in seen
-        assert MPI_CALL_CODES["alltoall"] in seen
+        assert MPI_CALL_CODES["alltoallw"] in seen
 
     def test_reject_non_paraver_file(self, tmp_path):
         bad = tmp_path / "x.prv"
