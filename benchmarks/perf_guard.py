@@ -33,6 +33,14 @@ committed baseline file:
     so a latency regression fails even when throughput holds.  Baseline:
     ``benchmarks/BENCH_service.json``.
 
+``tuning``
+    Autotuner quality: the tuned-vs-default win rate of the cost-model-
+    guided search (:mod:`repro.tuning`) over a small grid x executor x
+    node matrix.  The whole measurement is simulated and seeded, so
+    ``win_rate`` is deterministic — any drop means a search or cost-model
+    regression, not noise.  The median speedup rides along for triage.
+    Baseline: ``benchmarks/BENCH_tuning.json``.
+
 Modes
 -----
 ``check``
@@ -264,6 +272,44 @@ def measure_service(rounds: int = 5) -> dict:
     }
 
 
+#: Matrix the tuning guard searches: small enough for CI, wide enough to
+#: exercise both decompositions, a task executor, and a multi-node cell.
+TUNING_CELLS = (
+    ("2x2 original", 2, "original", 2, 1),
+    ("2 ompss_perfft", 2, "ompss_perfft", 2, 1),
+    ("4x2 original 2n", 4, "original", 2, 2),
+)
+
+
+def measure_tuning(rounds: int = 5) -> dict:
+    """Tuned-vs-default win rate over the reference matrix (deterministic).
+
+    ``rounds`` is accepted for interface parity but ignored: the search and
+    every candidate evaluation are simulated with fixed seeds, so repeated
+    rounds return byte-identical results.
+    """
+    from repro.experiments import run_tuning
+
+    report = run_tuning(
+        ecutwfc=12.0,
+        alat=5.0,
+        nbnd=8,
+        cells=TUNING_CELLS,
+        top_k=4,
+        survivors=2,
+    )
+    return {
+        "kind": "repro.bench_tuning",
+        "config": f"{report.data['n_cells']} cells (ecut 12, alat 5, 8 bands), "
+        "cold search per cell",
+        "win_rate": report.data["win_rate"],
+        "median_speedup": report.data["median_speedup"],
+        "max_speedup": report.data["max_speedup"],
+        "changed_cells": report.data["changed_cells"],
+        "rounds": 1,
+    }
+
+
 #: target name -> (baseline path, baseline kind, throughput key, measure fn,
 #:                 regression hint)
 TARGETS = {
@@ -299,6 +345,14 @@ TARGETS = {
         "profile the service front end — admission/queue bookkeeping, "
         "worker fan-out, and the per-request driver overhead "
         "(see docs/RESILIENCE.md)",
+    ),
+    "tuning": (
+        _HERE / "BENCH_tuning.json",
+        "repro.bench_tuning",
+        "win_rate",
+        measure_tuning,
+        "inspect the autotuner — candidate enumeration, cost-model ranking, "
+        "and the incumbent's bye into the final rung (see docs/TUNING.md)",
     ),
 }
 

@@ -1,0 +1,44 @@
+"""Benchmark: tuned-vs-default across the autotuner's workload matrix."""
+
+from repro.experiments import run_tuning
+from repro.tuning.digest import KNOB_FIELDS
+
+#: The perf_guard reference matrix, small enough for the benchmark lane.
+CELLS = (
+    ("2x2 original", 2, "original", 2, 1),
+    ("2 ompss_perfft", 2, "ompss_perfft", 2, 1),
+    ("4x2 original 2n", 4, "original", 2, 2),
+)
+
+
+def test_bench_tuning(run_once):
+    report = run_once(
+        run_tuning,
+        ecutwfc=12.0,
+        alat=5.0,
+        nbnd=8,
+        cells=CELLS,
+        top_k=4,
+        survivors=2,
+    )
+    print("\n" + report.text)
+
+    data = report.data
+    assert data["n_cells"] == len(CELLS)
+
+    # The incumbent always competes in the final rung, so a correct search
+    # never loses a cell — the acceptance bar (>= 70%) sits well below the
+    # construction guarantee (100%).
+    assert data["win_rate"] >= 0.70
+    assert data["median_speedup"] >= 1.0
+    assert data["max_speedup"] >= data["median_speedup"]
+
+    # The search must actually move knobs somewhere in the matrix, not just
+    # rubber-stamp every default (the matrix includes deliberately poor
+    # defaults such as ntg=2 on communication-heavy cells).
+    assert data["changed_cells"] >= 1
+
+    for cell in data["cells"]:
+        assert cell["tuned_s"] <= cell["default_s"] * (1 + 1e-12)
+        assert set(cell["tuned_knobs"]) <= set(KNOB_FIELDS)
+        assert cell["evaluated"] >= 2  # more than the incumbent alone

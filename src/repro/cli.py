@@ -83,6 +83,7 @@ from repro.experiments import (
     run_resilience,
     run_table1,
     run_table2,
+    run_tuning,
 )
 
 __all__ = ["main"]
@@ -107,6 +108,7 @@ _EXPERIMENTS: dict[str, tuple[_t.Callable, str]] = {
     "multinode": (run_multinode, "multi-node scale sweep (the paper's IV claim)"),
     "validation": (run_validation, "numerical certification vs the dense reference"),
     "resilience": (run_resilience, "fault-scenario degradation, original vs OmpSs"),
+    "tuning": (run_tuning, "tuned-vs-default win rate across a workload matrix"),
 }
 
 
@@ -124,6 +126,18 @@ def _experiment_kwargs(name: str, quick: bool) -> dict:
         kwargs.update(ecutwfc=15.0, alat=6.0, nbnd=8)
     if name == "resilience":
         kwargs.update(nbnd=16, taskgroups=4)
+    if name == "tuning":
+        kwargs.update(
+            ecutwfc=12.0,
+            alat=5.0,
+            nbnd=8,
+            cells=(
+                ("2x2 original", 2, "original", 2, 1),
+                ("4x2 original 2n", 4, "original", 2, 2),
+            ),
+            top_k=4,
+            survivors=2,
+        )
     return kwargs
 
 
@@ -214,6 +228,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--redistribution", default="packfree", choices=["packed", "packfree"],
         help="data-plane redistribution strategy (default packfree)",
     )
+    p_sweep.add_argument(
+        "--tuning", default="off", choices=["off", "consult", "search"],
+        help="autotuner mode for every point (default off; see 'tune')",
+    )
+    p_sweep.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="wisdom DB path ($REPRO_WISDOM or ./wisdom.jsonl when unset)",
+    )
+    p_sweep.add_argument(
+        "--link-capacity", type=float, default=None, metavar="BPS",
+        help="per-link fabric capacity (B/s) for multi-node points "
+        "(default: aggregate-capacity model)",
+    )
 
     p_run = sub.add_parser("run", help="run a single configuration")
     p_run.add_argument("--ranks", type=int, default=8)
@@ -277,11 +304,79 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="data-plane redistribution: staged pack/unpack copies or "
         "pack-free Alltoallw datatypes (default packfree)",
     )
+    p_run.add_argument(
+        "--tuning", default="off", choices=["off", "consult", "search"],
+        help="autotuner mode: consult the wisdom DB, or search on a miss "
+        "(default off; see 'tune' and docs/TUNING.md)",
+    )
+    p_run.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="wisdom DB path ($REPRO_WISDOM or ./wisdom.jsonl when unset)",
+    )
+    p_run.add_argument(
+        "--link-capacity", type=float, default=None, metavar="BPS",
+        help="per-link fabric capacity (B/s) for multi-node runs "
+        "(default: aggregate-capacity model)",
+    )
 
     sub.add_parser(
         "backends",
         help="list FFT kernel backends and their availability on this host",
     )
+
+    p_tune = sub.add_parser(
+        "tune", help="autotuner wisdom DB: search / show / export / import"
+    )
+    tune_sub = p_tune.add_subparsers(dest="tune_command", required=True)
+    p_tsearch = tune_sub.add_parser(
+        "search", help="search the knob space for a workload and persist the winner"
+    )
+    p_tsearch.add_argument("--ranks", type=int, default=8)
+    p_tsearch.add_argument("--taskgroups", type=int, default=8)
+    p_tsearch.add_argument("--version", default="original", choices=list(VERSIONS))
+    p_tsearch.add_argument("--quick", action="store_true", help="reduced workload")
+    p_tsearch.add_argument("--nodes", type=int, default=1, help="simulated KNL nodes")
+    p_tsearch.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="wisdom DB to record into ($REPRO_WISDOM or ./wisdom.jsonl)",
+    )
+    p_tsearch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent rung evaluations (default 1)",
+    )
+    p_tsearch.add_argument(
+        "--mode", choices=["process", "thread", "serial"], default=None,
+        help="worker pool kind (default: process when --jobs > 1, else serial)",
+    )
+    p_tsearch.add_argument(
+        "--top-k", type=int, default=8, metavar="K",
+        help="cost-model shortlist simulated in rung 0 (default 8)",
+    )
+    p_tsearch.add_argument(
+        "--survivors", type=int, default=3, metavar="S",
+        help="rung-0 survivors promoted to the full-workload rung (default 3)",
+    )
+    p_tsearch.add_argument(
+        "--link-capacity", type=float, default=None, metavar="BPS",
+        help="per-link fabric capacity (part of the machine-profile digest)",
+    )
+    p_tshow = tune_sub.add_parser(
+        "show", help="print the best-per-digest entries of a wisdom DB"
+    )
+    p_tshow.add_argument(
+        "--wisdom", metavar="PATH", default=None,
+        help="wisdom DB to read ($REPRO_WISDOM or ./wisdom.jsonl)",
+    )
+    p_texport = tune_sub.add_parser(
+        "export", help="write the best-per-digest view as fresh JSONL"
+    )
+    p_texport.add_argument("out", metavar="OUT")
+    p_texport.add_argument("--wisdom", metavar="PATH", default=None)
+    p_timport = tune_sub.add_parser(
+        "import", help="merge another wisdom file (better scores win)"
+    )
+    p_timport.add_argument("src", metavar="SRC")
+    p_timport.add_argument("--wisdom", metavar="PATH", default=None)
 
     p_faults = sub.add_parser(
         "faults", help="fault-scenario utilities (see docs/RESILIENCE.md)"
@@ -498,6 +593,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             )
         return 0
 
+    if args.command == "tune":
+        return _cmd_tune(args)
+
     if args.command == "serve":
         return _cmd_serve(args)
 
@@ -540,6 +638,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 kernel_workers=args.kernel_workers,
                 decomposition=args.decomposition,
                 redistribution=args.redistribution,
+                tuning=args.tuning,
+                wisdom_path=args.wisdom,
+                link_capacity=args.link_capacity,
                 **workload,
             )
         except ValueError as exc:
@@ -548,8 +649,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         t0 = time.perf_counter()
         result = run_fft_phase(config)
         wall = time.perf_counter() - t0
-        print(f"{config.label()}: FFT phase {result.phase_time * 1e3:.2f} ms "
+        print(f"{result.config.label()}: FFT phase {result.phase_time * 1e3:.2f} ms "
               f"(simulated), avg IPC {result.average_ipc:.3f}")
+        if result.tuning is not None:
+            info = result.tuning
+            outcome = (
+                "hit" if info["hit"] else
+                ("searched" if info["source"] == "search" else "miss")
+            )
+            applied = "applied" if info["applied"] else "not applied"
+            print(
+                f"tuning: {info['mode']} -> {outcome} ({applied}); "
+                f"digest {info['digest'][:19]}..."
+            )
         if result.fault_report is not None:
             report = result.fault_report
             print(
@@ -664,6 +776,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         base["kernel_workers"] = args.kernel_workers
         base["decomposition"] = args.decomposition
         base["redistribution"] = args.redistribution
+        base["tuning"] = args.tuning
+        if args.wisdom is not None:
+            base["wisdom_path"] = args.wisdom
+        if args.link_capacity is not None:
+            base["link_capacity"] = args.link_capacity
         if scenario is not None:
             base["faults"] = scenario
         try:
@@ -982,6 +1099,84 @@ def _parse_mix(text: str) -> dict[str, float]:
         name, _, weight = part.partition("=")
         mix[name.strip()] = float(weight)
     return mix
+
+
+def _cmd_tune(args) -> int:
+    """The ``tune`` group: wisdom search / show / export / import."""
+    from repro.tuning import (
+        WisdomDB,
+        default_wisdom_path,
+        knobs_of,
+        search,
+        workload_digest,
+    )
+
+    path = args.wisdom or str(default_wisdom_path())
+
+    if args.tune_command == "search":
+        workload = dict(QUICK_WORKLOAD) if args.quick else {}
+        try:
+            config = RunConfig(
+                ranks=args.ranks,
+                taskgroups=args.taskgroups,
+                version=args.version,
+                n_nodes=args.nodes,
+                link_capacity=args.link_capacity,
+                **workload,
+            )
+        except ValueError as exc:
+            print(f"error: invalid configuration: {exc}", file=sys.stderr)
+            return 2
+        db = WisdomDB(path)
+        digest = workload_digest(config)
+        held = db.lookup(digest)
+        if held is not None:
+            print(f"already tuned ({held.score * 1e3:.2f} ms); searching again")
+        try:
+            entry = search(
+                config, db=db, jobs=args.jobs, mode=args.mode,
+                top_k=args.top_k, survivors=args.survivors,
+            )
+        except (RuntimeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        incumbent_s = entry.provenance.get("incumbent_s")
+        print(f"digest: {entry.digest}")
+        print(f"winner: {entry.knobs}")
+        line = f"score: {entry.score * 1e3:.2f} ms (simulated)"
+        if incumbent_s:
+            line += f"; default {incumbent_s * 1e3:.2f} ms"
+            if entry.knobs != knobs_of(config):
+                line += f" ({incumbent_s / entry.score:.2f}x speedup)"
+        print(line)
+        print(f"recorded in {path}")
+        return 0
+
+    if args.tune_command == "show":
+        db = WisdomDB(path)
+        if db.skipped_lines:
+            print(f"({db.skipped_lines} unreadable line(s) skipped)")
+        if not len(db):
+            print(f"{path}: no wisdom entries")
+            return 0
+        for entry in db.entries():
+            print(f"{entry.digest}  {entry.score * 1e3:10.3f} ms  "
+                  f"[{entry.source}]  {entry.knobs}")
+        return 0
+
+    if args.tune_command == "export":
+        n = WisdomDB(path).export(args.out)
+        print(f"{n} entr{'y' if n == 1 else 'ies'} written to {args.out}")
+        return 0
+
+    # import
+    try:
+        merged = WisdomDB(path).import_from(args.src)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{merged} entr{'y' if merged == 1 else 'ies'} merged into {path}")
+    return 0
 
 
 def _cmd_serve(args) -> int:

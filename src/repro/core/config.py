@@ -119,6 +119,21 @@ class RunConfig:
     #: legacy staged Alltoall marshalling).  Simulated timings are identical;
     #: the pack-free path saves host copies.
     redistribution: str = "packfree"
+    #: Autotuner mode (:mod:`repro.tuning`): ``"off"`` (default; zero
+    #: overhead — the driver never imports the tuner), ``"consult"`` (look
+    #: the workload digest up in the wisdom DB and apply the stored knob
+    #: vector on a hit; run unchanged on a miss) or ``"search"`` (consult,
+    #: and on a miss run the cost-model-guided search, persist the winner,
+    #: then run with it).
+    tuning: str = "off"
+    #: Path of the wisdom database (append-only JSONL).  ``None`` uses
+    #: :data:`repro.tuning.DEFAULT_WISDOM_PATH`.
+    wisdom_path: str | None = None
+    #: Per-link capacity of the inter-node fabric contention model (B/s per
+    #: directed node pair), or ``None`` (default) for the aggregate-capacity
+    #: model — the pre-existing path, pinned bit-identical.  Only multi-node
+    #: runs read it; it is part of the autotuner's machine-profile digest.
+    link_capacity: float | None = None
 
     def __post_init__(self) -> None:
         if self.version not in VERSIONS:
@@ -155,6 +170,14 @@ class RunConfig:
             raise ValueError(
                 "redistribution must be 'packed' or 'packfree', "
                 f"got {self.redistribution!r}"
+            )
+        if self.tuning not in ("off", "consult", "search"):
+            raise ValueError(
+                f"tuning must be 'off', 'consult' or 'search', got {self.tuning!r}"
+            )
+        if self.link_capacity is not None and self.link_capacity <= 0:
+            raise ValueError(
+                f"link_capacity must be positive, got {self.link_capacity}"
             )
         # Validate the backend name against the registry (lazy import keeps
         # config importable without the fft package in degraded contexts).

@@ -134,6 +134,9 @@ class RunResult:
     #: Data-plane arena statistics for this run (acquire/release deltas plus
     #: resident-byte gauges), or ``None`` for meta mode / arena disabled.
     dataplane: dict | None = None
+    #: Autotuner resolution record (mode, digest, hit, applied knobs,
+    #: predicted vs. measured score), or ``None`` with ``tuning="off"``.
+    tuning: dict | None = None
 
     def output_coefficients(self) -> np.ndarray:
         """Gather the distributed outputs (data mode only)."""
@@ -200,6 +203,17 @@ def run_fft_phase(
     default) the simulation loop pays a single ``is None`` check per event.
     """
     knl = knl or KnlParameters()
+    tuning_info: dict | None = None
+    if config.tuning != "off":
+        # Lazy import: tuning=off (the default) never touches the tuner, so
+        # the hot path pays one string comparison.  Resolution happens once,
+        # up front, and only swaps knob values on the config — everything
+        # downstream (geometry, machine, executor) sees an ordinary config,
+        # which is what makes consult-vs-off timings byte-identical by
+        # construction for the same resolved knobs.
+        from repro.tuning import resolve_tuning
+
+        config, tuning_info = resolve_tuning(config, knl)
     if (input_coeffs is not None or potential is not None) and not config.data_mode:
         raise ValueError("caller-provided data requires data_mode=True")
     tel = telemetry
@@ -350,6 +364,7 @@ def run_fft_phase(
                 inter_capacity=knl.fabric_injection_bw * max(config.n_nodes / 2.0, 1.0),
                 inter_injection_bw=knl.fabric_injection_bw,
                 inter_latency=knl.fabric_latency,
+                link_capacity=config.link_capacity,
             )
         else:
             network = NetworkModel(
@@ -569,10 +584,13 @@ def run_fft_phase(
             # dataplane.* gauges): backend, workers, calls, rows, pool fan-outs.
             dataplane.update(kernel_engine.stats())
 
+    if tuning_info is not None:
+        tuning_info["measured_s"] = total_time
+
     if tel is not None and tel.enabled:
         _record_run_summary(
             tel, config, cpu, sim, total_time, injector, world=world,
-            dataplane=dataplane,
+            dataplane=dataplane, tuning=tuning_info,
         )
 
     return RunResult(
@@ -592,6 +610,7 @@ def run_fft_phase(
         failed=failed,
         n_attempts=n_attempts,
         dataplane=dataplane,
+        tuning=tuning_info,
     )
 
 
@@ -655,6 +674,7 @@ def _record_run_summary(
     injector: FaultInjector | None = None,
     world: MpiWorld | None = None,
     dataplane: dict | None = None,
+    tuning: dict | None = None,
 ) -> None:
     """Close out a telemetry session: the run span and derived gauges."""
     tel.spans.add(
@@ -686,6 +706,12 @@ def _record_run_summary(
             # kernel_backend is a string label; only numeric entries gauge.
             if isinstance(value, (int, float)):
                 tel.metrics.set_gauge(f"dataplane.{name}", float(value))
+    if tuning is not None:
+        tel.metrics.set_gauge("tuning.hit", float(bool(tuning.get("hit"))))
+        for name in ("score", "predicted_s", "measured_s"):
+            value = tuning.get(name)
+            if isinstance(value, (int, float)):
+                tel.metrics.set_gauge(f"tuning.{name}", float(value))
     if injector is not None:
         report = injector.report
         tel.metrics.set_gauge("faults.injected", float(report.n_injected))

@@ -36,6 +36,7 @@ from repro.experiments.whatif import run_ablation_whatif
 from repro.experiments.multinode import run_multinode
 from repro.experiments.validation import run_validation
 from repro.experiments.resilience import run_resilience
+from repro.experiments.tuning import run_tuning
 
 __all__ = [
     "PAPER",
@@ -54,4 +55,5 @@ __all__ = [
     "run_multinode",
     "run_validation",
     "run_resilience",
+    "run_tuning",
 ]

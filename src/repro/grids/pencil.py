@@ -76,7 +76,51 @@ def partition_spans(weights: np.ndarray, parts: int) -> list[tuple[int, int]]:
     for k in range(1, len(edges)):
         if edges[k] < edges[k - 1]:
             edges[k] = edges[k - 1]
+    _refine_edges(cum, edges)
     return [(edges[k], edges[k + 1]) for k in range(parts)]
+
+
+def _refine_edges(cum: np.ndarray, edges: list[int]) -> None:
+    """Greedy local improvement of quota boundaries, in place.
+
+    The quota split places each boundary at the first index past its
+    target, which can leave one heavy item on the wrong side.  Each pass
+    considers moving every interior edge by one index toward the lighter
+    neighbour and accepts the move only when the heavier of the two
+    adjacent parts strictly shrinks.  That acceptance rule means the pair
+    maximum decreases *and* the pair minimum increases on every accepted
+    move, so the global max part weight never grows, the global min never
+    shrinks, and the quota split's balance bounds survive refinement.
+    Each accepted move strictly decreases the sum of squared part weights,
+    so the loop terminates; the pass cap is a defensive bound.
+    """
+
+    def weight(k: int) -> float:
+        lo, hi = edges[k], edges[k + 1]
+        return float(cum[hi - 1] - (cum[lo - 1] if lo > 0 else 0.0)) if hi > lo else 0.0
+
+    parts = len(edges) - 1
+    for _pass in range(max(len(cum), 1)):
+        improved = False
+        for k in range(1, parts):
+            left, right = weight(k - 1), weight(k)
+            pair_max = max(left, right)
+            e = edges[k]
+            # Shift one item left->right (edge moves left) ...
+            if left > right and e - 1 > edges[k - 1]:
+                w = float(cum[e - 1] - (cum[e - 2] if e >= 2 else 0.0))
+                if max(left - w, right + w) < pair_max:
+                    edges[k] = e - 1
+                    improved = True
+                    continue
+            # ... or right->left (edge moves right).
+            if right > left and e + 1 < edges[k + 1]:
+                w = float(cum[e] - (cum[e - 1] if e >= 1 else 0.0))
+                if max(left + w, right - w) < pair_max:
+                    edges[k] = e + 1
+                    improved = True
+        if not improved:
+            break
 
 
 class PencilGrid:

@@ -79,6 +79,15 @@ class ServiceConfig:
     degrade_threshold: float = 0.5
     #: Service seed (combined with the chaos plan's seed for all draws).
     seed: int = 0
+    #: Autotuner mode stamped on every admitted run's :class:`RunConfig`
+    #: (``"off"`` | ``"consult"`` | ``"search"``).  ``"consult"`` is the
+    #: service-friendly setting: the wisdom lookup is memoized per
+    #: (path, mtime, digest), so the warm admission path pays two dict
+    #: probes; ``"search"`` would run sweeps inside worker lanes — only
+    #: sensible for a dedicated tuning service.
+    tuning: str = "off"
+    #: Wisdom DB path handed to the driver (``None`` = the tuner default).
+    wisdom_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -86,6 +95,10 @@ class ServiceConfig:
         if not 0.0 <= self.degrade_threshold <= 1.0:
             raise ValueError(
                 f"degrade_threshold must be in [0, 1], got {self.degrade_threshold}"
+            )
+        if self.tuning not in ("off", "consult", "search"):
+            raise ValueError(
+                f"tuning must be 'off', 'consult' or 'search', got {self.tuning!r}"
             )
 
     def to_dict(self) -> dict:
@@ -532,6 +545,8 @@ class AsyncService:
             # draw would fail identically, so each attempt is a fresh one.
             seed=request.seed + (admitted.attempts - 1),
             telemetry=not admitted.degraded,
+            tuning=self.core.config.tuning,
+            wisdom_path=self.core.config.wisdom_path,
         )
         deadline = None
         if admitted.abs_deadline is not None:

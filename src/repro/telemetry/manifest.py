@@ -151,6 +151,8 @@ def build_manifest(
     internode = getattr(result.world.network, "internode_summary", None)
     if internode is not None:
         manifest["internode"] = internode()
+    if result.tuning is not None:
+        manifest["tuning"] = result.tuning
     analysis = _run_analysis(result, ideal_time_s)
     if analysis is not None:
         manifest["analysis"] = analysis
@@ -245,6 +247,15 @@ _RULES: list[tuple[str, tuple[type, ...], bool]] = [
     ("internode.inter_messages", (int,), False),
     ("internode.link_bytes", (dict,), False),
     ("internode.link_messages", (dict,), False),
+    ("tuning", (dict,), False),
+    ("tuning.mode", (str,), False),
+    ("tuning.digest", (str,), False),
+    ("tuning.hit", (bool,), False),
+    ("tuning.applied", (bool,), False),
+    ("tuning.knobs", (dict, type(None)), False),
+    ("tuning.score", (int, float, type(None)), False),
+    ("tuning.predicted_s", (int, float, type(None)), False),
+    ("tuning.measured_s", (int, float), False),
     ("analysis", (dict,), False),
     ("analysis.schema_version", (int,), False),
     ("analysis.unclosed_spans", (int,), False),

@@ -67,6 +67,48 @@ class TestPartitionSpans:
         lengths = [hi - lo for lo, hi in spans]
         assert max(lengths) - min(lengths) <= 1
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        parts=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    def test_refined_spans_bound_weight_imbalance(self, parts, seed):
+        """With enough moderately-varied items per part, the refinement
+        pass keeps the heaviest/lightest row-weight ratio bounded — the
+        balance property the pencil row decomposition leans on."""
+        rng = np.random.default_rng(seed)
+        n = 8 * parts + int(rng.integers(0, 8))
+        weights = rng.integers(1, 5, size=n).astype(float)
+        spans = partition_spans(weights, parts)
+        part_weights = [weights[lo:hi].sum() for lo, hi in spans]
+        assert min(part_weights) > 0
+        assert max(part_weights) / min(part_weights) <= 3.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        parts=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    def test_refinement_never_worse_than_quota_bound(self, n, parts, seed):
+        """The greedy edge refinement only accepts strict improvements, so
+        the quota split's guarantee max_part < total/parts + max_w holds
+        for the refined spans too."""
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 6, size=n).astype(float)
+        spans = partition_spans(weights, parts)
+        if weights.sum() == 0:
+            return
+        heaviest = max(weights[lo:hi].sum() for lo, hi in spans)
+        assert heaviest < weights.sum() / parts + weights.max() + 1e-9
+
+    def test_refinement_fixes_greedy_overshoot(self):
+        """A heavy head item drags the quota split's first boundary too far
+        right; the refinement pass walks it back to a perfect 7/7/7."""
+        weights = np.array([4.0, 1.0, 1.0, 1.0] * 3)
+        spans = partition_spans(weights, 3)
+        assert [weights[lo:hi].sum() for lo, hi in spans] == [7.0, 7.0, 7.0]
+
     def test_zero_total_weight_falls_back_to_index_split(self):
         spans = partition_spans(np.zeros(7), 3)
         assert spans == [(0, 3), (3, 5), (5, 7)]

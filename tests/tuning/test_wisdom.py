@@ -1,0 +1,225 @@
+"""Durability of the wisdom database.
+
+The store's promises: appends from concurrent threads and processes never
+corrupt each other (whole-line O_APPEND atomicity), a crashed writer's
+truncated tail is skipped on load and repaired by the next append, older
+record layouts migrate in memory, and the memoized consult path sees a
+fresh file generation as soon as it changes.
+"""
+
+import concurrent.futures
+import dataclasses
+import json
+import multiprocessing
+
+from repro.tuning.wisdom import (
+    SCHEMA_VERSION,
+    WisdomDB,
+    WisdomEntry,
+    consult,
+    migrate_record,
+)
+
+DIGEST = "sha256:" + "ab" * 32
+
+
+def entry(score, digest=DIGEST, **kwargs):
+    return WisdomEntry(
+        digest=digest,
+        knobs={"taskgroups": 4, "decomposition": "slab"},
+        score=score,
+        **kwargs,
+    )
+
+
+class TestRoundTrip:
+    def test_record_persists_and_reloads(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        db = WisdomDB(path)
+        db.record(entry(0.5, predicted_s=0.4, provenance={"evaluated": 7}))
+        reloaded = WisdomDB(path)
+        got = reloaded.lookup(DIGEST)
+        assert got is not None
+        assert got.score == 0.5
+        assert got.predicted_s == 0.4
+        assert got.provenance == {"evaluated": 7}
+        assert reloaded.skipped_lines == 0
+
+    def test_lowest_score_wins_later_ties_replace(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        db = WisdomDB(path)
+        db.record(entry(0.5, source="search"))
+        db.record(entry(0.9, source="import"))   # worse: ignored
+        db.record(entry(0.5, source="manual"))   # tie, later: replaces
+        for view in (db, WisdomDB(path)):
+            best = view.lookup(DIGEST)
+            assert best.score == 0.5
+            assert best.source == "manual"
+            assert len(view) == 1
+
+    def test_in_memory_db_never_touches_disk(self):
+        db = WisdomDB(None)
+        db.record(entry(0.1))
+        assert db.lookup(DIGEST).score == 0.1
+        assert db.path is None
+
+    def test_export_import_merge(self, tmp_path):
+        a = WisdomDB(tmp_path / "a.jsonl")
+        a.record(entry(0.5))
+        a.record(entry(0.2, digest="sha256:" + "cd" * 32))
+        exported = tmp_path / "export.jsonl"
+        assert a.export(exported) == 2
+
+        b = WisdomDB(tmp_path / "b.jsonl")
+        b.record(entry(0.3))  # better than a's 0.5 for DIGEST
+        merged = b.import_from(exported)
+        assert merged == 1  # only the digest b did not already beat
+        assert b.lookup(DIGEST).score == 0.3
+        assert b.lookup("sha256:" + "cd" * 32).source == "import"
+
+
+class TestMigration:
+    def test_v0_record_migrates(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        v0 = {
+            "digest": DIGEST,
+            "best": {"taskgroups": 8, "scheduler": "lifo", "score": 0.25},
+        }
+        path.write_text(json.dumps(v0) + "\n")
+        db = WisdomDB(path)
+        got = db.lookup(DIGEST)
+        assert got is not None
+        assert got.score == 0.25
+        assert got.knobs == {"taskgroups": 8, "scheduler": "lifo"}
+        assert got.provenance == {"migrated_from": 0}
+        assert db.skipped_lines == 0
+
+    def test_newer_schema_is_skipped_not_guessed(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        future = {"schema": SCHEMA_VERSION + 1, "digest": DIGEST, "score": 0.1}
+        path.write_text(json.dumps(future) + "\n")
+        db = WisdomDB(path)
+        assert db.lookup(DIGEST) is None
+        assert db.skipped_lines == 1
+
+    def test_migrate_record_rejects_garbage(self):
+        assert migrate_record({"schema": None}) is None
+        assert migrate_record({"best": {"score": 1.0}}) is None  # no digest
+        assert migrate_record({"digest": DIGEST, "best": {}}) is None  # no score
+
+
+class TestCorruptionTolerance:
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        db = WisdomDB(path)
+        db.record(entry(0.5))
+        with path.open("a") as fh:
+            fh.write("{not json\n")
+            fh.write("[1, 2, 3]\n")  # parses, but not a record object
+        reloaded = WisdomDB(path)
+        assert reloaded.lookup(DIGEST).score == 0.5
+        assert reloaded.skipped_lines == 2
+
+    def test_truncated_tail_skipped_then_repaired(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        db = WisdomDB(path)
+        db.record(entry(0.5))
+        db.record(entry(0.4))
+        # A writer died mid-record: chop the file mid-line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])
+
+        damaged = WisdomDB(path)
+        assert damaged.lookup(DIGEST).score == 0.5  # the intact line
+        assert damaged.skipped_lines == 1
+
+        # The next append must start a fresh line, not extend the stump.
+        damaged.record(entry(0.3))
+        healed = WisdomDB(path)
+        assert healed.lookup(DIGEST).score == 0.3
+        assert healed.skipped_lines == 1  # the stump stays isolated
+
+
+def _append_worker(args):
+    """Module-level for process pools: append ``n`` entries to one file."""
+    path, worker, n = args
+    db = WisdomDB(path)
+    for i in range(n):
+        db.record(
+            WisdomEntry(
+                digest=f"sha256:{worker:02d}{i:04d}" + "0" * 58,
+                knobs={"taskgroups": 2},
+                score=0.1 + i,
+            )
+        )
+    return worker
+
+
+class TestConcurrentAppends:
+    N_WORKERS = 4
+    PER_WORKER = 25
+
+    def _assert_intact(self, path):
+        lines = [ln for ln in path.read_bytes().split(b"\n") if ln.strip()]
+        assert len(lines) == self.N_WORKERS * self.PER_WORKER
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema"] == SCHEMA_VERSION
+        db = WisdomDB(path)
+        assert db.skipped_lines == 0
+        assert len(db) == self.N_WORKERS * self.PER_WORKER
+
+    def test_threads_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        jobs = [(path, w, self.PER_WORKER) for w in range(self.N_WORKERS)]
+        with concurrent.futures.ThreadPoolExecutor(self.N_WORKERS) as pool:
+            list(pool.map(_append_worker, jobs))
+        self._assert_intact(path)
+
+    def test_processes_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        jobs = [(str(path), w, self.PER_WORKER) for w in range(self.N_WORKERS)]
+        ctx = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+            self.N_WORKERS, mp_context=ctx
+        ) as pool:
+            list(pool.map(_append_worker, jobs))
+        self._assert_intact(path)
+
+
+class TestMemoizedConsult:
+    def test_consult_matches_direct_lookup(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        WisdomDB(path).record(entry(0.5))
+        assert consult(path, DIGEST) == WisdomDB(path).lookup(DIGEST)
+        assert consult(path, "sha256:" + "00" * 32) is None
+
+    def test_missing_file_is_a_miss_not_an_error(self, tmp_path):
+        assert consult(tmp_path / "absent.jsonl", DIGEST) is None
+
+    def test_consult_sees_new_generations(self, tmp_path):
+        path = tmp_path / "wisdom.jsonl"
+        db = WisdomDB(path)
+        db.record(entry(0.5))
+        assert consult(path, DIGEST).score == 0.5
+        db.record(entry(0.2))  # appending changes (mtime, size)
+        assert consult(path, DIGEST).score == 0.2
+
+    def test_consult_reuses_the_parsed_db(self, tmp_path, monkeypatch):
+        import repro.tuning.wisdom as wisdom_mod
+
+        path = tmp_path / "wisdom.jsonl"
+        WisdomDB(path).record(entry(0.5))
+        consult(path, DIGEST)  # prime the cache
+
+        loads = []
+        original = wisdom_mod.WisdomDB._load
+
+        def counting_load(self):
+            loads.append(1)
+            return original(self)
+
+        monkeypatch.setattr(wisdom_mod.WisdomDB, "_load", counting_load)
+        for _ in range(5):
+            assert consult(path, DIGEST).score == 0.5
+        assert loads == []  # warm path: zero file parses
